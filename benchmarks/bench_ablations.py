@@ -1,0 +1,92 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Not figures from the paper — these quantify why the protocol's
+mechanisms are load-bearing (see repro/experiments/ablations.py).
+"""
+
+import os
+
+from conftest import run_once
+
+from repro.analysis.tables import format_table
+from repro.experiments.ablations import (
+    centralized_ablation,
+    source_policy_ablation,
+    token_policy_ablation,
+    unsafe_ablation,
+)
+
+ROUNDS = int(os.environ.get("REPRO_BENCH_ROUNDS", "1500"))
+
+
+def test_token_policy(benchmark):
+    """Round-robin rotation (the paper's rule) vs sticky vs random:
+    sticky starves one merge branch entirely (fairness -> 0)."""
+    rows = run_once(benchmark, lambda: token_policy_ablation(rounds=ROUNDS))
+    print()
+    print(
+        format_table(
+            ["policy", "throughput", "fairness", "per-source"],
+            [[r.policy, r.throughput, r.fairness, str(r.per_source_consumed)] for r in rows],
+        )
+    )
+    by_name = {row.policy: row for row in rows}
+    assert by_name["round-robin"].fairness > 0.8
+    assert by_name["sticky"].fairness < 0.2
+    assert by_name["round-robin"].throughput >= by_name["sticky"].throughput
+
+
+def test_unsafe_baseline(benchmark):
+    """Dropping the Signal gap check: more raw throughput, but separation
+    violations appear — the exact trade Theorem 5 forbids."""
+    rows = run_once(benchmark, lambda: unsafe_ablation(rounds=ROUNDS))
+    print()
+    print(
+        format_table(
+            ["variant", "throughput", "safety violations"],
+            [[r.variant, r.throughput, r.safety_violations] for r in rows],
+        )
+    )
+    by_name = {row.variant: row for row in rows}
+    signaled = by_name["signaled (paper)"]
+    greedy = by_name["greedy (no signal)"]
+    assert signaled.safety_violations == 0
+    assert greedy.safety_violations > 0
+    assert greedy.throughput >= signaled.throughput
+
+
+def test_centralized_baseline(benchmark):
+    """A periodic central coordinator under the same churn as the cells:
+    its outages make it lose to the distributed protocol."""
+    rows = run_once(
+        benchmark, lambda: centralized_ablation(rounds=ROUNDS, pf=0.01, pr=0.1)
+    )
+    print()
+    print(
+        format_table(
+            ["variant", "throughput", "coordinator outage rounds"],
+            [[r.variant, r.throughput, r.outage_rounds] for r in rows],
+        )
+    )
+    distributed = rows[0]
+    centralized = rows[1]
+    assert distributed.throughput > 0
+    assert centralized.outage_rounds > 0
+    assert distributed.throughput >= centralized.throughput
+
+
+def test_source_policy(benchmark):
+    """Delivered throughput tracks offered load until it hits the eager
+    (saturated) ceiling."""
+    rows = run_once(benchmark, lambda: source_policy_ablation(rounds=ROUNDS))
+    print()
+    print(
+        format_table(
+            ["policy", "offered", "produced", "throughput"],
+            [[r.policy, r.offered, r.produced, r.throughput] for r in rows],
+        )
+    )
+    eager = rows[-1]
+    assert all(row.throughput <= eager.throughput + 0.01 for row in rows)
+    light, heavy = rows[0], rows[-2]
+    assert light.throughput < heavy.throughput

@@ -1,0 +1,33 @@
+"""Target-contention scaling bench (see repro/experiments/contention.py).
+
+Offered load grows linearly with the boundary (4N - 4 sources); measured
+delivery *decays toward an asymptotic floor* (the four feeder streets'
+sustainable rate) while the in-flight queue absorbs the excess.
+"""
+
+from conftest import run_once
+
+from repro.analysis.tables import format_table
+from repro.experiments.contention import floor_ratio, measure
+
+
+def test_target_contention_approaches_service_floor(benchmark):
+    points = run_once(benchmark, lambda: measure(rounds=1000))
+    print()
+    print(
+        format_table(
+            ["grid", "sources", "throughput", "mean in-flight", "mean blocked"],
+            [
+                (p.grid_n, p.sources, p.throughput, p.mean_in_flight, p.mean_blocked)
+                for p in points
+            ],
+        )
+    )
+    throughputs = [p.throughput for p in points]
+    # Delivery decays with grid size...
+    assert all(b <= a + 0.01 for a, b in zip(throughputs, throughputs[1:]))
+    # ...toward an asymptote (last two sizes nearly equal)...
+    assert floor_ratio(points) > 0.9
+    # ...while the queue absorbs the linearly growing offered load.
+    assert points[-1].mean_in_flight > 2 * points[0].mean_in_flight
+    assert points[-1].mean_blocked > points[0].mean_blocked

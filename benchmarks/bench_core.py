@@ -1,0 +1,89 @@
+"""Performance microbenchmarks of the protocol implementation itself.
+
+These measure cost, not correctness: per-round update cost as the grid
+and the population grow, and the cost of the individual phases. Useful
+for catching algorithmic regressions (e.g. an accidental O(cells^2)
+scan) when extending the library.
+"""
+
+import random
+
+from repro.core.params import Parameters
+from repro.core.sources import EagerSource
+from repro.core.system import System, build_corridor_system
+from repro.grid.paths import snake_path, straight_path
+from repro.grid.topology import Direction, Grid
+
+PARAMS = Parameters(l=0.25, rs=0.05, v=0.2)
+
+
+def corridor(n: int) -> System:
+    path = straight_path((1, 0), Direction.NORTH, n)
+    return build_corridor_system(Grid(n), PARAMS, path.cells)
+
+
+def warmed(system: System, rounds: int) -> System:
+    system.run(rounds)
+    return system
+
+
+def test_update_round_8x8(benchmark):
+    system = warmed(corridor(8), 100)
+    benchmark(system.update)
+
+
+def test_update_round_16x16(benchmark):
+    system = warmed(corridor(16), 100)
+    benchmark(system.update)
+
+
+def test_update_round_32x32(benchmark):
+    system = warmed(corridor(32), 100)
+    benchmark(system.update)
+
+
+def test_update_round_loaded_snake(benchmark):
+    """A fully occupied boustrophedon path: many entities, many grants."""
+    grid = Grid(8)
+    path = snake_path(grid)
+    system = build_corridor_system(grid, PARAMS, path.cells)
+    for cell in path.cells[:-1]:  # one entity per cell, centered (safe)
+        system.seed_entity(cell, cell[0] + 0.5, cell[1] + 0.5)
+    system.run(20)
+    assert system.entity_count() > 40
+    benchmark(system.update)
+
+
+def test_route_phase_cost(benchmark):
+    from repro.core.route import route_phase
+
+    system = corridor(16)
+    benchmark(lambda: route_phase(system.grid, system.cells, system.tid))
+
+
+def test_signal_phase_cost(benchmark):
+    from repro.core.signal import signal_phase
+
+    system = warmed(corridor(16), 50)
+    benchmark(lambda: signal_phase(system.grid, system.cells, system.params))
+
+
+def test_move_phase_cost(benchmark):
+    from repro.core.move import move_phase
+
+    system = warmed(corridor(16), 50)
+    benchmark(
+        lambda: move_phase(system.grid, system.cells, system.params, system.tid)
+    )
+
+
+def test_safety_monitor_cost(benchmark):
+    from repro.monitors.safety import check_safe
+
+    system = warmed(corridor(8), 200)
+    benchmark(lambda: check_safe(system))
+
+
+def test_path_distance_cost(benchmark):
+    system = System(grid=Grid(32), params=PARAMS, tid=(16, 16))
+    benchmark(system.path_distance)

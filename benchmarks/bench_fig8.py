@@ -1,0 +1,38 @@
+"""Figure 8 regeneration: throughput vs number of turns on a length-8 path.
+
+Paper: 8x8 grid, rs = 0.05, K = 2500, four (v, l) combinations, paths of
+8 cells with 0..6 turns (the corridor forces the route).
+
+Expected shape (asserted): throughput decreases as turns increase, then
+the decrease saturates — the signaling at corners leaves roughly one
+entity per cell.
+"""
+
+from conftest import horizon, run_once
+
+from repro.analysis.ascii_plot import line_plot
+from repro.analysis.tables import format_series_table
+from repro.experiments import fig8
+
+DEFAULT_ROUNDS = 600
+
+
+def test_fig8_throughput_vs_turns(benchmark, results_dir):
+    rounds = horizon(DEFAULT_ROUNDS, fig8.ROUNDS)
+
+    result = run_once(benchmark, lambda: fig8.run(rounds=rounds))
+
+    result.save_json(results_dir / "fig8.json")
+    result.save_csv(results_dir / "fig8.csv")
+    curves = fig8.series(result)
+    print()
+    print("Figure 8 — throughput vs turns (series = (v, l))")
+    print(format_series_table(curves, x_label="turns"))
+    print(line_plot(curves, x_label="turns", y_label="throughput"))
+
+    checks = fig8.shape_checks(result)
+    print(f"shape checks: {checks}")
+    assert checks["turns_hurt"], "turns should reduce throughput"
+    assert checks["saturation"], "the decrease should level off"
+
+    assert all(run.monitor_violations == 0 for run in result.runs)

@@ -1,0 +1,61 @@
+"""Figure 9 regeneration: throughput under random failure and recovery.
+
+Paper: 8x8 grid, rs = 0.05, l = 0.2, v = 0.2, K = 20000, source <1,0>,
+target <1,7> on a fully alive grid; per-round Bernoulli fail (pf in
+0.01..0.05) and recover (pr in {0.05, 0.1, 0.15, 0.2}) coins on every
+cell, the target included (its recovery resets dist = 0).
+
+Expected shape (asserted): throughput decreases in pf, increases in pr,
+with diminishing returns from successive pr increments.
+"""
+
+from conftest import horizon, run_once
+
+from repro.analysis.ascii_plot import line_plot
+from repro.analysis.tables import format_series_table
+from repro.experiments import fig9
+
+DEFAULT_ROUNDS = 3000
+
+
+def test_fig9_throughput_under_failures(benchmark, results_dir):
+    rounds = horizon(DEFAULT_ROUNDS, fig9.ROUNDS)
+
+    result = run_once(benchmark, lambda: fig9.run(rounds=rounds))
+
+    result.save_json(results_dir / "fig9.json")
+    result.save_csv(results_dir / "fig9.csv")
+    curves = fig9.series(result)
+    print()
+    print("Figure 9 — throughput vs pf (series = recovery probability pr)")
+    print(format_series_table(curves, x_label="pf"))
+    print(line_plot(curves, x_label="pf", y_label="throughput"))
+
+    collapse = fig9.stationary_collapse(result)
+    multi = [(f, mean, spread) for f, mean, spread in collapse if spread > 0]
+    if multi:
+        print()
+        print("Stationary-fraction collapse (pf/(pf+pr) -> throughput):")
+        from repro.analysis.tables import format_table
+
+        print(
+            format_table(
+                ["failed fraction", "mean throughput", "spread"], collapse
+            )
+        )
+        # Where several (pf, pr) pairs share a stationary fraction, their
+        # throughputs should nearly coincide: dead-cell fraction is the
+        # first-order effect, churn speed second-order.
+        assert all(
+            spread <= max(0.35 * mean, 0.01) for _, mean, spread in multi
+        )
+
+    checks = fig9.shape_checks(result)
+    print(f"shape checks: {checks}")
+    assert checks["pf_hurts"], "failures should reduce throughput"
+    assert checks["pr_helps"], "recovery should restore throughput"
+    assert checks["diminishing_returns"], "pr gains should shrink"
+
+    # Safety held through every crash/recovery interleaving (Theorem 5).
+    assert all(run.monitor_violations == 0 for run in result.runs)
+    assert all(run.total_failures > 0 for run in result.runs)

@@ -1,0 +1,82 @@
+"""Benchmarks of the message-passing implementation.
+
+Two questions: what does the protocol *cost* on the wire (messages per
+round per cell, by type), and what does realizing shared variables as
+three broadcast sub-rounds cost in wall-clock versus the shared-variable
+model?
+"""
+
+import random
+
+from conftest import run_once
+
+from repro.analysis.tables import format_table
+from repro.core.params import Parameters
+from repro.core.sources import EagerSource
+from repro.core.system import System
+from repro.grid.paths import straight_path
+from repro.grid.topology import Direction, Grid
+from repro.netsim.runtime import MessagePassingSystem
+
+PARAMS = Parameters(l=0.25, rs=0.05, v=0.2)
+
+
+def build_passing(n: int) -> MessagePassingSystem:
+    path = straight_path((1, 0), Direction.NORTH, n)
+    system = MessagePassingSystem(
+        grid=Grid(n),
+        params=PARAMS,
+        tid=path.target,
+        sources={path.source: EagerSource()},
+        rng=random.Random(0),
+    )
+    for cid in Grid(n).cells():
+        if cid not in path:
+            system.fail(cid)
+    return system
+
+
+def test_update_round_message_passing_8x8(benchmark):
+    system = build_passing(8)
+    system.run(100)
+    benchmark(system.update)
+
+
+def test_update_round_message_passing_16x16(benchmark):
+    system = build_passing(16)
+    system.run(100)
+    benchmark(system.update)
+
+
+def test_message_cost_accounting(benchmark):
+    """Wire cost of 500 corridor rounds, reported by message type.
+
+    The steady-state advert cost is exactly
+    ``3 x sum(live cell degree)`` per round; transfers add the traffic
+    itself. The assertion pins the advert count so protocol changes that
+    alter communication cost are caught.
+    """
+
+    def run():
+        system = build_passing(8)
+        system.run(500)
+        return system
+
+    system = run_once(benchmark, run)
+    stats = system.network.stats
+    print()
+    print(
+        format_table(
+            ["message type", "total", "per round"],
+            [
+                (name, count, count / 500)
+                for name, count in sorted(stats.sent_by_type.items())
+            ],
+        )
+    )
+    degree_sum = sum(
+        len(system.grid.neighbors(cid)) for cid in system.non_faulty_cells()
+    )
+    for advert in ("RouteAdvert", "OccupancyAdvert", "GrantAdvert"):
+        assert stats.sent_by_type[advert] == degree_sum * 500
+    assert stats.sent_by_type["EntityTransferMessage"] >= system.total_consumed

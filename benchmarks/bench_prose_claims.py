@@ -1,0 +1,50 @@
+"""Benches for the paper's unplotted (prose) claims.
+
+Section IV states two results without a figure; Corollary 7 gives a
+bound the simulation can measure. Each gets a regenerator here:
+
+* throughput is independent of path length (for large K),
+* routing re-stabilizes within O(N^2) rounds of the last failure —
+  measured values should sit far below the bound.
+"""
+
+from conftest import horizon, run_once
+
+from repro.analysis.tables import format_table
+from repro.experiments import pathlen, stabilization
+
+
+def test_throughput_independent_of_path_length(benchmark, results_dir):
+    rounds = horizon(1200, pathlen.ROUNDS)
+    result = run_once(benchmark, lambda: pathlen.run(rounds=rounds))
+    result.save_json(results_dir / "pathlen.json")
+    print()
+    print("Throughput vs straight-path length (paper: flat for large K)")
+    print(
+        format_table(
+            ["length", "throughput"],
+            [(run.extras["length"], run.throughput) for run in result.runs],
+        )
+    )
+    deviation = pathlen.flatness(result)
+    print(f"max relative deviation from mean: {deviation:.3f}")
+    assert deviation < 0.15
+    assert all(run.monitor_violations == 0 for run in result.runs)
+
+
+def test_stabilization_rounds_within_corollary_7_bound(benchmark):
+    points = run_once(benchmark, lambda: stabilization.measure(grid_n=8, trials=3))
+    print()
+    print("Rounds to routing re-stabilization after a crash burst (8x8)")
+    print(
+        format_table(
+            ["crashes", "worst rounds", "O(N^2) bound", "within bound"],
+            [
+                (p.crashes, p.rounds_to_stabilize, p.bound, p.within_bound)
+                for p in points
+            ],
+        )
+    )
+    assert all(point.within_bound for point in points)
+    # The real cost is diameter-ish, far below N^2.
+    assert max(point.rounds_to_stabilize for point in points) <= 2 * 8 * 2

@@ -1,0 +1,64 @@
+"""Statistical rigor bench: multi-seed replications of a Figure 9 point.
+
+The paper reports single-run throughputs. Under fault churn the estimate
+is a random variable; this bench runs independent replications of a
+mid-sweep Figure 9 point, reports mean +/- CI, and asserts the relative
+CI half-width is small enough that single-run comparisons between
+adjacent pf values (which differ by ~20-40%) are meaningful.
+"""
+
+from conftest import run_once
+
+from repro.analysis.aggregate import summarize
+from repro.analysis.tables import format_table
+from repro.core.params import Parameters
+from repro.grid.paths import straight_path
+from repro.grid.topology import Direction
+from repro.sim.config import FaultSpec, SimulationConfig
+from repro.sim.runner import run_replications
+
+PATH = straight_path((1, 0), Direction.NORTH, 8)
+REPLICATIONS = 6
+ROUNDS = 4000
+
+
+def config(pf: float, pr: float) -> SimulationConfig:
+    return SimulationConfig(
+        grid_width=8,
+        params=Parameters(l=0.2, rs=0.05, v=0.2),
+        rounds=ROUNDS,
+        path=PATH.cells,
+        fail_complement=False,
+        fault=FaultSpec(pf=pf, pr=pr),
+        seed=90,
+    )
+
+
+def test_fig9_point_replication_ci(benchmark):
+    def run():
+        rows = []
+        for pf in (0.02, 0.03):
+            runs = run_replications(config(pf, pr=0.1), REPLICATIONS)
+            rows.append((pf, summarize(runs)))
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print(
+        format_table(
+            ["pf", "mean throughput", "CI half-width", "n"],
+            [
+                (pf, s.mean, s.ci_half_width, s.count)
+                for pf, s in rows
+            ],
+        )
+    )
+    for pf, summary in rows:
+        assert summary.count == REPLICATIONS
+        # Seed-to-seed noise is small relative to the effect sizes the
+        # figure interprets.
+        assert summary.ci_half_width < 0.2 * summary.mean
+    # The pf effect exceeds the noise: adjacent points are separable.
+    (pf_a, summary_a), (pf_b, summary_b) = rows
+    gap = summary_a.mean - summary_b.mean
+    assert gap > summary_a.ci_half_width + summary_b.ci_half_width

@@ -1,0 +1,47 @@
+"""Shared benchmark configuration.
+
+Each figure benchmark regenerates the corresponding paper plot: it runs
+the experiment sweep (timed via pytest-benchmark), prints the series
+table and an ASCII rendering of the figure, saves JSON/CSV artifacts
+under ``benchmarks/results/``, and asserts the paper's qualitative shape
+checks.
+
+Horizons: the paper uses K = 2500 (Figures 7-8) and K = 20000 (Figure
+9). By default the benchmarks run scaled-down horizons so the whole
+harness finishes in minutes; set ``REPRO_FULL=1`` for the paper's exact
+horizons, or ``REPRO_BENCH_ROUNDS=<k>`` to pick one explicitly.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def horizon(default: int, paper: int) -> Optional[int]:
+    """Effective per-point horizon for a figure benchmark.
+
+    Returns None (meaning "the paper's K") when REPRO_FULL is set.
+    """
+    if os.environ.get("REPRO_FULL"):
+        return None
+    override = os.environ.get("REPRO_BENCH_ROUNDS")
+    if override:
+        return int(override)
+    return default
+
+
+@pytest.fixture
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+def run_once(benchmark, fn):
+    """Run an expensive experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's Figure 7 setup in ~30 lines.
+
+Builds the 8x8 corridor system (source <1,0>, target <1,7>, every
+off-path cell failed), runs 2500 synchronous rounds with the full
+runtime-verification suite attached, and prints the measured throughput
+alongside a final snapshot of the grid.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import MonitorSuite, Parameters, build_corridor_system
+from repro.grid import Direction, Grid, straight_path
+from repro.viz import render_grid
+
+ROUNDS = 2500
+
+
+def main() -> None:
+    grid = Grid(8)
+    path = straight_path((1, 0), Direction.NORTH, 8)
+    params = Parameters(l=0.25, rs=0.05, v=0.2)
+
+    system = build_corridor_system(grid, params, path.cells)
+    monitors = MonitorSuite().attach(system)  # raises on any violation
+
+    consumed = 0
+    for _ in range(ROUNDS):
+        report = system.update()
+        monitors.after_round(system, report)
+        consumed += report.consumed_count
+
+    print(f"rounds:     {ROUNDS}")
+    print(f"produced:   {system.total_produced}")
+    print(f"consumed:   {consumed}")
+    print(f"throughput: {consumed / ROUNDS:.4f} entities/round")
+    print(f"safety:     Theorem 5 checked on every round — "
+          f"{'CLEAN' if monitors.clean else 'VIOLATED'}")
+    print()
+    print(render_grid(system))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+`pip install -e . --no-build-isolation` works where wheel is available;
+offline boxes can fall back to `python setup.py develop`.
+"""
+from setuptools import setup
+
+setup()

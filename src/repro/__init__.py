@@ -1,0 +1,69 @@
+"""Safe and Stabilizing Distributed Cellular Flows — full reproduction.
+
+A production-quality Python implementation of the distributed traffic
+control protocol of Johnson, Mitra & Manamcheri (ICDCS 2010): the
+Route/Signal/Move cell protocol with its safety (Theorem 5) and
+stabilization/progress (Lemmas 6-9, Theorem 10) properties enforced by
+runtime monitors, plus the complete simulation and experiment harness
+that regenerates the paper's Figures 7-9.
+
+Quickstart::
+
+    from repro import Parameters, build_corridor_system
+    from repro.grid import Grid, straight_path, Direction
+
+    grid = Grid(8)
+    path = straight_path((1, 0), Direction.NORTH, 8)
+    system = build_corridor_system(grid, Parameters(l=0.25, rs=0.05, v=0.2),
+                                   path.cells)
+    consumed = sum(system.update().consumed_count for _ in range(2500))
+    print(consumed / 2500)  # average throughput
+
+See ``README.md`` for the architecture overview and ``DESIGN.md`` for the
+paper-to-module map.
+"""
+
+from repro.core import (
+    BernoulliSource,
+    CappedSource,
+    CellState,
+    EagerSource,
+    Entity,
+    Parameters,
+    RoundReport,
+    SilentSource,
+    SourcePolicy,
+    System,
+    build_corridor_system,
+)
+from repro.monitors import MonitorSuite
+from repro.sim import (
+    FaultSpec,
+    SimulationConfig,
+    SimulationResult,
+    Simulator,
+    build_simulation,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BernoulliSource",
+    "CappedSource",
+    "CellState",
+    "EagerSource",
+    "Entity",
+    "FaultSpec",
+    "MonitorSuite",
+    "Parameters",
+    "RoundReport",
+    "SilentSource",
+    "SimulationConfig",
+    "SimulationResult",
+    "Simulator",
+    "SourcePolicy",
+    "System",
+    "__version__",
+    "build_corridor_system",
+    "build_simulation",
+]

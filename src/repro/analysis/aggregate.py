@@ -1,0 +1,56 @@
+"""Aggregation of simulation results across replications."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, List, Sequence, Tuple
+
+from repro.metrics.series import mean_and_ci
+from repro.sim.results import SimulationResult
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean and CI half-width of one metric over grouped runs."""
+
+    count: int
+    mean: float
+    ci_half_width: float
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4f} +/- {self.ci_half_width:.4f} (n={self.count})"
+
+
+def summarize(
+    runs: Sequence[SimulationResult],
+    metric: Callable[[SimulationResult], float] = lambda r: r.throughput,
+) -> Summary:
+    """Mean/CI of a metric over runs."""
+    values = [metric(run) for run in runs]
+    mean, half = mean_and_ci(values)
+    return Summary(count=len(values), mean=mean, ci_half_width=half)
+
+
+def aggregate_by(
+    runs: Sequence[SimulationResult],
+    key: Callable[[SimulationResult], Hashable],
+    metric: Callable[[SimulationResult], float] = lambda r: r.throughput,
+) -> Dict[Hashable, Summary]:
+    """Group runs by ``key`` and summarize ``metric`` per group."""
+    groups: Dict[Hashable, List[SimulationResult]] = {}
+    for run in runs:
+        groups.setdefault(key(run), []).append(run)
+    return {group: summarize(members, metric) for group, members in groups.items()}
+
+
+def curve(
+    runs: Sequence[SimulationResult],
+    x_key: str,
+    metric: Callable[[SimulationResult], float] = lambda r: r.throughput,
+) -> List[Tuple[float, float, float]]:
+    """``(x, mean, ci)`` points for runs keyed by an ``extras`` field."""
+    grouped = aggregate_by(runs, key=lambda r: r.extras[x_key], metric=metric)
+    return [
+        (x, summary.mean, summary.ci_half_width)
+        for x, summary in sorted(grouped.items())
+    ]

@@ -1,0 +1,50 @@
+"""Terminal line plots.
+
+Good enough to eyeball the shape of a reproduced figure directly in CI
+logs — monotonicity, crossovers, and saturation are all visible — without
+any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+_MARKERS = "ox+*#@%&"
+
+
+def line_plot(
+    curves: Dict,
+    width: int = 64,
+    height: int = 18,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render ``{series_key: [(x, y), ...]}`` as an ASCII scatter/line plot."""
+    all_points: List[Tuple[float, float]] = [
+        point for points in curves.values() for point in points
+    ]
+    if not all_points:
+        return "(no data)"
+    xs = [x for x, _ in all_points]
+    ys = [y for _, y in all_points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    legend: List[str] = []
+    for index, key in enumerate(sorted(curves, key=repr)):
+        marker = _MARKERS[index % len(_MARKERS)]
+        legend.append(f"{marker} = {key}")
+        for x, y in curves[key]:
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = int((y - y_lo) / y_span * (height - 1))
+            canvas[height - 1 - row][col] = marker
+
+    lines = [f"{y_label} (top={y_hi:.4f}, bottom={y_lo:.4f})"]
+    lines.extend("|" + "".join(row) for row in canvas)
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: left={x_lo:g}, right={x_hi:g}")
+    lines.extend(" " + entry for entry in legend)
+    return "\n".join(lines)

@@ -1,0 +1,53 @@
+"""Plain-text table rendering for experiment output."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence], float_format: str = "{:.4f}"
+) -> str:
+    """A padded, pipe-separated text table."""
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered: List[str] = []
+        for value in row:
+            if isinstance(value, float):
+                rendered.append(float_format.format(value))
+            else:
+                rendered.append(str(value))
+        rendered_rows.append(rendered)
+    widths = [len(str(header)) for header in headers]
+    for row in rendered_rows:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    lines = [
+        " | ".join(str(header).ljust(widths[i]) for i, header in enumerate(headers)),
+        "-+-".join("-" * width for width in widths),
+    ]
+    for row in rendered_rows:
+        lines.append(" | ".join(value.ljust(widths[i]) for i, value in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series_table(
+    curves: Dict, x_label: str, value_label: str = "throughput"
+) -> str:
+    """Render ``{series_key: [(x, y), ...]}`` as one wide table.
+
+    Series become columns; the x values (unioned across series) become
+    rows — the same layout as reading points off the paper's figures.
+    """
+    series_keys = sorted(curves, key=repr)
+    xs = sorted({x for points in curves.values() for x, _ in points})
+    lookup = {key: dict(points) for key, points in curves.items()}
+    headers = [x_label] + [f"{value_label}[{key}]" for key in series_keys]
+    rows: List[List] = []
+    for x in xs:
+        row: List = [x]
+        for key in series_keys:
+            value = lookup[key].get(x)
+            row.append("-" if value is None else value)
+        rows.append(row)
+    return format_table(headers, rows)

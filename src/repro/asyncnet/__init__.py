@@ -1,0 +1,32 @@
+"""Asynchronous realization of the synchronous protocol.
+
+The paper assumes "messages are delivered within bounded time" and
+builds a synchronous round abstraction on top. This package closes that
+gap concretely:
+
+* :mod:`repro.asyncnet.eventsim` — a deterministic discrete-event
+  scheduler (the substrate any asynchronous network simulation needs).
+* :mod:`repro.asyncnet.delay` — per-message latency models (fixed,
+  uniform jitter), seeded and reproducible.
+* :mod:`repro.asyncnet.timed_rounds` — the classic *timed-rounds
+  synchronizer*: with synchronized clocks and a known delay bound
+  ``Delta``, every node turns at multiples of a period ``P >= Delta``;
+  messages sent at one turn are guaranteed to arrive before the next.
+  Under that guarantee the asynchronous execution is *identical* to the
+  synchronous one (bisimulation tests prove it); when the bound is
+  violated, late adverts are discarded as stale and the system degrades
+  exactly like the lossy network — throughput falls, safety holds.
+"""
+
+from repro.asyncnet.delay import DelayModel, FixedDelay, HeavyTailDelay, UniformDelay
+from repro.asyncnet.eventsim import EventScheduler
+from repro.asyncnet.timed_rounds import TimedRoundSystem
+
+__all__ = [
+    "DelayModel",
+    "EventScheduler",
+    "FixedDelay",
+    "HeavyTailDelay",
+    "TimedRoundSystem",
+    "UniformDelay",
+]

@@ -1,0 +1,78 @@
+"""A deterministic discrete-event scheduler.
+
+The minimal substrate for asynchronous network simulation: a priority
+queue of timestamped actions with a stable tiebreak (insertion order),
+so equal-time events fire in the order they were scheduled and runs are
+bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+Action = Callable[[], None]
+
+
+class EventScheduler:
+    """Timestamped action queue with deterministic same-time ordering."""
+
+    def __init__(self) -> None:
+        self._queue: List[Tuple[float, int, Action]] = []
+        self._sequence = 0
+        self.now: float = 0.0
+        self.executed = 0
+
+    def schedule_at(self, time: float, action: Action) -> None:
+        """Schedule ``action`` at absolute ``time`` (>= now)."""
+        if time < self.now - 1e-12:
+            raise ValueError(
+                f"cannot schedule into the past: t={time} < now={self.now}"
+            )
+        heapq.heappush(self._queue, (time, self._sequence, action))
+        self._sequence += 1
+
+    def schedule_in(self, delay: float, action: Action) -> None:
+        """Schedule ``action`` ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be nonnegative, got {delay}")
+        self.schedule_at(self.now + delay, action)
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def next_time(self) -> Optional[float]:
+        """Timestamp of the earliest pending event (None when empty)."""
+        return self._queue[0][0] if self._queue else None
+
+    def step(self) -> bool:
+        """Execute the earliest event; returns False when the queue is empty."""
+        if not self._queue:
+            return False
+        time, _, action = heapq.heappop(self._queue)
+        self.now = time
+        action()
+        self.executed += 1
+        return True
+
+    def run_until(self, deadline: float) -> int:
+        """Execute every event with ``time <= deadline``; returns the count.
+
+        Advances ``now`` to ``deadline`` even if the queue empties first.
+        """
+        executed = 0
+        while self._queue and self._queue[0][0] <= deadline + 1e-12:
+            self.step()
+            executed += 1
+        self.now = max(self.now, deadline)
+        return executed
+
+    def run_all(self, max_events: int = 1_000_000) -> int:
+        """Drain the queue completely (with a runaway guard)."""
+        executed = 0
+        while self.step():
+            executed += 1
+            if executed >= max_events:
+                raise RuntimeError(f"exceeded {max_events} events — runaway?")
+        return executed

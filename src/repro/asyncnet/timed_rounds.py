@@ -1,0 +1,283 @@
+"""The timed-rounds synchronizer: synchronous rounds over an
+asynchronous, jittery network.
+
+Realization of the paper's "messages are delivered within bounded time"
+assumption. All nodes share synchronized clocks and *turn* every
+``period`` time units; one paper round is four turns:
+
+====  ==========================================================
+turn  action (consume what arrived, compute, send)
+====  ==========================================================
+A     consume last round's transfers; produce; send RouteAdverts
+B     consume RouteAdverts -> Route; send OccupancyAdverts
+C     consume OccupancyAdverts -> Signal; send GrantAdverts
+D     consume GrantAdverts -> Move; send EntityTransferMessages
+====  ==========================================================
+
+Messages travel with latencies drawn from a :class:`DelayModel`. When
+every latency is at most ``period`` (the engineered case,
+``period >= Delta``), each message arrives before the turn that consumes
+it and the execution is **identical** to the synchronous model — the
+bisimulation tests prove this. A message arriving *after* its turn is
+stale: adverts are discarded (their absence is read conservatively, so
+safety is unaffected — same argument as the lossy network), while
+entity transfers are physical hand-offs and have their delay clamped to
+the period (matter cannot be dropped or time-shifted by the control
+network).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.asyncnet.delay import DelayModel, FixedDelay
+from repro.asyncnet.eventsim import EventScheduler
+from repro.core.cell import CellState
+from repro.core.entity import Entity
+from repro.core.params import Parameters
+from repro.core.policies import RoundRobinTokenPolicy, TokenPolicy
+from repro.core.sources import SourcePolicy
+from repro.grid.topology import CellId, Grid
+from repro.netsim.message import EntityTransferMessage, Message
+from repro.netsim.process import CellProcess
+
+Tag = Tuple[int, str]  # (round index, phase name)
+
+_PHASES = ("route", "occupancy", "grant", "transfer")
+
+
+@dataclass
+class AsyncRoundReport:
+    """Observable outcome of one timed round."""
+
+    round_index: int
+    consumed: List[Entity] = field(default_factory=list)
+    produced: List[Entity] = field(default_factory=list)
+    moved_cells: List[CellId] = field(default_factory=list)
+    late_adverts: int = 0
+
+    @property
+    def consumed_count(self) -> int:
+        return len(self.consumed)
+
+
+class _AsyncLink:
+    """Network adapter handed to ``CellProcess``: schedules deliveries."""
+
+    def __init__(self, owner: "TimedRoundSystem"):
+        self._owner = owner
+        self.tag: Tag = (0, "route")
+        self.deadline: float = 0.0
+
+    def send(self, message: Message) -> None:
+        self._owner._transmit(message, self.tag, self.deadline)
+
+    def broadcast(self, src: CellId, make_message) -> None:
+        for dst in self._owner.grid.neighbors(src):
+            self.send(make_message(dst))
+
+
+class TimedRoundSystem:
+    """The protocol over an event-driven network with latency jitter."""
+
+    def __init__(
+        self,
+        grid: Grid,
+        params: Parameters,
+        tid: CellId,
+        sources: Optional[Mapping[CellId, SourcePolicy]] = None,
+        delay_model: Optional[DelayModel] = None,
+        period: float = 1.0,
+        token_policy: Optional[TokenPolicy] = None,
+        rng: Optional[random.Random] = None,
+        delay_rng: Optional[random.Random] = None,
+    ):
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        grid.require(tid)
+        self.grid = grid
+        self.params = params
+        self.tid = tid
+        self.period = period
+        self.delay_model = delay_model or FixedDelay(period / 2)
+        self.sources: Dict[CellId, SourcePolicy] = dict(sources or {})
+        for source in self.sources:
+            grid.require(source)
+            if source == tid:
+                raise ValueError("the target cell cannot be a source")
+        self.token_policy = token_policy or RoundRobinTokenPolicy()
+        self.rng = rng or random.Random(0)
+        self.delay_rng = delay_rng or random.Random(1)
+        self.scheduler = EventScheduler()
+        self.processes: Dict[CellId, CellProcess] = {
+            cid: CellProcess(
+                cell_id=cid,
+                grid=grid,
+                params=params,
+                is_target=(cid == tid),
+                token_policy=self.token_policy,
+            )
+            for cid in grid.cells()
+        }
+        self._link = _AsyncLink(self)
+        self._inboxes: Dict[CellId, Dict[Tag, List[Message]]] = {
+            cid: {} for cid in grid.cells()
+        }
+        self.round_index = 0
+        self._next_uid = 0
+        self.total_produced = 0
+        self.total_consumed = 0
+        self.late_adverts = 0
+        self.messages_sent = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def cells(self) -> Dict[CellId, CellState]:
+        """Per-cell states (monitor/renderer-compatible view)."""
+        return {cid: process.state for cid, process in self.processes.items()}
+
+    def fail(self, cid: CellId) -> None:
+        """Crash a cell between rounds (it falls silent immediately)."""
+        self.processes[self.grid.require(cid)].crash()
+
+    def recover(self, cid: CellId) -> None:
+        """Un-crash a cell with cleared protocol state."""
+        process = self.processes[self.grid.require(cid)]
+        if process.failed:
+            process.recover()
+
+    def entity_count(self) -> int:
+        """Entities currently present across all cells."""
+        return sum(len(p.state.members) for p in self.processes.values())
+
+    def failed_cells(self) -> Set[CellId]:
+        """Identifiers of currently crashed cells."""
+        return {cid for cid, p in self.processes.items() if p.failed}
+
+    # ------------------------------------------------------------------
+    # Transmission and delivery
+    # ------------------------------------------------------------------
+
+    def _transmit(self, message: Message, tag: Tag, deadline: float) -> None:
+        sender = self.processes[message.src]
+        if sender.failed:
+            return  # a crashed cell never communicates
+        self.messages_sent += 1
+        delay = self.delay_model.sample(message, self.delay_rng)
+        if isinstance(message, EntityTransferMessage):
+            # Physical hand-off: completes within the window by clamping.
+            delay = min(delay, self.period * 0.99)
+        arrival = self.scheduler.now + delay
+
+        def deliver() -> None:
+            if arrival > deadline + 1e-12:
+                # Stale advert: the consuming turn has passed. Discard;
+                # absence reads conservatively (see module docstring).
+                self.late_adverts += 1
+                return
+            self._inboxes[message.dst].setdefault(tag, []).append(message)
+
+        self.scheduler.schedule_at(arrival, deliver)
+
+    def _consume(self, cid: CellId, tag: Tag) -> List[Message]:
+        inbox = self._inboxes[cid]
+        messages = inbox.pop(tag, [])
+        # Deterministic processing order, matching the synchronous network.
+        messages.sort(key=lambda m: (m.src, type(m).__name__))
+        return messages
+
+    # ------------------------------------------------------------------
+    # The four turns of one round
+    # ------------------------------------------------------------------
+
+    def run_round(self) -> AsyncRoundReport:
+        """One paper round: four timed turns plus transfer landing."""
+        r = self.round_index
+        base = 4 * r * self.period
+        report = AsyncRoundReport(round_index=r)
+        late_before = self.late_adverts
+
+        # Turn A: send route adverts.
+        self.scheduler.run_until(base)
+        self._arm(tag=(r, "route"), deadline=base + self.period)
+        for process in self._live():
+            process.advert_route(self._link)
+
+        # Turn B: Route; send occupancy adverts.
+        self.scheduler.run_until(base + self.period)
+        for cid, process in self.processes.items():
+            process.on_route(self._consume(cid, (r, "route")))
+        self._arm(tag=(r, "occupancy"), deadline=base + 2 * self.period)
+        for process in self._live():
+            process.advert_occupancy(self._link)
+
+        # Turn C: Signal; send grant adverts.
+        self.scheduler.run_until(base + 2 * self.period)
+        for cid, process in self.processes.items():
+            process.on_occupancy(self._consume(cid, (r, "occupancy")))
+        self._arm(tag=(r, "grant"), deadline=base + 3 * self.period)
+        for process in self._live():
+            process.advert_grant(self._link)
+
+        # Turn D: Move; send transfers.
+        self.scheduler.run_until(base + 3 * self.period)
+        self._arm(tag=(r, "transfer"), deadline=base + 4 * self.period)
+        for cid, process in self.processes.items():
+            granted_inbox = self._consume(cid, (r, "grant"))
+            if process.on_grant(granted_inbox, self._link):
+                report.moved_cells.append(cid)
+
+        # Turn E (== the next round's turn A instant): transfers land,
+        # then sources produce — the paper round is now complete.
+        self.scheduler.run_until(base + 4 * self.period)
+        for cid, process in self.processes.items():
+            consumed = process.on_transfers(self._consume(cid, (r, "transfer")))
+            report.consumed.extend(consumed)
+        self.total_consumed += len(report.consumed)
+        report.produced = self._produce()
+
+        report.late_adverts = self.late_adverts - late_before
+        self.round_index += 1
+        return report
+
+    # ``update`` alias so monitors/drivers treat all three system flavors
+    # uniformly.
+    update = run_round
+
+    def run(self, rounds: int) -> List[AsyncRoundReport]:
+        """Run ``rounds`` consecutive timed rounds."""
+        return [self.run_round() for _ in range(rounds)]
+
+    def _arm(self, tag: Tag, deadline: float) -> None:
+        self._link.tag = tag
+        self._link.deadline = deadline
+
+    def _live(self) -> List[CellProcess]:
+        return [p for p in self.processes.values() if not p.failed]
+
+    def _produce(self) -> List[Entity]:
+        produced: List[Entity] = []
+        for cid in sorted(self.sources):
+            process = self.processes[cid]
+            if process.failed:
+                continue
+            candidate = self.sources[cid].place(
+                process.state, self.params, self.round_index, self.rng
+            )
+            if candidate is None:
+                continue
+            entity = Entity(
+                uid=self._next_uid,
+                x=candidate.x,
+                y=candidate.y,
+                birth_round=self.round_index,
+                side=self.params.l,
+            )
+            self._next_uid += 1
+            self.total_produced += 1
+            process.state.add_entity(entity)
+            produced.append(entity)
+        return produced

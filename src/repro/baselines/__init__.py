@@ -1,0 +1,25 @@
+"""Comparison baselines.
+
+The paper motivates its protocol against two alternatives, both built
+here so the claimed advantages are measurable rather than rhetorical:
+
+* :mod:`repro.baselines.unsafe` — the same routing and movement *without*
+  the Signal permission mechanism. Throughput rises, but the monitors
+  count separation violations, demonstrating that Signal is what buys
+  Theorem 5.
+* :mod:`repro.baselines.centralized` — a periodic central coordinator
+  (the classical air-traffic-control shape the introduction contrasts
+  with): instant global routing while the coordinator is alive, total
+  stall while it is down. Under churn this exhibits the single point of
+  failure the distributed protocol avoids.
+"""
+
+from repro.baselines.centralized import CentralizedSystem, CoordinatorSpec
+from repro.baselines.unsafe import UnsafeSystem, greedy_move_phase
+
+__all__ = [
+    "CentralizedSystem",
+    "CoordinatorSpec",
+    "UnsafeSystem",
+    "greedy_move_phase",
+]

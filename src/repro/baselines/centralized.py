@@ -1,0 +1,138 @@
+"""The centralized-coordinator baseline.
+
+The paper's introduction contrasts distributed traffic control with the
+classical centralized shape: "a coordinator periodically collects
+information from the vehicles, decides, and disseminates the waypoints".
+This baseline realizes that shape over the same cell substrate:
+
+* Every ``period`` rounds, a central coordinator with global knowledge
+  writes each cell's ``dist``/``next`` directly from a BFS — routing is
+  *instantly* correct (better than the distributed protocol can do) but
+  *stale in between*: crashes occurring mid-period are not routed around
+  until the next coordination pulse.
+* Movement permissions still use the Signal mechanism (this baseline is
+  safe; the comparison isolates the coordination topology, not safety).
+* The coordinator itself is a single point of failure: while it is down,
+  no waypoints are valid and nothing moves. Cell-level churn plus
+  coordinator churn is the regime where the distributed protocol's
+  advantage shows.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.cell import INFINITY
+from repro.core.move import MovePhaseReport, move_phase
+from repro.core.route import RoutePhaseReport
+from repro.core.signal import SignalPhaseReport, signal_phase
+from repro.core.system import RoundReport, System
+
+
+@dataclass
+class CoordinatorSpec:
+    """Coordinator behavior: pulse period and its own crash/recovery coins."""
+
+    period: int = 10
+    pf: float = 0.0
+    pr: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.period < 1:
+            raise ValueError(f"period must be at least 1, got {self.period}")
+        if not 0.0 <= self.pf <= 1.0 or not 0.0 <= self.pr <= 1.0:
+            raise ValueError("coordinator pf/pr must be probabilities")
+
+
+class CentralizedSystem(System):
+    """A ``System`` routed by a periodic central coordinator."""
+
+    def __init__(self, *args, coordinator: Optional[CoordinatorSpec] = None, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.coordinator = coordinator or CoordinatorSpec()
+        self.coordinator_up = True
+        self._coord_rng = random.Random(self.rng.random())
+        self.coordinator_outage_rounds = 0
+
+    def clone(self) -> "CentralizedSystem":
+        other = super().clone()
+        other.coordinator = self.coordinator
+        other.coordinator_up = self.coordinator_up
+        other._coord_rng.setstate(self._coord_rng.getstate())
+        other.coordinator_outage_rounds = self.coordinator_outage_rounds
+        return other
+
+    def _coordinator_churn(self) -> None:
+        if self.coordinator_up:
+            if self._coord_rng.random() < self.coordinator.pf:
+                self.coordinator_up = False
+        else:
+            if self._coord_rng.random() < self.coordinator.pr:
+                self.coordinator_up = True
+
+    def _central_route(self) -> RoutePhaseReport:
+        """The coordination pulse: write global-BFS routes into every cell."""
+        report = RoutePhaseReport()
+        rho = self.path_distance()
+        for cid, state in self.cells.items():
+            if state.failed:
+                continue
+            new_dist = rho[cid]
+            if cid == self.tid:
+                new_next = None
+            elif new_dist == INFINITY:
+                new_next = None
+            else:
+                new_next = min(
+                    (
+                        nbr
+                        for nbr in self.grid.neighbors(cid)
+                        if rho[nbr] == new_dist - 1
+                    ),
+                    default=None,
+                )
+            if new_dist != state.dist:
+                report.changed_dist.append(cid)
+                state.dist = new_dist
+            if new_next != state.next_id:
+                report.changed_next.append(cid)
+                state.next_id = new_next
+        return report
+
+    def update(self) -> RoundReport:
+        self._coordinator_churn()
+        if self.coordinator_up and self.round_index % self.coordinator.period == 0:
+            route_report = self._central_route()
+        else:
+            route_report = RoutePhaseReport()  # stale waypoints between pulses
+        self._notify_phase("route")
+
+        if self.coordinator_up:
+            signal_report = signal_phase(
+                self.grid, self.cells, self.params, self.token_policy
+            )
+            self._notify_phase("signal")
+            move_report = move_phase(self.grid, self.cells, self.params, self.tid)
+        else:
+            # Coordinator down: no valid waypoints, nothing moves.
+            self.coordinator_outage_rounds += 1
+            for state in self.cells.values():
+                state.signal = None
+            signal_report = SignalPhaseReport()
+            self._notify_phase("signal")
+            move_report = MovePhaseReport()
+        self._notify_phase("move")
+        self.total_consumed += len(move_report.consumed)
+        produced = self._produce()
+        self._notify_phase("produce")
+        report = RoundReport(
+            round_index=self.round_index,
+            route=route_report,
+            signal=signal_report,
+            move=move_report,
+            produced=produced,
+        )
+        self.round_index += 1
+        return report

@@ -1,0 +1,5 @@
+"""Command-line interface (``python -m repro`` / ``cellularflows``)."""
+
+from repro.cli.main import main
+
+__all__ = ["main"]

@@ -1,0 +1,276 @@
+"""``cellularflows`` — run, watch, and reproduce the paper's experiments.
+
+Subcommands
+-----------
+
+``run``         one corridor simulation, printing the summary
+``watch``       a short run with live ASCII rendering of the grid
+``experiment``  reproduce a figure (fig7 / fig8 / fig9): table, plot, checks
+``ablation``    run one of the design-choice ablations
+``trace``       record a run to JSON-lines and re-verify it offline
+``svg``         render a run's final state to an SVG file
+``list``        list registered experiments
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.ascii_plot import line_plot
+from repro.analysis.tables import format_series_table
+from repro.core.params import Parameters
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+from repro.grid.paths import straight_path, turns_path
+from repro.grid.topology import Direction
+from repro.sim.config import FaultSpec, SimulationConfig
+from repro.sim.simulator import build_simulation
+from repro.viz.render import render_grid, render_routes
+
+
+def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--grid", type=int, default=8, help="grid side N (default 8)")
+    parser.add_argument("--length", type=int, default=8, help="corridor length in cells")
+    parser.add_argument("--turns", type=int, default=0, help="turns along the corridor")
+    parser.add_argument("--rounds", type=int, default=2500, help="rounds K")
+    parser.add_argument("--l", type=float, default=0.25, help="entity side length")
+    parser.add_argument("--rs", type=float, default=0.05, help="safety spacing")
+    parser.add_argument("--v", type=float, default=0.2, help="cell velocity")
+    parser.add_argument("--pf", type=float, default=0.0, help="per-round failure prob")
+    parser.add_argument("--pr", type=float, default=0.0, help="per-round recovery prob")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--no-monitors", action="store_true", help="skip runtime verification"
+    )
+
+
+def _build_config(args: argparse.Namespace) -> SimulationConfig:
+    if args.turns > 0:
+        path = turns_path((0, 0), args.length, args.turns)
+    else:
+        path = straight_path((1, 0), Direction.NORTH, args.length)
+    faults = FaultSpec(pf=args.pf, pr=args.pr)
+    return SimulationConfig(
+        grid_width=args.grid,
+        params=Parameters(l=args.l, rs=args.rs, v=args.v),
+        rounds=args.rounds,
+        path=path.cells,
+        fail_complement=not faults.enabled,
+        fault=faults,
+        seed=args.seed,
+        monitors=not args.no_monitors,
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    simulator = build_simulation(_build_config(args))
+    result = simulator.run()
+    print(f"rounds:             {result.rounds}")
+    print(f"produced:           {result.produced}")
+    print(f"consumed:           {result.consumed}")
+    print(f"throughput:         {result.throughput:.4f}")
+    print(f"in flight:          {result.in_flight}")
+    if result.mean_latency is not None:
+        print(f"mean latency:       {result.mean_latency:.1f} rounds")
+        print(f"p95 latency:        {result.p95_latency} rounds")
+    print(f"mean blocked cells: {result.mean_blocked_cells:.2f}")
+    print(f"failures/recovs:    {result.total_failures}/{result.total_recoveries}")
+    print(f"monitor violations: {result.monitor_violations}")
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    simulator = build_simulation(_build_config(args))
+    every = max(1, args.rounds // args.frames)
+    for round_index in range(args.rounds):
+        simulator.step()
+        if round_index % every == 0 or round_index == args.rounds - 1:
+            print(f"--- round {round_index} "
+                  f"(consumed so far: {simulator.meter.total_consumed}) ---")
+            print(render_grid(simulator.system))
+            if args.routes:
+                print(render_routes(simulator.system))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    experiment = get_experiment(args.name)
+    rounds = args.rounds  # None = the paper's horizon
+    print(f"# {experiment.name}: {experiment.description}")
+    effective = rounds if rounds is not None else experiment.paper_rounds
+    print(f"# horizon: {effective} rounds per point")
+    result = experiment.run(
+        rounds=rounds, progress=lambda message: print(message, file=sys.stderr)
+    )
+    curves = experiment.series(result)
+    x_label = {
+        "fig7": "rs",
+        "fig8": "turns",
+        "fig9": "pf",
+        "pathlen": "length",
+    }[experiment.name]
+    print(format_series_table(curves, x_label=x_label))
+    print()
+    print(line_plot(curves, x_label=x_label, y_label="throughput"))
+    print()
+    checks = experiment.shape_checks(result)
+    for name, passed in checks.items():
+        print(f"shape check {name}: {'PASS' if passed else 'FAIL'}")
+    if args.out:
+        out_dir = Path(args.out)
+        json_path = result.save_json(out_dir / f"{experiment.name}.json")
+        csv_path = result.save_csv(out_dir / f"{experiment.name}.csv")
+        print(f"saved {json_path} and {csv_path}")
+    return 0 if all(checks.values()) else 1
+
+
+def _cmd_ablation(args: argparse.Namespace) -> int:
+    from repro.analysis.tables import format_table
+    from repro.experiments import ablations
+
+    if args.name == "token":
+        rows = ablations.token_policy_ablation(rounds=args.rounds)
+        print(
+            format_table(
+                ["policy", "throughput", "fairness"],
+                [(r.policy, r.throughput, r.fairness) for r in rows],
+            )
+        )
+    elif args.name == "unsafe":
+        rows = ablations.unsafe_ablation(rounds=args.rounds)
+        print(
+            format_table(
+                ["variant", "throughput", "safety violations"],
+                [(r.variant, r.throughput, r.safety_violations) for r in rows],
+            )
+        )
+    elif args.name == "centralized":
+        rows = ablations.centralized_ablation(rounds=args.rounds)
+        print(
+            format_table(
+                ["variant", "throughput", "outage rounds"],
+                [(r.variant, r.throughput, r.outage_rounds) for r in rows],
+            )
+        )
+    else:
+        rows = ablations.source_policy_ablation(rounds=args.rounds)
+        print(
+            format_table(
+                ["policy", "offered", "produced", "throughput"],
+                [(r.policy, r.offered, r.produced, r.throughput) for r in rows],
+            )
+        )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.sim.trace import TraceRecorder, replay_throughput, verify_trace
+
+    simulator = build_simulation(_build_config(args))
+    recorder = TraceRecorder.for_system(simulator.system)
+    for _ in range(args.rounds):
+        simulator.injector.apply(simulator.system)
+        report = simulator.system.update()
+        if simulator.monitors is not None:
+            simulator.monitors.after_round(simulator.system, report)
+        simulator.meter.observe(report.consumed_count)
+        recorder.observe(simulator.system, report)
+    trace_path = recorder.save(args.out)
+    print(f"trace written: {trace_path} ({args.rounds} rounds)")
+    violations = verify_trace(trace_path)
+    print(f"offline verification: {len(violations)} violations")
+    print(f"replayed throughput:  {replay_throughput(trace_path):.4f}")
+    return 0 if not violations else 1
+
+
+def _cmd_svg(args: argparse.Namespace) -> int:
+    from repro.viz.svg import save_svg
+
+    simulator = build_simulation(_build_config(args))
+    for _ in range(args.rounds):
+        simulator.step()
+    path = save_svg(
+        simulator.system,
+        args.out,
+        title=f"round {args.rounds}, consumed {simulator.meter.total_consumed}",
+    )
+    print(f"svg written: {path}")
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    for name, experiment in sorted(EXPERIMENTS.items()):
+        print(f"{name:8s} {experiment.description}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="cellularflows",
+        description="Safe and Stabilizing Distributed Cellular Flows (ICDCS 2010) "
+        "— reproduction toolkit",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="run one corridor simulation")
+    _add_run_arguments(run_parser)
+    run_parser.set_defaults(handler=_cmd_run)
+
+    watch_parser = subparsers.add_parser("watch", help="run with ASCII rendering")
+    _add_run_arguments(watch_parser)
+    watch_parser.add_argument("--frames", type=int, default=10, help="snapshots to show")
+    watch_parser.add_argument("--routes", action="store_true", help="also show routes")
+    watch_parser.set_defaults(handler=_cmd_watch)
+
+    experiment_parser = subparsers.add_parser(
+        "experiment", help="reproduce a paper figure"
+    )
+    experiment_parser.add_argument("name", choices=sorted(EXPERIMENTS))
+    experiment_parser.add_argument(
+        "--rounds",
+        type=int,
+        default=None,
+        help="override the per-point horizon (default: the paper's K)",
+    )
+    experiment_parser.add_argument("--out", help="directory for JSON/CSV artifacts")
+    experiment_parser.set_defaults(handler=_cmd_experiment)
+
+    ablation_parser = subparsers.add_parser(
+        "ablation", help="run a design-choice ablation"
+    )
+    ablation_parser.add_argument(
+        "name", choices=["token", "unsafe", "centralized", "source"]
+    )
+    ablation_parser.add_argument("--rounds", type=int, default=1500)
+    ablation_parser.set_defaults(handler=_cmd_ablation)
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="record a run to JSON-lines and verify it offline"
+    )
+    _add_run_arguments(trace_parser)
+    trace_parser.add_argument("--out", default="trace.jsonl", help="output file")
+    trace_parser.set_defaults(handler=_cmd_trace)
+
+    svg_parser = subparsers.add_parser(
+        "svg", help="render a run's final state to SVG"
+    )
+    _add_run_arguments(svg_parser)
+    svg_parser.add_argument("--out", default="state.svg", help="output file")
+    svg_parser.set_defaults(handler=_cmd_svg)
+
+    list_parser = subparsers.add_parser("list", help="list experiments")
+    list_parser.set_defaults(handler=_cmd_list)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,76 @@
+"""The paper's primary contribution: the distributed cellular-flow protocol.
+
+Public surface:
+
+* :class:`~repro.core.params.Parameters` — validated ``(l, rs, v)``.
+* :class:`~repro.core.entity.Entity` — an ``l x l`` entity.
+* :class:`~repro.core.cell.CellState` — one cell's protocol variables.
+* :class:`~repro.core.system.System` — the composed automaton with
+  ``update`` / ``fail`` / ``recover`` transitions.
+* :func:`~repro.core.system.build_corridor_system` — the paper's corridor
+  workload in one call.
+* Source policies (:mod:`repro.core.sources`) and token policies
+  (:mod:`repro.core.policies`).
+
+The Route / Signal / Move phase functions are importable from their own
+modules for fine-grained testing and reuse.
+"""
+
+from repro.core.cell import (
+    INFINITY,
+    CellState,
+    effective_dist,
+    effective_next,
+    effective_nonempty,
+    effective_signal,
+)
+from repro.core.entity import Entity
+from repro.core.move import MovePhaseReport, Transfer, move_phase
+from repro.core.params import Parameters
+from repro.core.policies import (
+    RandomTokenPolicy,
+    RoundRobinTokenPolicy,
+    StickyTokenPolicy,
+    TokenPolicy,
+)
+from repro.core.route import RoutePhaseReport, route_phase
+from repro.core.signal import SignalPhaseReport, gap_clear, signal_phase
+from repro.core.sources import (
+    BernoulliSource,
+    CappedSource,
+    EagerSource,
+    SilentSource,
+    SourcePolicy,
+)
+from repro.core.system import RoundReport, System, build_corridor_system
+
+__all__ = [
+    "BernoulliSource",
+    "CappedSource",
+    "CellState",
+    "EagerSource",
+    "Entity",
+    "INFINITY",
+    "MovePhaseReport",
+    "Parameters",
+    "RandomTokenPolicy",
+    "RoundReport",
+    "RoundRobinTokenPolicy",
+    "RoutePhaseReport",
+    "SignalPhaseReport",
+    "SilentSource",
+    "SourcePolicy",
+    "StickyTokenPolicy",
+    "System",
+    "TokenPolicy",
+    "Transfer",
+    "build_corridor_system",
+    "effective_dist",
+    "effective_next",
+    "effective_nonempty",
+    "effective_signal",
+    "gap_clear",
+    "move_phase",
+    "route_phase",
+    "signal_phase",
+]

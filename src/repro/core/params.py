@@ -1,0 +1,76 @@
+"""Protocol parameters.
+
+The paper specifies the system with three parameters:
+
+* ``l``  — side length of every (square) entity,
+* ``rs`` — minimum required inter-entity gap along each axis,
+* ``v``  — cell velocity: the distance entities move in one round.
+
+subject to ``v < l < 1`` and ``rs + l < 1``. The derived *center spacing
+requirement* is ``d = rs + l``: safety requires any two entity centers in
+one cell to differ by at least ``d`` along some axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Parameters:
+    """Validated protocol parameters ``(l, rs, v)``.
+
+    Raises ``ValueError`` on construction unless ``0 < v < l < 1`` and
+    ``rs >= 0`` with ``rs + l < 1`` — the side conditions the paper requires
+    so that (a) a freshly transferred entity cannot collide before the next
+    round and (b) entities fit inside their unit cell with the required gap.
+    """
+
+    l: float
+    rs: float
+    v: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.l < 1.0:
+            raise ValueError(f"entity length l must be in (0, 1), got {self.l}")
+        if self.rs < 0.0:
+            raise ValueError(f"safety gap rs must be nonnegative, got {self.rs}")
+        if not 0.0 < self.v:
+            raise ValueError(f"velocity v must be positive, got {self.v}")
+        # The paper states v < l, yet its own simulations (Figures 8 and 9)
+        # use v = l = 0.2. We therefore accept v <= l; the strict-inequality
+        # corner is exercised by the safety monitors in every experiment.
+        if not self.v <= self.l:
+            raise ValueError(
+                f"velocity must not exceed entity length (v={self.v}, l={self.l})"
+            )
+        if not self.rs + self.l < 1.0:
+            raise ValueError(
+                f"rs + l must be less than 1, got {self.rs} + {self.l}"
+            )
+
+    @property
+    def d(self) -> float:
+        """Center spacing requirement ``d = rs + l``."""
+        return self.rs + self.l
+
+    @property
+    def half_l(self) -> float:
+        """Half the entity side, ``l / 2`` (distance from center to edge)."""
+        return self.l / 2.0
+
+    def max_entities_per_axis(self) -> int:
+        """Upper bound on safely co-resident entity centers along one axis.
+
+        Centers live in ``[l/2, 1 - l/2]`` (cell-relative) and consecutive
+        centers differ by at least ``d``, so at most
+        ``floor((1 - l) / d) + 1`` fit along an axis.
+        """
+        return int((1.0 - self.l) / self.d + 1e-12) + 1
+
+
+#: The parameterization used in the paper's Figure 7 study (l fixed).
+FIG7_ENTITY_LENGTH = 0.25
+
+#: The parameterization used in the paper's Figure 9 study.
+FIG9_PARAMS = Parameters(l=0.2, rs=0.05, v=0.2)

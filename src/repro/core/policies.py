@@ -1,0 +1,107 @@
+"""Token selection policies for the Signal function.
+
+The paper's Signal function "choose"s from ``NEPrev`` in two places: the
+initial pick when ``token = bot`` (line 3) and the rotation after a grant
+(lines 10-12). Any choice satisfying "different from the previous value if
+possible" preserves the fairness argument of Lemma 9; the *policy* of the
+choice is a free design parameter, so it is pluggable here.
+
+:class:`RoundRobinTokenPolicy` (the default) walks ``NEPrev`` in cyclic
+identifier order, matching the behavior the paper's Lemma 9 base case
+describes ("signal_tid changes to a different neighbor with entities every
+round"). :class:`RandomTokenPolicy` draws uniformly (still avoiding the
+previous holder on rotation), and :class:`StickyTokenPolicy` deliberately
+violates fairness — it exists for the ablation benchmark that shows why
+rotation is necessary for progress.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional
+
+from repro.grid.topology import CellId
+
+
+class TokenPolicy:
+    """Interface: how a cell picks and rotates its token over ``NEPrev``."""
+
+    def initial(self, ne_prev: Iterable[CellId]) -> Optional[CellId]:
+        """Pick a token holder when the current token is bottom."""
+        raise NotImplementedError
+
+    def rotate(
+        self, ne_prev: Iterable[CellId], current: CellId
+    ) -> Optional[CellId]:
+        """Pick the next holder after a grant; must differ from ``current``
+        whenever ``NEPrev`` offers an alternative."""
+        raise NotImplementedError
+
+
+def _sorted(ne_prev: Iterable[CellId]) -> List[CellId]:
+    return sorted(ne_prev)
+
+
+class RoundRobinTokenPolicy(TokenPolicy):
+    """Cycle through ``NEPrev`` in identifier order (deterministic, fair)."""
+
+    def initial(self, ne_prev: Iterable[CellId]) -> Optional[CellId]:
+        candidates = _sorted(ne_prev)
+        return candidates[0] if candidates else None
+
+    def rotate(
+        self, ne_prev: Iterable[CellId], current: CellId
+    ) -> Optional[CellId]:
+        candidates = _sorted(ne_prev)
+        if not candidates:
+            return None
+        others = [c for c in candidates if c != current]
+        if not others:
+            return candidates[0]
+        # Cyclic successor of `current` among the alternatives.
+        for candidate in others:
+            if candidate > current:
+                return candidate
+        return others[0]
+
+
+class RandomTokenPolicy(TokenPolicy):
+    """Uniform random choice (seeded); still avoids the previous holder."""
+
+    def __init__(self, rng: random.Random):
+        self._rng = rng
+
+    def initial(self, ne_prev: Iterable[CellId]) -> Optional[CellId]:
+        candidates = _sorted(ne_prev)
+        return self._rng.choice(candidates) if candidates else None
+
+    def rotate(
+        self, ne_prev: Iterable[CellId], current: CellId
+    ) -> Optional[CellId]:
+        candidates = _sorted(ne_prev)
+        if not candidates:
+            return None
+        others = [c for c in candidates if c != current]
+        return self._rng.choice(others) if others else candidates[0]
+
+
+class StickyTokenPolicy(TokenPolicy):
+    """Never rotates: keeps granting the same neighbor.
+
+    This policy breaks the fairness hypothesis of Lemma 9 and can starve
+    other inbound neighbors forever. It is *not* part of the paper's
+    protocol — it exists so the ablation benchmark can demonstrate that the
+    rotation rule is load-bearing for progress.
+    """
+
+    def initial(self, ne_prev: Iterable[CellId]) -> Optional[CellId]:
+        candidates = _sorted(ne_prev)
+        return candidates[0] if candidates else None
+
+    def rotate(
+        self, ne_prev: Iterable[CellId], current: CellId
+    ) -> Optional[CellId]:
+        candidates = _sorted(ne_prev)
+        if not candidates:
+            return None
+        return current if current in candidates else candidates[0]

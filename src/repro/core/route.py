@@ -1,0 +1,86 @@
+"""The Route function (paper Figure 4).
+
+Route maintains a self-stabilizing distance-vector routing table. Each
+non-faulty, non-target cell simultaneously recomputes
+
+    ``dist := 1 + min over neighbors of dist``
+    ``next := bot``                          if the new dist is infinite,
+    ``next := argmin (dist, id) neighbor``   otherwise (ties by identifier)
+
+from the *previous round's* neighbor values (Jacobi-style simultaneous
+update — this is what gives the ``h``-round stabilization bound of
+Lemma 6; a sequential sweep would stabilize faster but match neither the
+paper's message-passing reading nor its proofs).
+
+Failed neighbors are observed as ``dist = infinity`` via the effective
+view, so routes around crashes re-form automatically once recomputation
+propagates — Corollary 7's ``O(N^2)`` bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.cell import INFINITY, CellState, effective_dist
+from repro.grid.topology import CellId, Grid
+
+
+@dataclass
+class RoutePhaseReport:
+    """What the Route phase changed this round (for monitors and metrics)."""
+
+    changed_dist: List[CellId] = field(default_factory=list)
+    changed_next: List[CellId] = field(default_factory=list)
+
+    @property
+    def quiescent(self) -> bool:
+        """True when the phase was a fixed point (routing has stabilized)."""
+        return not self.changed_dist and not self.changed_next
+
+
+def route_phase(
+    grid: Grid,
+    cells: Dict[CellId, CellState],
+    tid: CellId,
+) -> RoutePhaseReport:
+    """Apply Route simultaneously to every non-faulty, non-target cell."""
+    snapshot: Dict[CellId, float] = {
+        cid: effective_dist(state) for cid, state in cells.items()
+    }
+    report = RoutePhaseReport()
+    for cid, state in cells.items():
+        if state.failed or cid == tid:
+            continue
+        new_dist, new_next = _route_step(grid, cid, snapshot)
+        if new_dist != state.dist:
+            report.changed_dist.append(cid)
+            state.dist = new_dist
+        if new_next != state.next_id:
+            report.changed_next.append(cid)
+            state.next_id = new_next
+    return report
+
+
+def _route_step(
+    grid: Grid,
+    cid: CellId,
+    dist_snapshot: Dict[CellId, float],
+) -> Tuple[float, Optional[CellId]]:
+    """One cell's Route computation against a neighbor-dist snapshot."""
+    neighbors = grid.neighbors(cid)
+    best: Optional[CellId] = None
+    best_dist = INFINITY
+    for nbr in neighbors:
+        nbr_dist = dist_snapshot[nbr]
+        if nbr_dist < best_dist or (nbr_dist == best_dist and _prefer(nbr, best)):
+            best_dist = nbr_dist
+            best = nbr
+    if best_dist == INFINITY:
+        return INFINITY, None
+    return best_dist + 1.0, best
+
+
+def _prefer(candidate: CellId, incumbent: Optional[CellId]) -> bool:
+    """Tie-break rule of the paper's argmin: smaller identifier wins."""
+    return incumbent is None or candidate < incumbent

@@ -1,0 +1,141 @@
+"""The Signal function (paper Figure 5).
+
+Signal is the safety/progress core of the protocol. Each non-faulty cell:
+
+1. Computes ``NEPrev`` — the neighbors whose (post-Route) ``next`` points
+   at this cell and whose ``Members`` is nonempty. Failed neighbors never
+   appear (they do not communicate).
+2. Maintains a ``token`` over ``NEPrev`` for mutual exclusion: at most one
+   inbound neighbor is considered per round.
+3. Grants ``signal := token`` only when the cell has a *clear gap of depth
+   d* along its edge facing the token holder — i.e. no member's edge is
+   within ``d`` of that boundary (with the ``l/2`` reading of the scanned
+   text; see DESIGN.md). Otherwise ``signal := bot`` and the token parks on
+   the blocked neighbor so it is retried next round (this is the fairness
+   step of Lemma 9).
+4. After a grant, the token rotates to a different member of ``NEPrev``
+   when one exists, giving every inbound neighbor a turn infinitely often.
+
+The grant is what makes transfers safe: predicate H says a granted edge
+has a ``d``-deep empty strip behind it, so an entity snapped onto that
+edge lands at distance >= d from every resident entity (Theorem 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.core.cell import CellState, effective_next, effective_nonempty
+from repro.core.params import Parameters
+from repro.core.policies import RoundRobinTokenPolicy, TokenPolicy
+from repro.geometry.tolerance import tol_ge, tol_le
+from repro.grid.topology import CellId, Direction, Grid, direction_between
+
+
+@dataclass
+class SignalPhaseReport:
+    """Grant/block decisions of one Signal phase (for monitors/metrics)."""
+
+    granted: Dict[CellId, CellId] = field(default_factory=dict)
+    """Mapping granting-cell -> neighbor granted permission."""
+
+    blocked: List[CellId] = field(default_factory=list)
+    """Cells that held a token but lacked the gap (signal forced to bot)."""
+
+
+def gap_clear(
+    state: CellState, toward: Direction, params: Parameters
+) -> bool:
+    """The paper's lines 4-7: is a depth-``d`` strip clear on the edge of
+    ``state``'s cell facing direction ``toward``?
+
+    ``toward`` is the direction *from this cell to the token-holding
+    neighbor* — the edge through which that neighbor's entities would
+    enter. For the east edge the condition is
+    ``forall p: px + l/2 <= i + 1 - d``; the other edges are symmetric.
+    """
+    i, j = state.cell_id
+    half = params.half_l
+    d = params.d
+    if toward is Direction.EAST:
+        return all(tol_le(e.x + half, i + 1 - d) for e in state.members.values())
+    if toward is Direction.WEST:
+        return all(tol_ge(e.x - half, i + d) for e in state.members.values())
+    if toward is Direction.NORTH:
+        return all(tol_le(e.y + half, j + 1 - d) for e in state.members.values())
+    return all(tol_ge(e.y - half, j + d) for e in state.members.values())
+
+
+def compute_ne_prev(
+    grid: Grid, cells: Dict[CellId, CellState], cid: CellId
+) -> Set[CellId]:
+    """``NEPrev``: nonempty, non-faulty neighbors routing through ``cid``."""
+    result: Set[CellId] = set()
+    for nbr in grid.neighbors(cid):
+        nbr_state = cells[nbr]
+        if effective_next(nbr_state) == cid and effective_nonempty(nbr_state):
+            result.add(nbr)
+    return result
+
+
+def signal_phase(
+    grid: Grid,
+    cells: Dict[CellId, CellState],
+    params: Parameters,
+    policy: Optional[TokenPolicy] = None,
+) -> SignalPhaseReport:
+    """Apply Signal simultaneously to every non-faulty cell.
+
+    Reads neighbors' post-Route ``next`` and membership; writes each cell's
+    own ``ne_prev``, ``token`` and ``signal``. Simultaneity is safe because
+    Signal writes only private/own variables while reading only the
+    neighbors' shared ones, which no cell's Signal modifies.
+    """
+    if policy is None:
+        policy = RoundRobinTokenPolicy()
+    # Snapshot the shared inputs so in-round writes cannot leak between
+    # cells (next is written by Route, not Signal, but membership of the
+    # *own* cell is also read — own state is current by construction).
+    ne_prev_map = {
+        cid: compute_ne_prev(grid, cells, cid)
+        for cid, state in cells.items()
+        if not state.failed
+    }
+    report = SignalPhaseReport()
+    for cid, ne_prev in ne_prev_map.items():
+        state = cells[cid]
+        _signal_step(state, ne_prev, params, policy, report)
+    return report
+
+
+def _signal_step(
+    state: CellState,
+    ne_prev: Set[CellId],
+    params: Parameters,
+    policy: TokenPolicy,
+    report: SignalPhaseReport,
+) -> None:
+    """One cell's Signal computation."""
+    state.ne_prev = ne_prev
+    # Clarified corner (see DESIGN.md): a token whose holder left NEPrev
+    # (drained, re-routed or failed) is dropped before the initial choose,
+    # otherwise it could dangle forever and starve live neighbors.
+    if state.token is not None and state.token not in ne_prev:
+        state.token = None
+    if state.token is None:
+        state.token = policy.initial(ne_prev)
+    if state.token is None:
+        # NEPrev empty: nobody to grant.
+        state.signal = None
+        return
+    toward = direction_between(state.cell_id, state.token)
+    if gap_clear(state, toward, params):
+        state.signal = state.token
+        report.granted[state.cell_id] = state.token
+        state.token = policy.rotate(ne_prev, state.token)
+    else:
+        # Blocked: deny everyone this round but keep the token parked on
+        # the same neighbor, so it gets the next opportunity (fairness).
+        state.signal = None
+        report.blocked.append(state.cell_id)

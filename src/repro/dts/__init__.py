@@ -1,0 +1,38 @@
+"""Discrete-transition-system framework (paper Section II).
+
+The paper models ``System`` as a discrete transition system
+``A = (X, Q0, A, ->)`` and proves properties via assertional reasoning:
+invariance (safety), stability of state sets, and stabilization. This
+package provides that formalism generically:
+
+* :mod:`repro.dts.automaton` — the DTS interface and a dict-backed
+  finite instance for tests.
+* :mod:`repro.dts.execution` — executions, fragments, and generators.
+* :mod:`repro.dts.explorer` — breadth-first exhaustive exploration of the
+  reachable state space (used to model-check safety on tiny grids).
+* :mod:`repro.dts.predicates` — invariance / stability / stabilization
+  checks over explored spaces and executions.
+"""
+
+from repro.dts.automaton import DiscreteTransitionSystem, FiniteDTS
+from repro.dts.execution import Execution, execution_states, is_execution
+from repro.dts.explorer import ExplorationResult, explore
+from repro.dts.predicates import (
+    check_invariant,
+    check_stabilizes,
+    check_stable,
+    find_violation,
+)
+
+__all__ = [
+    "DiscreteTransitionSystem",
+    "ExplorationResult",
+    "Execution",
+    "FiniteDTS",
+    "check_invariant",
+    "check_stabilizes",
+    "check_stable",
+    "execution_states",
+    "explore",
+    "find_violation",
+]

@@ -1,0 +1,108 @@
+"""The discrete transition system abstraction.
+
+A DTS is a tuple ``(X, Q0, A, ->)``: variables (implicit in the state
+representation), start states, transition names, and a transition
+relation. For exploration we need only two operations: enumerate start
+states, and enumerate the ``(action, successor)`` pairs of a state.
+
+States must be *hashable canonical keys* — for the cellular-flow system a
+quantized tuple encoding (see :meth:`repro.core` adapters in
+:mod:`repro.monitors` tests) — so that exploration can detect revisits.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Callable,
+    Dict,
+    Generic,
+    Hashable,
+    Iterable,
+    List,
+    Mapping,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
+
+State = TypeVar("State", bound=Hashable)
+Action = TypeVar("Action", bound=Hashable)
+
+
+class DiscreteTransitionSystem(Generic[State, Action]):
+    """Interface of a discrete transition system."""
+
+    def start_states(self) -> Iterable[State]:
+        """The set ``Q0`` of start states."""
+        raise NotImplementedError
+
+    def transitions(self, state: State) -> Iterable[Tuple[Action, State]]:
+        """All ``(a, x')`` with ``(x, a, x') in ->`` for the given ``x``."""
+        raise NotImplementedError
+
+    def actions(self) -> Iterable[Action]:
+        """The set ``A`` of transition names (informational)."""
+        raise NotImplementedError
+
+
+class FiniteDTS(DiscreteTransitionSystem[State, Action]):
+    """A finite DTS given explicitly by tables.
+
+    Used by unit tests of the explorer/predicates and handy for modeling
+    abstractions (e.g. the token-rotation automaton of a single cell).
+    """
+
+    def __init__(
+        self,
+        start: Sequence[State],
+        table: Mapping[State, Sequence[Tuple[Action, State]]],
+    ):
+        self._start: List[State] = list(start)
+        self._table: Dict[State, List[Tuple[Action, State]]] = {
+            state: list(successors) for state, successors in table.items()
+        }
+
+    def start_states(self) -> Iterable[State]:
+        return list(self._start)
+
+    def transitions(self, state: State) -> Iterable[Tuple[Action, State]]:
+        return list(self._table.get(state, []))
+
+    def actions(self) -> Iterable[Action]:
+        names = {action for succ in self._table.values() for action, _ in succ}
+        return sorted(names, key=repr)
+
+    def states(self) -> Iterable[State]:
+        """All states mentioned anywhere in the tables."""
+        seen = set(self._start) | set(self._table)
+        for successors in self._table.values():
+            for _, nxt in successors:
+                seen.add(nxt)
+        return seen
+
+
+class LambdaDTS(DiscreteTransitionSystem[State, Action]):
+    """A DTS defined by callables — the adapter used for ``System``.
+
+    ``successor_fn`` maps a state to its ``(action, next_state)`` pairs;
+    states are whatever hashable canonical encoding the caller chooses.
+    """
+
+    def __init__(
+        self,
+        start: Sequence[State],
+        successor_fn: Callable[[State], Iterable[Tuple[Action, State]]],
+        action_names: Sequence[Action] = (),
+    ):
+        self._start = list(start)
+        self._successor_fn = successor_fn
+        self._action_names = list(action_names)
+
+    def start_states(self) -> Iterable[State]:
+        return list(self._start)
+
+    def transitions(self, state: State) -> Iterable[Tuple[Action, State]]:
+        return self._successor_fn(state)
+
+    def actions(self) -> Iterable[Action]:
+        return list(self._action_names)

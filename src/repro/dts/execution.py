@@ -1,0 +1,91 @@
+"""Executions and execution fragments.
+
+An execution fragment is a sequence of states ``x0, x1, ...`` where each
+consecutive pair is related by some transition; an execution additionally
+starts in a start state. These helpers validate and generate such
+sequences for the predicate checkers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generic, Iterable, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.dts.automaton import DiscreteTransitionSystem
+
+State = TypeVar("State")
+Action = TypeVar("Action")
+
+
+@dataclass
+class Execution(Generic[State, Action]):
+    """A recorded (finite) execution fragment: states plus the actions taken."""
+
+    states: List[State]
+    actions: List[Action]
+
+    def __post_init__(self) -> None:
+        if len(self.states) != len(self.actions) + 1:
+            raise ValueError(
+                "an execution with k actions must contain k+1 states "
+                f"(got {len(self.states)} states, {len(self.actions)} actions)"
+            )
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+    @property
+    def first(self) -> State:
+        return self.states[0]
+
+    @property
+    def last(self) -> State:
+        return self.states[-1]
+
+    def steps(self) -> Iterable[Tuple[State, Action, State]]:
+        """The transitions of the fragment as ``(x, a, x')`` triples."""
+        for k, action in enumerate(self.actions):
+            yield self.states[k], action, self.states[k + 1]
+
+
+def is_execution(
+    dts: DiscreteTransitionSystem, fragment: Sequence, from_start: bool = True
+) -> bool:
+    """Validate a state sequence against the transition relation.
+
+    ``from_start=True`` additionally requires the first state to be in
+    ``Q0`` (the paper's *execution*); otherwise any fragment is accepted.
+    """
+    if not fragment:
+        return False
+    if from_start and fragment[0] not in set(dts.start_states()):
+        return False
+    for current, nxt in zip(fragment, fragment[1:]):
+        successors = {successor for _, successor in dts.transitions(current)}
+        if nxt not in successors:
+            return False
+    return True
+
+
+def execution_states(
+    dts: DiscreteTransitionSystem,
+    start: State,
+    length: int,
+    pick: Optional[int] = None,
+) -> List[State]:
+    """Generate one execution fragment of up to ``length`` states.
+
+    Follows the ``pick``-th enabled transition at each step (first by
+    default); stops early at deadlocked states. Deterministic, so suitable
+    for reproducible tests.
+    """
+    states: List[State] = [start]
+    current = start
+    for _ in range(length - 1):
+        options = list(dts.transitions(current))
+        if not options:
+            break
+        index = 0 if pick is None else pick % len(options)
+        _, current = options[index]
+        states.append(current)
+    return states

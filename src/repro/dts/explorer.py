@@ -1,0 +1,100 @@
+"""Exhaustive breadth-first exploration of a DTS's reachable states.
+
+For tiny cellular-flow instances (2x2 / 3x3 grids, coarse parameters, a
+capped entity budget) the reachable state space is small enough to
+enumerate completely, which upgrades the statistical evidence of the
+simulation monitors into *exhaustive* evidence: Theorem 5 checked on every
+reachable state, not just sampled ones.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generic, List, Optional, Tuple, TypeVar
+
+from repro.dts.automaton import DiscreteTransitionSystem
+
+State = TypeVar("State")
+Action = TypeVar("Action")
+
+
+@dataclass
+class ExplorationResult(Generic[State, Action]):
+    """Outcome of an exhaustive (or budget-capped) exploration."""
+
+    reachable: Dict[State, int] = field(default_factory=dict)
+    """Reached states mapped to their BFS depth."""
+
+    parents: Dict[State, Tuple[Optional[State], Optional[Action]]] = field(
+        default_factory=dict
+    )
+    """Back-pointers for counterexample trace reconstruction."""
+
+    complete: bool = True
+    """False when the state budget was exhausted before a fixed point."""
+
+    violation: Optional[State] = None
+    """First state violating the checked predicate, if any."""
+
+    @property
+    def state_count(self) -> int:
+        return len(self.reachable)
+
+    def trace_to(self, state: State) -> List[Tuple[Optional[Action], State]]:
+        """The BFS path from a start state to ``state`` as
+        ``(action-taken, state)`` pairs (first action is None)."""
+        if state not in self.parents:
+            raise KeyError(f"state was not reached: {state!r}")
+        trace: List[Tuple[Optional[Action], State]] = []
+        cursor: Optional[State] = state
+        while cursor is not None:
+            parent, action = self.parents[cursor]
+            trace.append((action, cursor))
+            cursor = parent
+        trace.reverse()
+        return trace
+
+
+def explore(
+    dts: DiscreteTransitionSystem[State, Action],
+    predicate: Optional[Callable[[State], bool]] = None,
+    max_states: int = 1_000_000,
+    stop_on_violation: bool = True,
+) -> ExplorationResult[State, Action]:
+    """Breadth-first search of the reachable state space.
+
+    When ``predicate`` is given, every reached state is checked; the first
+    violating state is recorded (with a reconstructable counterexample
+    trace) and, if ``stop_on_violation``, exploration halts there.
+    """
+    result: ExplorationResult[State, Action] = ExplorationResult()
+    queue: deque = deque()
+    for start in dts.start_states():
+        if start in result.reachable:
+            continue
+        result.reachable[start] = 0
+        result.parents[start] = (None, None)
+        queue.append(start)
+        if predicate is not None and not predicate(start):
+            result.violation = start
+            if stop_on_violation:
+                return result
+
+    while queue:
+        current = queue.popleft()
+        depth = result.reachable[current]
+        for action, successor in dts.transitions(current):
+            if successor in result.reachable:
+                continue
+            if len(result.reachable) >= max_states:
+                result.complete = False
+                return result
+            result.reachable[successor] = depth + 1
+            result.parents[successor] = (current, action)
+            if predicate is not None and not predicate(successor):
+                result.violation = successor
+                if stop_on_violation:
+                    return result
+            queue.append(successor)
+    return result

@@ -1,0 +1,85 @@
+"""Invariance, stability, and stabilization checks.
+
+These mirror the paper's definitions:
+
+* ``A`` is *safe with respect to S* when all reachable states lie in ``S``
+  (:func:`check_invariant`).
+* ``S`` is *stable* when transitions cannot leave it
+  (:func:`check_stable`).
+* ``A`` *stabilizes to S* when ``S`` is stable and every execution
+  fragment reaches it (:func:`check_stabilizes` checks the reachability
+  half on recorded fragments; stability is checked separately).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence, Tuple, TypeVar
+
+from repro.dts.automaton import DiscreteTransitionSystem
+from repro.dts.explorer import ExplorationResult, explore
+
+State = TypeVar("State")
+
+
+def check_invariant(
+    dts: DiscreteTransitionSystem,
+    predicate: Callable[[State], bool],
+    max_states: int = 1_000_000,
+) -> ExplorationResult:
+    """Exhaustively check that every reachable state satisfies ``predicate``.
+
+    Returns the exploration result; ``result.violation is None`` and
+    ``result.complete`` together mean the predicate is an invariant of the
+    explored system.
+    """
+    return explore(dts, predicate=predicate, max_states=max_states)
+
+
+def find_violation(
+    dts: DiscreteTransitionSystem,
+    predicate: Callable[[State], bool],
+    max_states: int = 1_000_000,
+) -> Optional[Sequence]:
+    """Return a counterexample trace (list of states) or None."""
+    result = explore(dts, predicate=predicate, max_states=max_states)
+    if result.violation is None:
+        return None
+    return [state for _, state in result.trace_to(result.violation)]
+
+
+def check_stable(
+    dts: DiscreteTransitionSystem,
+    member: Callable[[State], bool],
+    states: Iterable[State],
+) -> Optional[Tuple[State, State]]:
+    """Check closure of ``{x : member(x)}`` under the transition relation.
+
+    Examines only the provided ``states`` (typically the reachable set from
+    an exploration). Returns an offending ``(x, x')`` pair with
+    ``member(x) and not member(x')``, or None when the set is stable.
+    """
+    for state in states:
+        if not member(state):
+            continue
+        for _, successor in dts.transitions(state):
+            if not member(successor):
+                return state, successor
+    return None
+
+
+def check_stabilizes(
+    fragment: Sequence[State],
+    member: Callable[[State], bool],
+    within: Optional[int] = None,
+) -> Optional[int]:
+    """First index at which ``fragment`` enters ``{x : member(x)}``.
+
+    Returns the index, or None when the fragment never enters the set (or
+    not within ``within`` steps when given). Callers combine this with
+    :func:`check_stable` to establish stabilization in the paper's sense.
+    """
+    horizon = len(fragment) if within is None else min(within + 1, len(fragment))
+    for index in range(horizon):
+        if member(fragment[index]):
+            return index
+    return None

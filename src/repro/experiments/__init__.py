@@ -1,0 +1,18 @@
+"""Experiment definitions: one module per paper figure, plus ablations.
+
+Each module exposes
+
+* ``build_sweep(rounds=None, ...)`` — the exact parameter grid of the
+  figure (``rounds=None`` uses the paper's horizon),
+* ``run(...)`` — execute and return a
+  :class:`~repro.sim.results.SweepResult`,
+* ``series(result)`` — reshape the runs into the figure's named series
+  (x values and throughputs), ready for tabulation or plotting.
+
+The registry maps experiment ids (``fig7``, ``fig8``, ``fig9``,
+``ablations``) to these entry points for the CLI and benchmarks.
+"""
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+
+__all__ = ["EXPERIMENTS", "get_experiment"]

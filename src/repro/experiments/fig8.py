@@ -1,0 +1,122 @@
+"""Figure 8 — throughput versus number of turns along a length-8 path.
+
+Paper setup: 8x8 grid, ``rs = 0.05``, ``K = 2500``, length-8 corridor
+paths with a varying number of turns, four ``(v, l)`` combinations:
+
+    (v=0.2,  l=0.2), (v=0.1, l=0.2), (v=0.1, l=0.1), (v=0.05, l=0.1)
+
+Paper findings: throughput decreases as turns increase, then the decrease
+saturates (signaling leaves roughly one entity per cell).
+
+A length-8 path has 7 hops, so the number of turns ranges over 0..6. The
+paths are staircases from :func:`repro.grid.paths.turns_path`, anchored
+at ``(0, 0)`` so every variant fits the 8x8 grid.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.params import Parameters
+from repro.grid.paths import Path, turns_path
+from repro.sim.config import SimulationConfig
+from repro.sim.results import SweepResult
+from repro.sim.sweep import Sweep
+
+GRID_N = 8
+ROUNDS = 2500
+SAFETY_SPACING = 0.05
+PATH_LENGTH = 8
+TURN_COUNTS: Tuple[int, ...] = tuple(range(0, PATH_LENGTH - 1))
+COMBOS: Tuple[Tuple[float, float], ...] = (
+    (0.2, 0.2),
+    (0.1, 0.2),
+    (0.1, 0.1),
+    (0.05, 0.1),
+)
+"""(v, l) pairs, in the paper's legend order."""
+
+
+def path_with_turns(turns: int, length: int = PATH_LENGTH) -> Path:
+    """The corridor path used for a given turn count."""
+    return turns_path((0, 0), length, turns)
+
+
+def build_sweep(
+    rounds: Optional[int] = None,
+    combos: Sequence[Tuple[float, float]] = COMBOS,
+    turn_counts: Sequence[int] = TURN_COUNTS,
+    seed: int = 8,
+    monitors: bool = True,
+) -> Sweep:
+    """The figure's full parameter grid as a sweep."""
+    horizon = ROUNDS if rounds is None else rounds
+    sweep = Sweep(name="fig8")
+    for v, l in combos:
+        for turns in turn_counts:
+            path = path_with_turns(turns)
+            config = SimulationConfig(
+                grid_width=GRID_N,
+                params=Parameters(l=l, rs=SAFETY_SPACING, v=v),
+                rounds=horizon,
+                path=path.cells,
+                seed=seed,
+                monitors=monitors,
+            )
+            sweep.add(f"v={v},l={l},turns={turns}", config, v=v, l=l, turns=turns)
+    return sweep
+
+
+def run(
+    rounds: Optional[int] = None,
+    combos: Sequence[Tuple[float, float]] = COMBOS,
+    turn_counts: Sequence[int] = TURN_COUNTS,
+    seed: int = 8,
+    monitors: bool = True,
+    progress=lambda message: None,
+) -> SweepResult:
+    """Execute the Figure 8 sweep."""
+    return build_sweep(
+        rounds=rounds,
+        combos=combos,
+        turn_counts=turn_counts,
+        seed=seed,
+        monitors=monitors,
+    ).run(progress)
+
+
+def series(
+    result: SweepResult,
+) -> Dict[Tuple[float, float], List[Tuple[int, float]]]:
+    """Reshape into the figure's series: ``(v, l) -> [(turns, thr), ...]``."""
+    curves: Dict[Tuple[float, float], List[Tuple[int, float]]] = {}
+    for run_result in result.runs:
+        key = (run_result.extras["v"], run_result.extras["l"])
+        curves.setdefault(key, []).append(
+            (run_result.extras["turns"], run_result.throughput)
+        )
+    for points in curves.values():
+        points.sort()
+    return curves
+
+
+def shape_checks(result: SweepResult) -> Dict[str, bool]:
+    """The paper's qualitative findings as boolean checks.
+
+    * ``turns_hurt`` — every curve's zero-turn throughput is at least its
+      max-turn throughput.
+    * ``saturation`` — the last two turn counts differ by less than 15%
+      (the decrease levels off).
+    """
+    curves = series(result)
+    tolerance = 0.005
+    checks: Dict[str, bool] = {}
+    checks["turns_hurt"] = all(
+        points[0][1] >= points[-1][1] - tolerance for points in curves.values()
+    )
+    saturated = []
+    for points in curves.values():
+        tail = [value for _, value in points[-2:]]
+        saturated.append(abs(tail[1] - tail[0]) <= max(0.15 * max(tail), tolerance))
+    checks["saturation"] = all(saturated)
+    return checks

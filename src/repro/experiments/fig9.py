@@ -1,0 +1,148 @@
+"""Figure 9 — throughput under random failure and recovery.
+
+Paper setup: 8x8 grid, ``rs = 0.05``, ``l = 0.2``, ``v = 0.2``,
+``K = 20000`` rounds, source ``<1,0>``, target ``<1,7>`` (an initial path
+of length 8 on an otherwise fully alive grid). Every round, each live
+cell fails with probability ``pf`` and each failed cell recovers with
+probability ``pr`` (recovery of the target resets ``dist = 0``). One
+curve per ``pr`` in {0.05, 0.1, 0.15, 0.2}; ``pf`` sweeps 0.01..0.05.
+
+Paper findings: throughput decreases in ``pf``, increases in ``pr``, with
+*diminishing returns* — successive increases of ``pr`` buy progressively
+smaller throughput gains.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.params import Parameters
+from repro.grid.paths import straight_path
+from repro.grid.topology import Direction
+from repro.sim.config import FaultSpec, SimulationConfig
+from repro.sim.results import SweepResult
+from repro.sim.sweep import Sweep
+
+GRID_N = 8
+ROUNDS = 20000
+PARAMS = Parameters(l=0.2, rs=0.05, v=0.2)
+FAIL_PROBS: Tuple[float, ...] = tuple(round(0.01 + 0.005 * k, 3) for k in range(9))
+RECOVER_PROBS: Tuple[float, ...] = (0.05, 0.1, 0.15, 0.2)
+
+PATH = straight_path((1, 0), Direction.NORTH, 8)
+
+
+def build_sweep(
+    rounds: Optional[int] = None,
+    fail_probs: Sequence[float] = FAIL_PROBS,
+    recover_probs: Sequence[float] = RECOVER_PROBS,
+    seed: int = 9,
+    monitors: bool = True,
+) -> Sweep:
+    """The figure's full parameter grid as a sweep.
+
+    The whole grid stays alive initially (``fail_complement=False``): the
+    corridor is only the *initial* route; churn forces re-routing through
+    the rest of the grid, which is the point of the experiment.
+    """
+    horizon = ROUNDS if rounds is None else rounds
+    sweep = Sweep(name="fig9")
+    for pr in recover_probs:
+        for pf in fail_probs:
+            config = SimulationConfig(
+                grid_width=GRID_N,
+                params=PARAMS,
+                rounds=horizon,
+                path=PATH.cells,
+                fail_complement=False,
+                fault=FaultSpec(pf=pf, pr=pr),
+                seed=seed,
+                monitors=monitors,
+            )
+            sweep.add(f"pr={pr},pf={pf}", config, pr=pr, pf=pf)
+    return sweep
+
+
+def run(
+    rounds: Optional[int] = None,
+    fail_probs: Sequence[float] = FAIL_PROBS,
+    recover_probs: Sequence[float] = RECOVER_PROBS,
+    seed: int = 9,
+    monitors: bool = True,
+    progress=lambda message: None,
+) -> SweepResult:
+    """Execute the Figure 9 sweep."""
+    return build_sweep(
+        rounds=rounds,
+        fail_probs=fail_probs,
+        recover_probs=recover_probs,
+        seed=seed,
+        monitors=monitors,
+    ).run(progress)
+
+
+def series(result: SweepResult) -> Dict[float, List[Tuple[float, float]]]:
+    """Reshape into the figure's series: ``pr -> [(pf, throughput), ...]``."""
+    curves: Dict[float, List[Tuple[float, float]]] = {}
+    for run_result in result.runs:
+        pr = run_result.extras["pr"]
+        pf = run_result.extras["pf"]
+        curves.setdefault(pr, []).append((pf, run_result.throughput))
+    for points in curves.values():
+        points.sort()
+    return curves
+
+
+def stationary_collapse(result: SweepResult) -> List[Tuple[float, float, float]]:
+    """Group the sweep by the stationary failed fraction ``pf/(pf+pr)``.
+
+    The fail/recover coins form a two-state Markov chain per cell with
+    stationary failed fraction ``pf / (pf + pr)`` (DeVille & Mitra, SSS
+    2009 — the paper's reference [25]). If throughput were a function of
+    the *fraction of dead cells alone*, the four Figure 9 curves would
+    collapse onto a single curve in this coordinate. Returns
+    ``(fraction, mean_throughput, spread)`` rows, where spread is the
+    max-min throughput within the group — small spreads mean the
+    collapse (approximately) holds and churn *speed* is second-order.
+    """
+    groups: Dict[float, List[float]] = {}
+    for run_result in result.runs:
+        pf = run_result.extras["pf"]
+        pr = run_result.extras["pr"]
+        fraction = round(pf / (pf + pr), 4)
+        groups.setdefault(fraction, []).append(run_result.throughput)
+    rows = []
+    for fraction in sorted(groups):
+        values = groups[fraction]
+        rows.append(
+            (fraction, sum(values) / len(values), max(values) - min(values))
+        )
+    return rows
+
+
+def shape_checks(result: SweepResult) -> Dict[str, bool]:
+    """The paper's qualitative findings as boolean checks.
+
+    * ``pf_hurts`` — each curve's throughput at the smallest ``pf`` exceeds
+      its throughput at the largest ``pf``.
+    * ``pr_helps`` — averaged over ``pf``, higher recovery rates never do
+      (noticeably) worse.
+    * ``diminishing_returns`` — the average gain from the first ``pr``
+      increment is at least the gain from the last increment.
+    """
+    curves = series(result)
+    tolerance = 0.003
+    checks: Dict[str, bool] = {}
+    checks["pf_hurts"] = all(
+        points[0][1] > points[-1][1] - tolerance for points in curves.values()
+    )
+    order = sorted(curves)
+    means = [sum(v for _, v in curves[pr]) / len(curves[pr]) for pr in order]
+    checks["pr_helps"] = all(
+        later >= earlier - tolerance for earlier, later in zip(means, means[1:])
+    )
+    if len(means) >= 3:
+        first_gain = means[1] - means[0]
+        last_gain = means[-1] - means[-2]
+        checks["diminishing_returns"] = first_gain >= last_gain - tolerance
+    return checks

@@ -1,0 +1,94 @@
+"""Transit-latency experiment (this reproduction's addition).
+
+The paper reports throughput only. Latency — rounds from production to
+consumption — is the complementary service metric, and its behavior is
+not implied by the throughput curves: as ``rs`` grows, *throughput*
+falls (Figure 7) while per-entity latency stays nearly flat (fewer
+entities in flight, same pipeline speed); as *turns* are added at fixed
+``rs``, latency grows sharply (corner blocking holds entities in
+mid-path cells). This experiment measures both sweeps.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.params import Parameters
+from repro.core.system import build_corridor_system
+from repro.grid.paths import straight_path, turns_path
+from repro.grid.topology import Direction, Grid
+from repro.metrics.latency import LatencyStats, latency_stats
+from repro.monitors.recorder import MonitorSuite
+from repro.sim.simulator import Simulator
+
+ROUNDS = 2000
+GRID_N = 8
+
+
+@dataclass(frozen=True)
+class LatencyPoint:
+    """One configuration's latency summary plus its throughput."""
+
+    label: str
+    x: float
+    throughput: float
+    stats: LatencyStats
+
+
+def _run(path_cells, params: Parameters, label: str, x: float, rounds: int,
+         seed: int) -> LatencyPoint:
+    system = build_corridor_system(
+        Grid(GRID_N), params, path_cells, rng=random.Random(seed)
+    )
+    simulator = Simulator(system=system, rounds=rounds, monitors=MonitorSuite())
+    result = simulator.run()
+    latencies = simulator.tracker.latencies()
+    if not latencies:
+        raise RuntimeError(f"no deliveries at point {label}")
+    return LatencyPoint(
+        label=label,
+        x=x,
+        throughput=result.throughput,
+        stats=latency_stats(latencies),
+    )
+
+
+def sweep_rs(
+    spacings: Sequence[float] = (0.05, 0.2, 0.4, 0.6),
+    rounds: int = ROUNDS,
+    seed: int = 21,
+) -> List[LatencyPoint]:
+    """Latency vs safety spacing on the straight Figure 7 corridor."""
+    path = straight_path((1, 0), Direction.NORTH, 8)
+    return [
+        _run(
+            path.cells,
+            Parameters(l=0.25, rs=rs, v=0.2),
+            label=f"rs={rs}",
+            x=rs,
+            rounds=rounds,
+            seed=seed,
+        )
+        for rs in spacings
+    ]
+
+
+def sweep_turns(
+    turn_counts: Sequence[int] = (0, 2, 4, 6),
+    rounds: int = ROUNDS,
+    seed: int = 22,
+) -> List[LatencyPoint]:
+    """Latency vs path complexity at fixed rs (the Figure 8 family)."""
+    return [
+        _run(
+            turns_path((0, 0), 8, turns).cells,
+            Parameters(l=0.2, rs=0.05, v=0.2),
+            label=f"turns={turns}",
+            x=float(turns),
+            rounds=rounds,
+            seed=seed,
+        )
+        for turns in turn_counts
+    ]

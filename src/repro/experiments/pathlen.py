@@ -1,0 +1,81 @@
+"""Path-length experiment (paper Section IV prose, no figure).
+
+The paper states: "For a sufficiently large K, throughput is independent
+of the length of the path." This experiment makes that claim a measured
+series: straight corridors of increasing length, same parameters, same
+horizon — the curve should be flat (longer paths add latency, not rate,
+once the pipeline fills).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.params import Parameters
+from repro.grid.paths import straight_path
+from repro.grid.topology import Direction
+from repro.sim.config import SimulationConfig
+from repro.sim.results import SweepResult
+from repro.sim.sweep import Sweep
+
+ROUNDS = 2500
+PARAMS = Parameters(l=0.25, rs=0.05, v=0.2)
+#: Shortest length is 4: a length-3 corridor (source -> relay -> target)
+#: has no pipeline interior and runs ~1.5x faster — the paper's claim is
+#: about paths long enough to pipeline.
+LENGTHS: Tuple[int, ...] = (4, 5, 6, 8, 10, 12, 16)
+
+
+def build_sweep(
+    rounds: Optional[int] = None,
+    lengths: Sequence[int] = LENGTHS,
+    seed: int = 15,
+) -> Sweep:
+    """The path-length sweep as declarative configs."""
+    horizon = ROUNDS if rounds is None else rounds
+    sweep = Sweep(name="pathlen")
+    for length in lengths:
+        path = straight_path((1, 0), Direction.NORTH, length)
+        config = SimulationConfig(
+            grid_width=max(8, length),
+            params=PARAMS,
+            rounds=horizon,
+            path=path.cells,
+            seed=seed,
+            warmup=min(horizon // 5, 10 * length),
+        )
+        sweep.add(f"length={length}", config, length=length)
+    return sweep
+
+
+def run(
+    rounds: Optional[int] = None,
+    lengths: Sequence[int] = LENGTHS,
+    seed: int = 15,
+    progress=lambda message: None,
+) -> SweepResult:
+    """Execute the path-length sweep."""
+    return build_sweep(rounds=rounds, lengths=lengths, seed=seed).run(progress)
+
+
+def series(result: SweepResult) -> Dict[str, List[Tuple[int, float]]]:
+    """Reshape into one series: ``{"throughput": [(length, thr), ...]}``."""
+    points = sorted(
+        (run_result.extras["length"], run_result.throughput)
+        for run_result in result.runs
+    )
+    return {"throughput": points}
+
+
+def shape_checks(result: SweepResult) -> Dict[str, bool]:
+    """The paper's prose claim as a boolean check: the curve is flat."""
+    return {"independent_of_length": flatness(result) < 0.15}
+
+
+def flatness(result: SweepResult) -> float:
+    """Max relative deviation from the mean throughput across lengths."""
+    values = [run_result.throughput for run_result in result.runs]
+    mean = sum(values) / len(values)
+    if mean == 0:
+        return float("inf")
+    return max(abs(value - mean) / mean for value in values)

@@ -1,0 +1,75 @@
+"""Experiment registry: experiment ids -> entry points.
+
+Used by the CLI (``python -m repro experiment <id>``) and by the
+benchmark harness, so both always run the same definitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.experiments import fig7, fig8, fig9, pathlen
+from repro.sim.results import SweepResult
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One registered experiment."""
+
+    name: str
+    description: str
+    paper_rounds: int
+    run: Callable[..., SweepResult]
+    series: Callable[[SweepResult], dict]
+    shape_checks: Callable[[SweepResult], Dict[str, bool]]
+
+
+EXPERIMENTS: Dict[str, Experiment] = {
+    "fig7": Experiment(
+        name="fig7",
+        description="Throughput vs safety spacing rs, one curve per velocity v "
+        "(8x8, l=0.25, straight length-8 path, K=2500)",
+        paper_rounds=fig7.ROUNDS,
+        run=fig7.run,
+        series=fig7.series,
+        shape_checks=fig7.shape_checks,
+    ),
+    "fig8": Experiment(
+        name="fig8",
+        description="Throughput vs number of turns on a length-8 path, one curve "
+        "per (v,l) combo (8x8, rs=0.05, K=2500)",
+        paper_rounds=fig8.ROUNDS,
+        run=fig8.run,
+        series=fig8.series,
+        shape_checks=fig8.shape_checks,
+    ),
+    "fig9": Experiment(
+        name="fig9",
+        description="Throughput vs failure probability pf, one curve per recovery "
+        "probability pr (8x8, rs=0.05, l=0.2, v=0.2, K=20000)",
+        paper_rounds=fig9.ROUNDS,
+        run=fig9.run,
+        series=fig9.series,
+        shape_checks=fig9.shape_checks,
+    ),
+    "pathlen": Experiment(
+        name="pathlen",
+        description="Throughput vs straight-path length — the paper's prose "
+        "claim that throughput is length-independent for large K "
+        "(8x8+, l=0.25, rs=0.05, v=0.2, K=2500)",
+        paper_rounds=pathlen.ROUNDS,
+        run=pathlen.run,
+        series=pathlen.series,
+        shape_checks=pathlen.shape_checks,
+    ),
+}
+
+
+def get_experiment(name: str) -> Experiment:
+    """Look up an experiment id; raises ``KeyError`` with the known ids."""
+    try:
+        return EXPERIMENTS[name]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {name!r}; known: {known}") from None

@@ -1,0 +1,398 @@
+"""The protocol on three-dimensional rectangular partitions.
+
+The paper's conclusion: "an extension to three dimensional rectangular
+partitions follows in an obvious way". This module spells the obvious
+out: unit-cube cells on an ``Nx x Ny x Nz`` lattice (6-neighborhoods),
+cube entities of side ``l``, and the same Route / Signal / Move protocol
+with the gap and separation predicates generalized per axis.
+
+Safety becomes: any two entities in a cell have centers at least
+``d = rs + l`` apart along *some* of the three axes. The Signal gap
+check clears a depth-``d`` slab behind the face shared with the token
+holder. All proofs carry over axis-by-axis; the runtime monitor here
+re-verifies the generalized Theorem 5 empirically.
+
+The module is self-contained (it reuses only the tolerance policy and
+the token policies) so the 2-D core stays exactly the paper's object.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.core.policies import RoundRobinTokenPolicy, TokenPolicy
+from repro.geometry.tolerance import strictly_greater, strictly_less, tol_ge, tol_le
+
+CellId3 = Tuple[int, int, int]
+INFINITY = math.inf
+
+
+class Direction3D(Enum):
+    """The six lattice directions."""
+
+    EAST = (1, 0, 0)
+    WEST = (-1, 0, 0)
+    NORTH = (0, 1, 0)
+    SOUTH = (0, -1, 0)
+    UP = (0, 0, 1)
+    DOWN = (0, 0, -1)
+
+    @property
+    def axis(self) -> int:
+        """0, 1, or 2 — the axis this direction moves along."""
+        return next(index for index, delta in enumerate(self.value) if delta != 0)
+
+    @property
+    def sign(self) -> int:
+        return self.value[self.axis]
+
+    def step(self, cell: CellId3) -> CellId3:
+        """The identifier one step from ``cell`` in this direction."""
+        dx, dy, dz = self.value
+        return (cell[0] + dx, cell[1] + dy, cell[2] + dz)
+
+
+def direction_between_3d(src: CellId3, dst: CellId3) -> Direction3D:
+    """The direction from ``src`` to an adjacent cell ``dst``."""
+    delta = tuple(b - a for a, b in zip(src, dst))
+    for direction in Direction3D:
+        if direction.value == delta:
+            return direction
+    raise ValueError(f"cells {src} and {dst} are not neighbors")
+
+
+@dataclass(frozen=True)
+class Grid3D:
+    """A finite ``nx x ny x nz`` lattice of unit cubes."""
+
+    nx: int
+    ny: int
+    nz: int
+
+    def __post_init__(self) -> None:
+        if min(self.nx, self.ny, self.nz) < 1:
+            raise ValueError(f"grid dims must be positive: {self.nx}x{self.ny}x{self.nz}")
+
+    @property
+    def size(self) -> int:
+        return self.nx * self.ny * self.nz
+
+    def contains(self, cell: CellId3) -> bool:
+        """True when ``cell`` is a valid identifier for this grid."""
+        i, j, k = cell
+        return 0 <= i < self.nx and 0 <= j < self.ny and 0 <= k < self.nz
+
+    def require(self, cell: CellId3) -> CellId3:
+        """Return ``cell`` if valid, else raise ``ValueError``."""
+        if not self.contains(cell):
+            raise ValueError(f"cell {cell} outside {self.nx}x{self.ny}x{self.nz} grid")
+        return cell
+
+    def cells(self) -> Iterator[CellId3]:
+        """All identifiers, x fastest."""
+        for k in range(self.nz):
+            for j in range(self.ny):
+                for i in range(self.nx):
+                    yield (i, j, k)
+
+    def neighbors(self, cell: CellId3) -> List[CellId3]:
+        """The in-grid lattice neighbors of ``cell``."""
+        self.require(cell)
+        return [
+            moved
+            for direction in Direction3D
+            if self.contains(moved := direction.step(cell))
+        ]
+
+
+@dataclass
+class Entity3D:
+    """A cube entity: uid plus center coordinates."""
+
+    uid: int
+    pos: List[float]  # [x, y, z]
+    birth_round: int = 0
+
+    def coordinate(self, axis: int) -> float:
+        """The center coordinate along ``axis`` (0=x, 1=y, 2=z)."""
+        return self.pos[axis]
+
+
+def axis_separated_3d(a: Entity3D, b: Entity3D, d: float) -> bool:
+    """Separation ``>= d`` along at least one of the three axes."""
+    return any(tol_ge(abs(a.pos[axis] - b.pos[axis]), d) for axis in range(3))
+
+
+@dataclass
+class Cell3D:
+    """Per-cell protocol state (the 3-D analogue of ``CellState``)."""
+
+    cell_id: CellId3
+    members: Dict[int, Entity3D] = field(default_factory=dict)
+    next_id: Optional[CellId3] = None
+    ne_prev: Set[CellId3] = field(default_factory=set)
+    dist: float = INFINITY
+    token: Optional[CellId3] = None
+    signal: Optional[CellId3] = None
+    failed: bool = False
+
+    def entities(self) -> List[Entity3D]:
+        """The member entities in stable uid order."""
+        return [self.members[uid] for uid in sorted(self.members)]
+
+
+class System3D:
+    """The composed 3-D automaton: Route; Signal; Move per round.
+
+    A deliberately lean version of :class:`repro.core.system.System`:
+    sources insert at the face opposite the exit direction, the target
+    consumes, fail/recover behave as in 2-D.
+    """
+
+    def __init__(
+        self,
+        grid: Grid3D,
+        l: float,
+        rs: float,
+        v: float,
+        tid: CellId3,
+        sources: Tuple[CellId3, ...] = (),
+        token_policy: Optional[TokenPolicy] = None,
+        rng: Optional[random.Random] = None,
+    ):
+        if not 0 < v <= l < 1:
+            raise ValueError(f"need 0 < v <= l < 1, got v={v}, l={l}")
+        if rs < 0 or rs + l >= 1:
+            raise ValueError(f"need 0 <= rs and rs + l < 1, got rs={rs}, l={l}")
+        grid.require(tid)
+        self.grid = grid
+        self.l = l
+        self.rs = rs
+        self.v = v
+        self.d = rs + l
+        self.half_l = l / 2.0
+        self.tid = tid
+        self.sources = tuple(sorted(set(sources)))
+        for source in self.sources:
+            grid.require(source)
+            if source == tid:
+                raise ValueError("the target cannot be a source")
+        self.token_policy = token_policy or RoundRobinTokenPolicy()
+        self.rng = rng or random.Random(0)
+        self.cells: Dict[CellId3, Cell3D] = {
+            cid: Cell3D(cell_id=cid) for cid in grid.cells()
+        }
+        self.cells[tid].dist = 0.0
+        self.round_index = 0
+        self._next_uid = 0
+        self.total_produced = 0
+        self.total_consumed = 0
+
+    # ------------------------------------------------------------------
+
+    def fail(self, cid: CellId3) -> None:
+        """Crash a cell (the paper's fail transition, 3-D)."""
+        state = self.cells[self.grid.require(cid)]
+        state.failed = True
+        state.dist = INFINITY
+        state.next_id = None
+
+    def recover(self, cid: CellId3) -> None:
+        """Un-crash a cell; the target also resets ``dist = 0``."""
+        state = self.cells[self.grid.require(cid)]
+        if not state.failed:
+            return
+        state.failed = False
+        state.dist = 0.0 if cid == self.tid else INFINITY
+        state.next_id = None
+        state.token = None
+        state.signal = None
+        state.ne_prev = set()
+
+    def entity_count(self) -> int:
+        """Entities currently present across all cells."""
+        return sum(len(state.members) for state in self.cells.values())
+
+    def seed_entity(self, cid: CellId3, x: float, y: float, z: float) -> Entity3D:
+        """Place a fresh entity at an absolute position (setup helper)."""
+        entity = Entity3D(uid=self._next_uid, pos=[x, y, z], birth_round=self.round_index)
+        self._next_uid += 1
+        self.total_produced += 1
+        self.cells[self.grid.require(cid)].members[entity.uid] = entity
+        return entity
+
+    # ------------------------------------------------------------------
+
+    def update(self) -> int:
+        """One synchronous round; returns entities consumed this round."""
+        self._route_phase()
+        self._signal_phase()
+        consumed = self._move_phase()
+        self._produce()
+        self.round_index += 1
+        self.total_consumed += consumed
+        return consumed
+
+    def _route_phase(self) -> None:
+        snapshot = {
+            cid: (INFINITY if state.failed else state.dist)
+            for cid, state in self.cells.items()
+        }
+        for cid, state in self.cells.items():
+            if state.failed or cid == self.tid:
+                continue
+            neighbors = self.grid.neighbors(cid)
+            best = min(neighbors, key=lambda n: (snapshot[n], n))
+            if snapshot[best] == INFINITY:
+                state.dist = INFINITY
+                state.next_id = None
+            else:
+                state.dist = snapshot[best] + 1.0
+                state.next_id = best
+
+    def _gap_clear(self, state: Cell3D, toward: Direction3D) -> bool:
+        """A depth-d slab behind the face shared with ``toward`` is empty."""
+        axis, sign = toward.axis, toward.sign
+        origin = state.cell_id[axis]
+        if sign > 0:
+            boundary = origin + 1
+            return all(
+                tol_le(e.pos[axis] + self.half_l, boundary - self.d)
+                for e in state.members.values()
+            )
+        boundary = origin
+        return all(
+            tol_ge(e.pos[axis] - self.half_l, boundary + self.d)
+            for e in state.members.values()
+        )
+
+    def _signal_phase(self) -> None:
+        ne_prev_map = {}
+        for cid, state in self.cells.items():
+            if state.failed:
+                continue
+            ne_prev_map[cid] = {
+                nbr
+                for nbr in self.grid.neighbors(cid)
+                if not self.cells[nbr].failed
+                and self.cells[nbr].next_id == cid
+                and self.cells[nbr].members
+            }
+        for cid, ne_prev in ne_prev_map.items():
+            state = self.cells[cid]
+            state.ne_prev = ne_prev
+            if state.token is not None and state.token not in ne_prev:
+                state.token = None
+            if state.token is None:
+                state.token = self.token_policy.initial(ne_prev)
+            if state.token is None:
+                state.signal = None
+                continue
+            toward = direction_between_3d(cid, state.token)
+            if self._gap_clear(state, toward):
+                state.signal = state.token
+                state.token = self.token_policy.rotate(ne_prev, state.token)
+            else:
+                state.signal = None
+
+    def _move_phase(self) -> int:
+        movers = []
+        for cid, state in self.cells.items():
+            if state.failed or state.next_id is None or not state.members:
+                continue
+            nxt_state = self.cells[state.next_id]
+            if not nxt_state.failed and nxt_state.signal == cid:
+                movers.append((cid, state.next_id))
+        consumed = 0
+        pending = []
+        for cid, nxt in movers:
+            state = self.cells[cid]
+            toward = direction_between_3d(cid, nxt)
+            axis, sign = toward.axis, toward.sign
+            for entity in state.entities():
+                entity.pos[axis] += sign * self.v
+                origin = cid[axis]
+                if sign > 0:
+                    crossed = strictly_greater(entity.pos[axis] + self.half_l, origin + 1)
+                else:
+                    crossed = strictly_less(entity.pos[axis] - self.half_l, origin)
+                if crossed:
+                    pending.append((entity, cid, nxt, axis, sign))
+        for entity, cid, nxt, axis, sign in pending:
+            del self.cells[cid].members[entity.uid]
+            if nxt == self.tid:
+                consumed += 1
+                continue
+            # Snap the trailing face onto the shared boundary.
+            if sign > 0:
+                entity.pos[axis] = nxt[axis] + self.half_l
+            else:
+                entity.pos[axis] = nxt[axis] + 1 - self.half_l
+            self.cells[nxt].members[entity.uid] = entity
+        return consumed
+
+    def _produce(self) -> None:
+        for source in self.sources:
+            state = self.cells[source]
+            if state.failed:
+                continue
+            if state.next_id is None:
+                # No route yet: wait, as the 2-D sources do (arbitrary
+                # placement would break orientation symmetry and the
+                # flat-3-D == 2-D equivalence).
+                continue
+            candidate = self._entry_face_center(state)
+            if all(
+                axis_separated_3d(candidate, other, self.d)
+                for other in state.members.values()
+            ):
+                entity = Entity3D(
+                    uid=self._next_uid,
+                    pos=list(candidate.pos),
+                    birth_round=self.round_index,
+                )
+                self._next_uid += 1
+                self.total_produced += 1
+                state.members[entity.uid] = entity
+
+    def _entry_face_center(self, state: Cell3D) -> Entity3D:
+        cid = state.cell_id
+        center = [cid[0] + 0.5, cid[1] + 0.5, cid[2] + 0.5]
+        assert state.next_id is not None, "callers ensure a route exists"
+        exit_dir = direction_between_3d(cid, state.next_id)
+        axis, sign = exit_dir.axis, exit_dir.sign
+        if sign > 0:
+            center[axis] = cid[axis] + self.half_l
+        else:
+            center[axis] = cid[axis] + 1 - self.half_l
+        return Entity3D(uid=-1, pos=center)
+
+
+def check_safe_3d(system: System3D) -> List[Tuple[CellId3, int, int]]:
+    """Generalized Theorem 5: violating (cell, uid, uid) triples."""
+    violations = []
+    for cid, state in system.cells.items():
+        entities = state.entities()
+        for a in range(len(entities)):
+            for b in range(a + 1, len(entities)):
+                if not axis_separated_3d(entities[a], entities[b], system.d):
+                    violations.append((cid, entities[a].uid, entities[b].uid))
+    return violations
+
+
+def check_containment_3d(system: System3D) -> List[Tuple[CellId3, int]]:
+    """Generalized Invariant 1: entities protruding from their cube."""
+    violations = []
+    half = system.half_l
+    for cid, state in system.cells.items():
+        for entity in state.entities():
+            for axis in range(3):
+                lo, hi = cid[axis] + half, cid[axis] + 1 - half
+                if not (tol_ge(entity.pos[axis], lo) and tol_le(entity.pos[axis], hi)):
+                    violations.append((cid, entity.uid))
+                    break
+    return violations

@@ -1,0 +1,361 @@
+"""Multiple entity types with distinct targets (future-work extension).
+
+The paper's conclusion asks for "flow control of multiple types of
+entities with arbitrary flow patterns". The fundamental tension: the
+cell coupling forces *all* entities in a cell to move identically, but
+entities of different flows want different directions.
+
+This extension resolves it with a **type-exclusive cell discipline**:
+
+* every cell runs one routing table *per flow* (the same self-stabilizing
+  Route rule, one target each);
+* a cell may only contain entities of a single flow at a time — its
+  *resident flow*;
+* Signal considers inbound neighbors of *any* flow, but grants only when
+  (a) the entry strip is clear (the paper's gap rule) and (b) the
+  neighbor's resident flow matches the cell's resident flow, or the cell
+  is empty;
+* Move steers each cell toward the ``next`` of its resident flow.
+
+Safety is inherited unchanged (the gap/separation reasoning never used
+flow identity). Per-flow progress holds on flow-disjoint routes and,
+under the fair token rotation, on shared cells that regularly drain.
+
+**Known limitation (and why multiflow is genuinely future work):** when
+two flows traverse shared cells in *opposite* directions — e.g. after a
+crash forces both detours through the same corridor — the type-exclusive
+discipline can gridlock: each flow's head cell waits for the other to
+drain, forming a cycle in the waits-on graph. Single-flow systems cannot
+form such cycles (``next`` strictly decreases ``dist``), which is
+exactly why the paper's progress proof does not carry over unchanged.
+:meth:`MultiFlowSystem.detect_waiting_cycles` makes the condition
+observable; resolving it (priorities, capacity reservations, or
+re-routing away from contended corridors) is left as the open problem it
+is.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.entity import Entity
+from repro.core.params import Parameters
+from repro.core.policies import RoundRobinTokenPolicy, TokenPolicy
+from repro.core.signal import gap_clear
+from repro.core.cell import CellState
+from repro.core.move import crossed_boundary
+from repro.geometry.point import Point
+from repro.geometry.separation import fits_among
+from repro.grid.topology import CellId, Direction, Grid, direction_between
+
+INFINITY = math.inf
+
+
+@dataclass(frozen=True)
+class Flow:
+    """One traffic flow: name, target cell, and its source cells."""
+
+    name: str
+    target: CellId
+    sources: Tuple[CellId, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("flow name must be nonempty")
+        if self.target in self.sources:
+            raise ValueError(f"flow {self.name}: target cannot be a source")
+
+
+@dataclass
+class _MultiCell:
+    """Cell state with per-flow routing and a resident-flow tag."""
+
+    base: CellState
+    dist: Dict[str, float] = field(default_factory=dict)
+    next_id: Dict[str, Optional[CellId]] = field(default_factory=dict)
+
+    @property
+    def resident_flow(self) -> Optional[str]:
+        """The flow of the entities currently in the cell (None if empty)."""
+        for entity in self.base.members.values():
+            return _flow_of(entity)
+        return None
+
+
+def _flow_of(entity: Entity) -> str:
+    return getattr(entity, "flow_name")
+
+
+class MultiFlowSystem:
+    """The type-exclusive multi-flow protocol on a shared grid."""
+
+    def __init__(
+        self,
+        grid: Grid,
+        params: Parameters,
+        flows: List[Flow],
+        token_policy: Optional[TokenPolicy] = None,
+        rng: Optional[random.Random] = None,
+    ):
+        if not flows:
+            raise ValueError("at least one flow is required")
+        names = [flow.name for flow in flows]
+        if len(set(names)) != len(names):
+            raise ValueError("flow names must be unique")
+        self.grid = grid
+        self.params = params
+        self.flows: Dict[str, Flow] = {flow.name: flow for flow in flows}
+        for flow in flows:
+            grid.require(flow.target)
+            for source in flow.sources:
+                grid.require(source)
+        self.token_policy = token_policy or RoundRobinTokenPolicy()
+        self.rng = rng or random.Random(0)
+        self.cells: Dict[CellId, _MultiCell] = {
+            cid: _MultiCell(base=CellState(cell_id=cid)) for cid in grid.cells()
+        }
+        for cid, cell in self.cells.items():
+            for name in self.flows:
+                is_target = self.flows[name].target == cid
+                cell.dist[name] = 0.0 if is_target else INFINITY
+                cell.next_id[name] = None
+        self.round_index = 0
+        self._next_uid = 0
+        self.total_produced: Dict[str, int] = {name: 0 for name in self.flows}
+        self.total_consumed: Dict[str, int] = {name: 0 for name in self.flows}
+
+    # ------------------------------------------------------------------
+
+    def fail(self, cid: CellId) -> None:
+        """Crash a cell: every flow observes it as dist = infinity."""
+        cell = self.cells[self.grid.require(cid)]
+        cell.base.failed = True
+        for name in self.flows:
+            cell.dist[name] = INFINITY
+            cell.next_id[name] = None
+
+    def entity_count(self) -> int:
+        """Entities currently present across all cells and flows."""
+        return sum(len(cell.base.members) for cell in self.cells.values())
+
+    def entities_of_flow(self, name: str) -> int:
+        """In-flight entities belonging to one flow."""
+        return sum(
+            1
+            for cell in self.cells.values()
+            for entity in cell.base.members.values()
+            if _flow_of(entity) == name
+        )
+
+    # ------------------------------------------------------------------
+
+    def update(self) -> Dict[str, int]:
+        """One synchronous round; returns per-flow consumption counts."""
+        self._route_phase()
+        self._signal_phase()
+        consumed = self._move_phase()
+        self._produce()
+        self.round_index += 1
+        for name, count in consumed.items():
+            self.total_consumed[name] += count
+        return consumed
+
+    def _route_phase(self) -> None:
+        for name, flow in self.flows.items():
+            snapshot = {
+                cid: (INFINITY if cell.base.failed else cell.dist[name])
+                for cid, cell in self.cells.items()
+            }
+            for cid, cell in self.cells.items():
+                if cell.base.failed or cid == flow.target:
+                    continue
+                neighbors = self.grid.neighbors(cid)
+                best = min(neighbors, key=lambda n: (snapshot[n], n))
+                if snapshot[best] == INFINITY:
+                    cell.dist[name] = INFINITY
+                    cell.next_id[name] = None
+                else:
+                    cell.dist[name] = snapshot[best] + 1.0
+                    cell.next_id[name] = best
+
+    def _moving_direction(self, cid: CellId) -> Optional[CellId]:
+        """Where this cell currently wants to send its entities."""
+        cell = self.cells[cid]
+        resident = cell.resident_flow
+        if resident is None:
+            return None
+        return cell.next_id[resident]
+
+    def _signal_phase(self) -> None:
+        ne_prev_map: Dict[CellId, Set[CellId]] = {}
+        for cid, cell in self.cells.items():
+            if cell.base.failed:
+                continue
+            inbound: Set[CellId] = set()
+            for nbr in self.grid.neighbors(cid):
+                nbr_cell = self.cells[nbr]
+                if nbr_cell.base.failed or not nbr_cell.base.members:
+                    continue
+                if self._moving_direction(nbr) == cid:
+                    inbound.add(nbr)
+            ne_prev_map[cid] = inbound
+        for cid, ne_prev in ne_prev_map.items():
+            cell = self.cells[cid]
+            state = cell.base
+            state.ne_prev = ne_prev
+            if state.token is not None and state.token not in ne_prev:
+                state.token = None
+            if state.token is None:
+                state.token = self.token_policy.initial(ne_prev)
+            if state.token is None:
+                state.signal = None
+                continue
+            holder = self.cells[state.token]
+            compatible = (
+                cell.resident_flow is None
+                or holder.resident_flow == cell.resident_flow
+                # The target of the holder's flow consumes, no residency issue.
+                or self.flows[holder.resident_flow].target == cid
+            )
+            toward = direction_between(cid, state.token)
+            if compatible and gap_clear(state, toward, self.params):
+                state.signal = state.token
+                state.token = self.token_policy.rotate(ne_prev, state.token)
+            else:
+                state.signal = None
+
+    def _move_phase(self) -> Dict[str, int]:
+        consumed = {name: 0 for name in self.flows}
+        movers: List[Tuple[CellId, CellId]] = []
+        for cid, cell in self.cells.items():
+            if cell.base.failed or not cell.base.members:
+                continue
+            nxt = self._moving_direction(cid)
+            if nxt is None:
+                continue
+            nxt_cell = self.cells[nxt]
+            if not nxt_cell.base.failed and nxt_cell.base.signal == cid:
+                movers.append((cid, nxt))
+        pending: List[Tuple[Entity, CellId, CellId, Direction]] = []
+        for cid, nxt in movers:
+            cell = self.cells[cid]
+            toward = direction_between(cid, nxt)
+            for entity in cell.base.entities():
+                entity.translate(toward, self.params.v)
+                if crossed_boundary(entity, cid, toward, self.params.half_l):
+                    pending.append((entity, cid, nxt, toward))
+        for entity, cid, nxt, toward in pending:
+            self.cells[cid].base.remove_entity(entity.uid)
+            flow = _flow_of(entity)
+            if self.flows[flow].target == nxt:
+                consumed[flow] += 1
+            else:
+                entity.snap_to_entry_edge(nxt, toward, self.params.half_l)
+                self.cells[nxt].base.add_entity(entity)
+        return consumed
+
+    def _produce(self) -> None:
+        for name in sorted(self.flows):
+            flow = self.flows[name]
+            for source in flow.sources:
+                cell = self.cells[source]
+                if cell.base.failed:
+                    continue
+                resident = cell.resident_flow
+                if resident is not None and resident != name:
+                    continue  # type exclusivity: wait for the cell to drain
+                candidate = self._entry_point(cell, name)
+                centers = [e.center for e in cell.base.members.values()]
+                if fits_among(candidate, centers, self.params.d):
+                    entity = Entity(
+                        uid=self._next_uid,
+                        x=candidate.x,
+                        y=candidate.y,
+                        birth_round=self.round_index,
+                        side=self.params.l,
+                    )
+                    entity.flow_name = name  # type: ignore[attr-defined]
+                    self._next_uid += 1
+                    self.total_produced[name] += 1
+                    cell.base.add_entity(entity)
+
+    def _entry_point(self, cell: _MultiCell, flow_name: str) -> Point:
+        i, j = cell.base.cell_id
+        half = self.params.half_l
+        nxt = cell.next_id[flow_name]
+        if nxt is None:
+            return Point(i + 0.5, j + half)
+        exit_dir = direction_between(cell.base.cell_id, nxt)
+        if exit_dir is Direction.EAST:
+            return Point(i + half, j + 0.5)
+        if exit_dir is Direction.WEST:
+            return Point(i + 1 - half, j + 0.5)
+        if exit_dir is Direction.NORTH:
+            return Point(i + 0.5, j + half)
+        return Point(i + 0.5, j + 1 - half)
+
+    # ------------------------------------------------------------------
+
+    def check_safe(self) -> List[Tuple[CellId, int, int]]:
+        """Theorem 5, unchanged: violating (cell, uid, uid) triples."""
+        from repro.geometry.separation import axis_separated
+
+        violations = []
+        for cid, cell in self.cells.items():
+            entities = cell.base.entities()
+            for a in range(len(entities)):
+                for b in range(a + 1, len(entities)):
+                    if not axis_separated(
+                        entities[a].center, entities[b].center, self.params.d
+                    ):
+                        violations.append((cid, entities[a].uid, entities[b].uid))
+        return violations
+
+    def detect_waiting_cycles(self) -> List[List[CellId]]:
+        """Cycles in the waits-on graph (potential inter-flow gridlock).
+
+        Cell ``c`` waits on ``n`` when ``c`` is nonempty, wants to move
+        into ``n``, and ``n`` is nonempty too (so ``c`` cannot be granted
+        until ``n`` drains). A cycle of such edges can never drain — the
+        head-to-head deadlock discussed in the module docstring. Returns
+        each cycle once, as a list of cell ids.
+        """
+        waits_on: Dict[CellId, CellId] = {}
+        for cid, cell in self.cells.items():
+            if cell.base.failed or not cell.base.members:
+                continue
+            nxt = self._moving_direction(cid)
+            if nxt is None:
+                continue
+            nxt_cell = self.cells[nxt]
+            if not nxt_cell.base.failed and nxt_cell.base.members:
+                waits_on[cid] = nxt
+        cycles: List[List[CellId]] = []
+        visited: Set[CellId] = set()
+        for start in sorted(waits_on):
+            if start in visited:
+                continue
+            trail: List[CellId] = []
+            seen_at: Dict[CellId, int] = {}
+            cursor: Optional[CellId] = start
+            while cursor is not None and cursor in waits_on and cursor not in visited:
+                seen_at[cursor] = len(trail)
+                trail.append(cursor)
+                cursor = waits_on[cursor]
+                if cursor in seen_at:
+                    cycles.append(trail[seen_at[cursor]:])
+                    break
+            visited.update(trail)
+        return cycles
+
+    def check_type_exclusive(self) -> List[CellId]:
+        """Cells currently holding entities of more than one flow."""
+        offenders = []
+        for cid, cell in self.cells.items():
+            flows = {_flow_of(e) for e in cell.base.members.values()}
+            if len(flows) > 1:
+                offenders.append(cid)
+        return offenders

@@ -1,0 +1,33 @@
+"""Fault substrate: crash and crash-recovery models for the cell grid.
+
+The paper analyzes permanent crash failures (safety holds regardless;
+progress resumes once failures cease) and evaluates, in Figure 9, a
+random failure/recovery model where each round every live cell fails with
+probability ``pf`` and every failed cell recovers with probability ``pr``
+(following DeVille & Mitra, SSS 2009).
+
+* :mod:`repro.faults.model` — fault model interface + Bernoulli model.
+* :mod:`repro.faults.schedule` — deterministic scripted fault schedules.
+* :mod:`repro.faults.injector` — applies a model to a ``System`` each round.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.model import (
+    BernoulliFaultModel,
+    FaultDecision,
+    FaultModel,
+    NoFaults,
+    WindowedFaultModel,
+)
+from repro.faults.schedule import FaultEvent, ScriptedFaultModel
+
+__all__ = [
+    "BernoulliFaultModel",
+    "FaultDecision",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultModel",
+    "NoFaults",
+    "ScriptedFaultModel",
+    "WindowedFaultModel",
+]

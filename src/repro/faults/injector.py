@@ -1,0 +1,51 @@
+"""Fault injection: applying a fault model to a ``System``.
+
+The injector owns its own rng stream (independent of the system's source
+rng) so that fault randomness and arrival randomness can be seeded and
+varied independently across experiment repetitions.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.core.system import System
+from repro.faults.model import FaultDecision, FaultModel, NoFaults
+
+
+class FaultInjector:
+    """Per-round driver: consult the model, apply fail/recover to the system."""
+
+    def __init__(
+        self,
+        model: Optional[FaultModel] = None,
+        rng: Optional[random.Random] = None,
+    ):
+        self.model = model or NoFaults()
+        self.rng = rng or random.Random(0)
+        self.history: List[FaultDecision] = []
+        self.total_failures = 0
+        self.total_recoveries = 0
+
+    def apply(self, system: System) -> FaultDecision:
+        """Decide and apply this round's fault events (before ``update``)."""
+        alive = sorted(system.non_faulty_cells())
+        failed = sorted(system.failed_cells())
+        decision = self.model.decide(system.round_index, alive, failed, self.rng)
+        for cid in sorted(decision.fail):
+            system.fail(cid)
+        for cid in sorted(decision.recover):
+            system.recover(cid)
+        self.history.append(decision)
+        self.total_failures += len(decision.fail)
+        self.total_recoveries += len(decision.recover)
+        return decision
+
+    @property
+    def last_disruption_round(self) -> Optional[int]:
+        """Index of the most recent round with any fault activity."""
+        for index in range(len(self.history) - 1, -1, -1):
+            if not self.history[index].is_quiet:
+                return index
+        return None

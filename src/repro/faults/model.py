@@ -1,0 +1,135 @@
+"""Fault model interface and the Bernoulli crash-recovery model.
+
+A fault model is consulted once per round, *before* the ``update``
+transition (the paper's ``fail`` transitions interleave between atomic
+updates), and decides which cells to fail and which to recover.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, List, Optional, Set
+
+from repro.grid.topology import CellId
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """The fail/recover sets for one round."""
+
+    fail: FrozenSet[CellId] = frozenset()
+    recover: FrozenSet[CellId] = frozenset()
+
+    @property
+    def is_quiet(self) -> bool:
+        return not self.fail and not self.recover
+
+
+class FaultModel:
+    """Interface: decide the fault events of each round."""
+
+    def decide(
+        self,
+        round_index: int,
+        alive: Iterable[CellId],
+        failed: Iterable[CellId],
+        rng: random.Random,
+    ) -> FaultDecision:
+        """Return which of the ``alive`` cells crash and which of the
+        ``failed`` cells recover this round."""
+        raise NotImplementedError
+
+
+class NoFaults(FaultModel):
+    """The fault-free environment (Figures 7 and 8)."""
+
+    def decide(
+        self,
+        round_index: int,
+        alive: Iterable[CellId],
+        failed: Iterable[CellId],
+        rng: random.Random,
+    ) -> FaultDecision:
+        return FaultDecision()
+
+
+@dataclass
+class BernoulliFaultModel(FaultModel):
+    """The Figure 9 model: i.i.d. per-round, per-cell fail/recover coins.
+
+    Each live cell fails with probability ``pf``; each failed cell recovers
+    with probability ``pr``. ``immune`` cells never fail — the analysis
+    sections assume the target is immune, while the Figure 9 experiment
+    lets every cell (including the target) fail and recover; both setups
+    are expressible.
+
+    The long-run fraction of failed cells approaches
+    ``pf / (pf + pr)`` (the stationary point of the two-state chain).
+    """
+
+    pf: float
+    pr: float
+    immune: FrozenSet[CellId] = frozenset()
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.pf <= 1.0:
+            raise ValueError(f"pf must be in [0, 1], got {self.pf}")
+        if not 0.0 <= self.pr <= 1.0:
+            raise ValueError(f"pr must be in [0, 1], got {self.pr}")
+
+    def stationary_failed_fraction(self) -> float:
+        """Expected long-run fraction of failed (non-immune) cells."""
+        if self.pf == 0.0:
+            return 0.0
+        if self.pf + self.pr == 0.0:
+            return 0.0
+        return self.pf / (self.pf + self.pr)
+
+    def decide(
+        self,
+        round_index: int,
+        alive: Iterable[CellId],
+        failed: Iterable[CellId],
+        rng: random.Random,
+    ) -> FaultDecision:
+        # Sorted iteration makes the rng stream independent of set order,
+        # so runs are reproducible for a given seed.
+        to_fail: Set[CellId] = {
+            cid
+            for cid in sorted(alive)
+            if cid not in self.immune and rng.random() < self.pf
+        }
+        to_recover: Set[CellId] = {
+            cid for cid in sorted(failed) if rng.random() < self.pr
+        }
+        return FaultDecision(fail=frozenset(to_fail), recover=frozenset(to_recover))
+
+
+@dataclass
+class WindowedFaultModel(FaultModel):
+    """Wrap a model so it is active only during ``[start, stop)`` rounds.
+
+    Used by stabilization experiments: inject faults for a window, then
+    measure how long recovery of routing/progress takes after the window
+    closes (the paper's "once new failures cease" premise). Cells failed
+    during the window optionally all recover at ``stop``.
+    """
+
+    inner: FaultModel
+    start: int
+    stop: int
+    recover_all_at_stop: bool = False
+
+    def decide(
+        self,
+        round_index: int,
+        alive: Iterable[CellId],
+        failed: Iterable[CellId],
+        rng: random.Random,
+    ) -> FaultDecision:
+        if self.start <= round_index < self.stop:
+            return self.inner.decide(round_index, alive, failed, rng)
+        if self.recover_all_at_stop and round_index == self.stop:
+            return FaultDecision(recover=frozenset(failed))
+        return FaultDecision()

@@ -1,0 +1,45 @@
+"""Geometry substrate: epsilon-robust scalar comparisons, points, intervals,
+axis-aligned squares, and the center-spacing separation predicates used by
+the cellular-flow safety property.
+
+All protocol-level geometric predicates (gap checks, boundary crossings,
+safety separation) are funneled through this package so the floating-point
+tolerance policy lives in exactly one place (:mod:`repro.geometry.tolerance`).
+"""
+
+from repro.geometry.interval import Interval
+from repro.geometry.point import Point, Vector
+from repro.geometry.separation import (
+    axis_separated,
+    min_axis_separation,
+    pairwise_axis_separated,
+)
+from repro.geometry.square import Square
+from repro.geometry.tolerance import (
+    EPS,
+    is_close,
+    strictly_greater,
+    strictly_less,
+    tol_ge,
+    tol_gt,
+    tol_le,
+    tol_lt,
+)
+
+__all__ = [
+    "EPS",
+    "Interval",
+    "Point",
+    "Square",
+    "Vector",
+    "axis_separated",
+    "is_close",
+    "min_axis_separation",
+    "pairwise_axis_separated",
+    "strictly_greater",
+    "strictly_less",
+    "tol_ge",
+    "tol_gt",
+    "tol_le",
+    "tol_lt",
+]

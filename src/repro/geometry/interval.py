@@ -1,0 +1,60 @@
+"""Closed 1-D intervals.
+
+Used for per-axis projections of entities and cells: boundary-crossing
+tests, containment checks (Invariant 1), and the gap predicates of the
+Signal function all reduce to interval algebra on one axis at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry.tolerance import EPS, tol_ge, tol_le
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed interval ``[lo, hi]`` on the real line."""
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi + EPS:
+            raise ValueError(f"empty interval: lo={self.lo} > hi={self.hi}")
+
+    @property
+    def length(self) -> float:
+        return self.hi - self.lo
+
+    @property
+    def center(self) -> float:
+        return (self.lo + self.hi) / 2.0
+
+    def contains(self, value: float, eps: float = EPS) -> bool:
+        """True when ``value`` lies in the interval (within tolerance)."""
+        return tol_ge(value, self.lo, eps) and tol_le(value, self.hi, eps)
+
+    def contains_interval(self, other: "Interval", eps: float = EPS) -> bool:
+        """True when ``other`` is contained in this interval (within tolerance)."""
+        return tol_ge(other.lo, self.lo, eps) and tol_le(other.hi, self.hi, eps)
+
+    def overlaps(self, other: "Interval", eps: float = EPS) -> bool:
+        """True when the two closed intervals intersect (within tolerance)."""
+        return tol_le(self.lo, other.hi, eps) and tol_le(other.lo, self.hi, eps)
+
+    def gap_to(self, other: "Interval") -> float:
+        """Distance between the intervals; 0 when they overlap."""
+        if self.overlaps(other, eps=0.0):
+            return 0.0
+        if self.hi < other.lo:
+            return other.lo - self.hi
+        return self.lo - other.hi
+
+    def shifted(self, delta: float) -> "Interval":
+        """The interval translated by ``delta``."""
+        return Interval(self.lo + delta, self.hi + delta)
+
+    def clamped_to(self, bounds: "Interval") -> "Interval":
+        """This interval intersected with ``bounds`` (must be nonempty)."""
+        return Interval(max(self.lo, bounds.lo), min(self.hi, bounds.hi))

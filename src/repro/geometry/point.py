@@ -1,0 +1,73 @@
+"""Immutable 2-D points and vectors.
+
+Entity centers and displacement steps are represented with these types.
+They are deliberately tiny value objects — plain tuples with arithmetic —
+so the hot simulation loop pays no abstraction tax.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.geometry.tolerance import EPS, is_close
+
+
+@dataclass(frozen=True)
+class Vector:
+    """A 2-D displacement."""
+
+    dx: float
+    dy: float
+
+    def __add__(self, other: "Vector") -> "Vector":
+        return Vector(self.dx + other.dx, self.dy + other.dy)
+
+    def __neg__(self) -> "Vector":
+        return Vector(-self.dx, -self.dy)
+
+    def __mul__(self, scalar: float) -> "Vector":
+        return Vector(self.dx * scalar, self.dy * scalar)
+
+    __rmul__ = __mul__
+
+    def norm(self) -> float:
+        """Euclidean length of the vector."""
+        return math.hypot(self.dx, self.dy)
+
+    def manhattan(self) -> float:
+        """L1 length of the vector."""
+        return abs(self.dx) + abs(self.dy)
+
+    def is_axis_aligned(self) -> bool:
+        """True when the vector moves along exactly one axis (or is zero)."""
+        return is_close(self.dx, 0.0) or is_close(self.dy, 0.0)
+
+
+ZERO_VECTOR = Vector(0.0, 0.0)
+
+
+@dataclass(frozen=True)
+class Point:
+    """A 2-D position in the partitioned plane."""
+
+    x: float
+    y: float
+
+    def __add__(self, vec: Vector) -> "Point":
+        return Point(self.x + vec.dx, self.y + vec.dy)
+
+    def __sub__(self, other: "Point") -> Vector:
+        return Vector(self.x - other.x, self.y - other.y)
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance between two points."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def manhattan_to(self, other: "Point") -> float:
+        """L1 distance between two points."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def almost_equal(self, other: "Point", eps: float = EPS) -> bool:
+        """Coordinate-wise comparison within ``eps``."""
+        return is_close(self.x, other.x, eps) and is_close(self.y, other.y, eps)

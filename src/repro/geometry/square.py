@@ -1,0 +1,97 @@
+"""Axis-aligned squares.
+
+Entities occupy ``l x l`` squares centered on their position; cells occupy
+unit squares anchored at integer corners. Both are modeled here so that
+containment (Invariant 1) and overlap reasoning share one implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry.interval import Interval
+from repro.geometry.point import Point, Vector
+from repro.geometry.tolerance import EPS
+
+
+@dataclass(frozen=True)
+class Square:
+    """An axis-aligned square with center ``center`` and side ``side``."""
+
+    center: Point
+    side: float
+
+    def __post_init__(self) -> None:
+        if self.side <= 0:
+            raise ValueError(f"square side must be positive, got {self.side}")
+
+    @classmethod
+    def from_corner(cls, corner: Point, side: float) -> "Square":
+        """Build a square from its bottom-left corner (cells are anchored so)."""
+        half = side / 2.0
+        return cls(Point(corner.x + half, corner.y + half), side)
+
+    @classmethod
+    def unit_cell(cls, i: int, j: int) -> "Square":
+        """The unit square occupied by cell ``<i, j>`` (corner at ``(i, j)``)."""
+        return cls.from_corner(Point(float(i), float(j)), 1.0)
+
+    @property
+    def half(self) -> float:
+        return self.side / 2.0
+
+    @property
+    def x_extent(self) -> Interval:
+        return Interval(self.center.x - self.half, self.center.x + self.half)
+
+    @property
+    def y_extent(self) -> Interval:
+        return Interval(self.center.y - self.half, self.center.y + self.half)
+
+    @property
+    def left(self) -> float:
+        return self.center.x - self.half
+
+    @property
+    def right(self) -> float:
+        return self.center.x + self.half
+
+    @property
+    def bottom(self) -> float:
+        return self.center.y - self.half
+
+    @property
+    def top(self) -> float:
+        return self.center.y + self.half
+
+    def contains_point(self, point: Point, eps: float = EPS) -> bool:
+        """Closed containment of a point (within tolerance)."""
+        return self.x_extent.contains(point.x, eps) and self.y_extent.contains(
+            point.y, eps
+        )
+
+    def contains_square(self, other: "Square", eps: float = EPS) -> bool:
+        """Closed containment of another square (within tolerance).
+
+        This is exactly Invariant 1 when ``self`` is a unit cell and
+        ``other`` is an entity footprint.
+        """
+        return self.x_extent.contains_interval(
+            other.x_extent, eps
+        ) and self.y_extent.contains_interval(other.y_extent, eps)
+
+    def overlaps(self, other: "Square", eps: float = EPS) -> bool:
+        """True when the closed squares intersect (within tolerance)."""
+        return self.x_extent.overlaps(other.x_extent, eps) and self.y_extent.overlaps(
+            other.y_extent, eps
+        )
+
+    def interiors_overlap(self, other: "Square") -> bool:
+        """True when the open interiors intersect (edge contact does not count)."""
+        return self.x_extent.overlaps(other.x_extent, eps=-EPS) and self.y_extent.overlaps(
+            other.y_extent, eps=-EPS
+        )
+
+    def translated(self, vec: Vector) -> "Square":
+        """The square moved by ``vec``."""
+        return Square(self.center + vec, self.side)

@@ -1,0 +1,57 @@
+"""Floating-point tolerance policy for all geometric predicates.
+
+Entity positions accumulate velocity increments over thousands of rounds,
+so protocol predicates such as the Signal gap check (``px + l/2 <= i+1-d``)
+and the Move boundary-crossing check (``px + l/2 > i+1``) must not flip on
+sub-epsilon noise. Every comparison in the protocol and in the runtime
+monitors goes through the helpers below.
+
+The convention mirrors the paper's inequalities:
+
+* ``tol_le(a, b)`` / ``tol_ge(a, b)`` — non-strict comparisons that accept
+  values within ``EPS``; used for *permissive* checks ("the gap is clear",
+  "the separation is at least d").
+* ``tol_lt(a, b)`` / ``tol_gt(a, b)`` — strict comparisons that require the
+  difference to exceed ``EPS``; used for *triggering* checks ("the entity
+  crossed the boundary") so an entity flush against the boundary does not
+  spuriously transfer.
+"""
+
+EPS: float = 1e-9
+"""Absolute comparison tolerance.
+
+The simulation operates on coordinates of order one (unit cells) with
+velocity steps no smaller than ~1e-3, so an absolute tolerance is both
+simpler and safer than a relative one.
+"""
+
+
+def is_close(a: float, b: float, eps: float = EPS) -> bool:
+    """Return True when ``a`` and ``b`` differ by at most ``eps``."""
+    return abs(a - b) <= eps
+
+
+def tol_le(a: float, b: float, eps: float = EPS) -> bool:
+    """Tolerant ``a <= b``: true when ``a`` exceeds ``b`` by at most ``eps``."""
+    return a <= b + eps
+
+
+def tol_ge(a: float, b: float, eps: float = EPS) -> bool:
+    """Tolerant ``a >= b``: true when ``a`` falls short of ``b`` by at most ``eps``."""
+    return a >= b - eps
+
+
+def tol_lt(a: float, b: float, eps: float = EPS) -> bool:
+    """Strict ``a < b``: true only when ``b - a`` exceeds ``eps``."""
+    return a < b - eps
+
+
+def tol_gt(a: float, b: float, eps: float = EPS) -> bool:
+    """Strict ``a > b``: true only when ``a - b`` exceeds ``eps``."""
+    return a > b + eps
+
+
+# Readability aliases used by the movement code, where the strictness of a
+# comparison is the point (boundary crossings must not fire on noise).
+strictly_less = tol_lt
+strictly_greater = tol_gt

@@ -1,0 +1,43 @@
+"""Grid substrate: the partitioned plane's cell lattice.
+
+Provides cell identifiers, neighbor relations, direction algebra, path
+generation (including paths with a prescribed number of turns, used by the
+Figure 8 experiment), and corridor workload construction.
+"""
+
+from repro.grid.paths import (
+    Path,
+    count_turns,
+    is_valid_path,
+    snake_path,
+    staircase_path,
+    straight_path,
+    turns_path,
+)
+from repro.grid.regions import corridor_failures, corridor_region
+from repro.grid.topology import (
+    DIRECTIONS,
+    CellId,
+    Direction,
+    Grid,
+    direction_between,
+    manhattan_distance,
+)
+
+__all__ = [
+    "CellId",
+    "DIRECTIONS",
+    "Direction",
+    "Grid",
+    "Path",
+    "corridor_failures",
+    "corridor_region",
+    "count_turns",
+    "direction_between",
+    "is_valid_path",
+    "manhattan_distance",
+    "snake_path",
+    "staircase_path",
+    "straight_path",
+    "turns_path",
+]

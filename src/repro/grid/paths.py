@@ -1,0 +1,197 @@
+"""Path construction and analysis on the cell lattice.
+
+The Figure 8 experiment measures throughput against *path complexity*,
+defined as the number of turns along a fixed-length path. This module
+builds such paths: straight corridors, staircases, snakes, and — the
+general constructor — :func:`turns_path`, which produces a path of a given
+cell count with an exact number of direction changes.
+
+A *path* is a sequence of pairwise-adjacent cell identifiers with no
+repeats; its *length* is its number of cells (the paper's length-8 path
+from ``<1,0>`` to ``<1,7>`` has 8 cells and 7 hops).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.grid.topology import (
+    CellId,
+    Direction,
+    Grid,
+    direction_between,
+    manhattan_distance,
+)
+
+
+@dataclass(frozen=True)
+class Path:
+    """An ordered, self-avoiding sequence of adjacent cells."""
+
+    cells: Tuple[CellId, ...]
+    _index: dict = field(init=False, repr=False, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        if len(self.cells) < 1:
+            raise ValueError("a path needs at least one cell")
+        seen = set()
+        for cell in self.cells:
+            if cell in seen:
+                raise ValueError(f"path revisits cell {cell}")
+            seen.add(cell)
+        for a, b in zip(self.cells, self.cells[1:]):
+            if manhattan_distance(a, b) != 1:
+                raise ValueError(f"cells {a} and {b} are not adjacent")
+        object.__setattr__(
+            self, "_index", {cell: k for k, cell in enumerate(self.cells)}
+        )
+
+    @classmethod
+    def from_cells(cls, cells: Sequence[CellId]) -> "Path":
+        return cls(tuple(cells))
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __iter__(self) -> Iterator[CellId]:
+        return iter(self.cells)
+
+    def __contains__(self, cell: CellId) -> bool:
+        return cell in self._index
+
+    @property
+    def source(self) -> CellId:
+        return self.cells[0]
+
+    @property
+    def target(self) -> CellId:
+        return self.cells[-1]
+
+    @property
+    def hops(self) -> int:
+        """Number of edges along the path."""
+        return len(self.cells) - 1
+
+    @property
+    def turns(self) -> int:
+        """Number of direction changes along the path."""
+        return count_turns(self.cells)
+
+    def directions(self) -> List[Direction]:
+        """The direction of each hop, in order."""
+        return [direction_between(a, b) for a, b in zip(self.cells, self.cells[1:])]
+
+    def successor(self, cell: CellId) -> Optional[CellId]:
+        """The next cell after ``cell`` along the path, or None at the end."""
+        k = self._index.get(cell)
+        if k is None:
+            raise ValueError(f"cell {cell} not on path")
+        return self.cells[k + 1] if k + 1 < len(self.cells) else None
+
+    def index_of(self, cell: CellId) -> int:
+        """Position of ``cell`` along the path (0 = source)."""
+        k = self._index.get(cell)
+        if k is None:
+            raise ValueError(f"cell {cell} not on path")
+        return k
+
+    def fits(self, grid: Grid) -> bool:
+        """True when every cell of the path lies in ``grid``."""
+        return all(grid.contains(cell) for cell in self.cells)
+
+
+def is_valid_path(cells: Sequence[CellId]) -> bool:
+    """True when ``cells`` forms a self-avoiding lattice path."""
+    try:
+        Path.from_cells(cells)
+    except ValueError:
+        return False
+    return True
+
+
+def count_turns(cells: Sequence[CellId]) -> int:
+    """Number of direction changes along a cell sequence."""
+    directions = [
+        direction_between(a, b) for a, b in zip(cells, cells[1:])
+    ]
+    return sum(1 for a, b in zip(directions, directions[1:]) if a is not b)
+
+
+def straight_path(start: CellId, direction: Direction, length: int) -> Path:
+    """A straight corridor of ``length`` cells from ``start``."""
+    if length < 1:
+        raise ValueError("length must be at least 1")
+    cells = [start]
+    for _ in range(length - 1):
+        cells.append(direction.step(cells[-1]))
+    return Path.from_cells(cells)
+
+
+def staircase_path(start: CellId, length: int) -> Path:
+    """A maximally turning path: alternate north/east every hop."""
+    return turns_path(start, length, max(0, length - 2))
+
+
+def turns_path(
+    start: CellId,
+    length: int,
+    turns: int,
+    first: Direction = Direction.NORTH,
+    second: Direction = Direction.EAST,
+) -> Path:
+    """A path of ``length`` cells from ``start`` with exactly ``turns`` turns.
+
+    The path alternates between ``first`` and ``second`` (which must lie on
+    different axes) across ``turns + 1`` straight segments whose lengths are
+    as balanced as possible. With the defaults, the result climbs north and
+    steps east — the staircase family used for the Figure 8 experiment.
+
+    ``turns`` can be at most ``length - 2`` (every interior cell a corner).
+    """
+    if length < 1:
+        raise ValueError("length must be at least 1")
+    if turns < 0:
+        raise ValueError("turns must be nonnegative")
+    if length == 1:
+        if turns > 0:
+            raise ValueError("a single-cell path cannot turn")
+        return Path.from_cells([start])
+    hops = length - 1
+    if turns > hops - 1:
+        raise ValueError(
+            f"a path with {hops} hops supports at most {hops - 1} turns, got {turns}"
+        )
+    if first.axis == second.axis:
+        raise ValueError("first and second directions must lie on different axes")
+
+    segments = turns + 1
+    base, extra = divmod(hops, segments)
+    # Balanced segment lengths: the first `extra` segments get one more hop.
+    lengths = [base + (1 if k < extra else 0) for k in range(segments)]
+
+    cells = [start]
+    for k, seg_len in enumerate(lengths):
+        direction = first if k % 2 == 0 else second
+        for _ in range(seg_len):
+            cells.append(direction.step(cells[-1]))
+    return Path.from_cells(cells)
+
+
+def snake_path(grid: Grid, columns: Optional[int] = None) -> Path:
+    """A boustrophedon path covering ``columns`` full columns of ``grid``.
+
+    Starts at ``(0, 0)``, goes up column 0, east one step, down column 1,
+    and so on. Useful as a long, turn-heavy workload.
+    """
+    assert grid.height is not None
+    if columns is None:
+        columns = grid.width
+    if not 1 <= columns <= grid.width:
+        raise ValueError(f"columns must be in [1, {grid.width}], got {columns}")
+    cells: List[CellId] = []
+    for i in range(columns):
+        rows = range(grid.height) if i % 2 == 0 else range(grid.height - 1, -1, -1)
+        for j in rows:
+            cells.append((i, j))
+    return Path.from_cells(cells)

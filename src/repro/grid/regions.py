@@ -1,0 +1,36 @@
+"""Corridor workloads.
+
+The paper's path experiments (Figures 7 and 8) route all traffic along a
+fixed path. With shortest-path routing, the clean way to force a specific
+route is to make the complement of the path permanently faulty — the
+routing protocol then has exactly one feasible route. These helpers build
+such *corridors*.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Set
+
+from repro.grid.paths import Path
+from repro.grid.topology import CellId, Grid
+
+
+def corridor_region(grid: Grid, path: Path) -> FrozenSet[CellId]:
+    """The set of cells a corridor workload keeps alive (the path itself)."""
+    if not path.fits(grid):
+        raise ValueError("path does not fit in the grid")
+    return frozenset(path.cells)
+
+
+def corridor_failures(grid: Grid, path: Path) -> FrozenSet[CellId]:
+    """Cells to mark permanently failed so traffic can only follow ``path``."""
+    alive = corridor_region(grid, path)
+    return frozenset(cell for cell in grid.cells() if cell not in alive)
+
+
+def complement(grid: Grid, alive: Iterable[CellId]) -> FrozenSet[CellId]:
+    """Cells of ``grid`` not in ``alive``."""
+    alive_set: Set[CellId] = set(alive)
+    for cell in alive_set:
+        grid.require(cell)
+    return frozenset(cell for cell in grid.cells() if cell not in alive_set)

@@ -1,0 +1,58 @@
+"""Transit-latency statistics.
+
+Latency is the number of rounds from an entity's production at a source
+to its consumption at the target. The paper does not plot latency, but it
+is the natural companion diagnostic: throughput saturation (Figures 7-8)
+shows up as latency growth, and fault churn (Figure 9) as heavy tails.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary statistics over a set of transit latencies."""
+
+    count: int
+    mean: float
+    stdev: float
+    minimum: float
+    median: float
+    p95: float
+    maximum: float
+
+
+def _percentile(ordered: Sequence[float], fraction: float) -> float:
+    """Linear-interpolated percentile of pre-sorted data."""
+    if not ordered:
+        raise ValueError("no data")
+    if len(ordered) == 1:
+        return float(ordered[0])
+    position = fraction * (len(ordered) - 1)
+    lower = math.floor(position)
+    upper = math.ceil(position)
+    weight = position - lower
+    return ordered[lower] * (1.0 - weight) + ordered[upper] * weight
+
+
+def latency_stats(latencies: Sequence[int]) -> LatencyStats:
+    """Summarize latencies; raises ``ValueError`` on empty input."""
+    if not latencies:
+        raise ValueError("cannot summarize an empty latency set")
+    ordered = sorted(float(value) for value in latencies)
+    count = len(ordered)
+    mean = sum(ordered) / count
+    variance = sum((value - mean) ** 2 for value in ordered) / count
+    return LatencyStats(
+        count=count,
+        mean=mean,
+        stdev=math.sqrt(variance),
+        minimum=ordered[0],
+        median=_percentile(ordered, 0.5),
+        p95=_percentile(ordered, 0.95),
+        maximum=ordered[-1],
+    )

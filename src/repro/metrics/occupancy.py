@@ -1,0 +1,69 @@
+"""Occupancy and blocking diagnostics.
+
+The paper explains its throughput curves through *blocking*: a low
+velocity "causes the predecessor cell to be blocked more frequently", and
+saturation happens "when there is roughly only one entity in each cell".
+These probes expose exactly those quantities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.system import RoundReport, System
+from repro.grid.topology import CellId
+
+
+def blocked_cell_count(report: RoundReport) -> int:
+    """Cells that held a token this round but could not grant (no gap)."""
+    return len(report.signal.blocked)
+
+
+@dataclass
+class OccupancyProbe:
+    """Per-round occupancy/blocking time series over a run."""
+
+    entities_per_round: List[int] = field(default_factory=list)
+    blocked_per_round: List[int] = field(default_factory=list)
+    moved_per_round: List[int] = field(default_factory=list)
+    occupied_cells_per_round: List[int] = field(default_factory=list)
+
+    def observe(self, system: System, report: RoundReport) -> None:
+        """Record one round's occupancy/blocking sample."""
+        self.entities_per_round.append(system.entity_count())
+        self.blocked_per_round.append(blocked_cell_count(report))
+        self.moved_per_round.append(len(report.move.moved_cells))
+        self.occupied_cells_per_round.append(
+            sum(1 for state in system.cells.values() if state.members)
+        )
+
+    def mean_entities(self) -> float:
+        """Mean in-flight population over the observed rounds."""
+        if not self.entities_per_round:
+            return 0.0
+        return sum(self.entities_per_round) / len(self.entities_per_round)
+
+    def mean_blocked(self) -> float:
+        """Mean number of blocked (token-held, no-gap) cells per round."""
+        if not self.blocked_per_round:
+            return 0.0
+        return sum(self.blocked_per_round) / len(self.blocked_per_round)
+
+    def mean_entities_per_occupied_cell(self) -> float:
+        """The paper's saturation indicator (~1 at the saturation plateau)."""
+        pairs = [
+            entities / occupied
+            for entities, occupied in zip(
+                self.entities_per_round, self.occupied_cells_per_round
+            )
+            if occupied > 0
+        ]
+        if not pairs:
+            return 0.0
+        return sum(pairs) / len(pairs)
+
+
+def occupancy_histogram(system: System) -> Dict[CellId, int]:
+    """Entities per cell in the current state (render/diagnostic helper)."""
+    return {cid: len(state.members) for cid, state in system.cells.items()}

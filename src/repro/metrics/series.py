@@ -1,0 +1,91 @@
+"""Small time-series utilities shared by metrics and analysis."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+
+@dataclass
+class TimeSeries:
+    """A named sequence of (round, value) samples."""
+
+    name: str
+    rounds: List[int] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+
+    def append(self, round_index: int, value: float) -> None:
+        """Append a sample; rounds must be strictly increasing."""
+        if self.rounds and round_index <= self.rounds[-1]:
+            raise ValueError(
+                f"rounds must be strictly increasing "
+                f"(got {round_index} after {self.rounds[-1]})"
+            )
+        self.rounds.append(round_index)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def last(self) -> Optional[Tuple[int, float]]:
+        """The most recent ``(round, value)`` sample, or None."""
+        if not self.values:
+            return None
+        return self.rounds[-1], self.values[-1]
+
+    def mean(self) -> float:
+        """Mean of the recorded values (0 when empty)."""
+        if not self.values:
+            return 0.0
+        return sum(self.values) / len(self.values)
+
+
+@dataclass
+class RollingMean:
+    """Fixed-window rolling mean (O(1) per observation)."""
+
+    window: int
+    _buffer: List[float] = field(default_factory=list)
+    _cursor: int = 0
+    _sum: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.window <= 0:
+            raise ValueError(f"window must be positive, got {self.window}")
+
+    def observe(self, value: float) -> float:
+        """Add a sample; return the current rolling mean."""
+        if len(self._buffer) < self.window:
+            self._buffer.append(value)
+            self._sum += value
+        else:
+            self._sum += value - self._buffer[self._cursor]
+            self._buffer[self._cursor] = value
+            self._cursor = (self._cursor + 1) % self.window
+        return self.value
+
+    @property
+    def value(self) -> float:
+        if not self._buffer:
+            return 0.0
+        return self._sum / len(self._buffer)
+
+    @property
+    def full(self) -> bool:
+        return len(self._buffer) == self.window
+
+
+def mean_and_ci(values: Sequence[float], z: float = 1.96) -> Tuple[float, float]:
+    """Sample mean and normal-approximation half-width CI.
+
+    With one sample the half-width is 0 (no spread information).
+    """
+    if not values:
+        raise ValueError("no data")
+    n = len(values)
+    mean = sum(values) / n
+    if n == 1:
+        return mean, 0.0
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    return mean, z * math.sqrt(variance / n)

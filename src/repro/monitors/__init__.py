@@ -1,0 +1,45 @@
+"""Runtime verification monitors.
+
+Each proved property of the paper has an executable counterpart here:
+
+* :mod:`repro.monitors.safety` — ``Safe`` (Theorem 5).
+* :mod:`repro.monitors.invariants` — Invariant 1 (containment),
+  Invariant 2 (disjoint membership), predicate ``H`` at grant points
+  (Lemma 3), and the no-transfer-on-2-cycle condition (Lemma 4).
+* :mod:`repro.monitors.progress` — routing-stabilization detection
+  (Lemma 6 / Corollary 7) and per-entity progress tracking (Theorem 10).
+* :mod:`repro.monitors.recorder` — a suite that runs selected monitors
+  every round of a simulation and raises or records violations.
+"""
+
+from repro.monitors.invariants import (
+    check_containment,
+    check_disjoint_membership,
+    check_signal_gap,
+    containment_violations,
+    signal_gap_violations,
+)
+from repro.monitors.progress import (
+    EntityTracker,
+    routing_matches_ground_truth,
+    routing_stabilization_round,
+)
+from repro.monitors.recorder import MonitorSuite, MonitorViolation, Violation
+from repro.monitors.safety import check_safe, safe_cell, safety_violations
+
+__all__ = [
+    "EntityTracker",
+    "MonitorSuite",
+    "MonitorViolation",
+    "Violation",
+    "check_containment",
+    "check_disjoint_membership",
+    "check_safe",
+    "check_signal_gap",
+    "containment_violations",
+    "routing_matches_ground_truth",
+    "routing_stabilization_round",
+    "safe_cell",
+    "safety_violations",
+    "signal_gap_violations",
+]

@@ -1,0 +1,125 @@
+"""The monitor suite: continuous runtime verification of a running system.
+
+Attach a :class:`MonitorSuite` to a ``System`` (it installs itself as the
+system's phase observer) and call :meth:`after_round` from the simulation
+loop. Every proved property is then checked on every round of every
+experiment — the reproduction does not merely *assume* Theorem 5, it
+re-verifies it continuously, and any discrepancy between the paper's
+claims and the implementation surfaces immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.system import RoundReport, System
+from repro.monitors.invariants import (
+    check_containment,
+    check_disjoint_membership,
+    check_signal_gap,
+    two_cycle_signal_pairs,
+)
+from repro.monitors.safety import check_safe
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One detected property violation."""
+
+    round_index: int
+    property_name: str
+    detail: str
+
+
+class MonitorViolation(AssertionError):
+    """Raised in strict mode when any monitored property fails."""
+
+    def __init__(self, violation: Violation):
+        super().__init__(
+            f"round {violation.round_index}: {violation.property_name}: "
+            f"{violation.detail}"
+        )
+        self.violation = violation
+
+
+@dataclass
+class MonitorSuite:
+    """Configurable bundle of per-round property checks.
+
+    ``strict=True`` (the default) raises on the first violation —
+    appropriate for tests and for the paper-faithful protocol, which is
+    proved to never violate them. ``strict=False`` records violations
+    instead, which is what the *unsafe baseline* benchmarks use to count
+    how often a signal-free protocol breaks separation.
+    """
+
+    check_safety: bool = True
+    check_invariant_1: bool = True
+    check_invariant_2: bool = True
+    check_h_predicate: bool = True
+    check_lemma_4: bool = True
+    strict: bool = True
+    violations: List[Violation] = field(default_factory=list)
+    _signal_pairs: List[tuple] = field(default_factory=list)
+
+    def attach(self, system: System) -> "MonitorSuite":
+        """Install as ``system.phase_observer`` (returns self for chaining)."""
+        system.phase_observer = self._on_phase
+        return self
+
+    # ------------------------------------------------------------------
+
+    def _on_phase(self, phase: str, system: System) -> None:
+        if phase == "signal":
+            if self.check_h_predicate:
+                for violation in check_signal_gap(system.cells, system.params):
+                    self._record(system.round_index, "predicate-H", str(violation))
+            if self.check_lemma_4:
+                self._signal_pairs = two_cycle_signal_pairs(system)
+
+    def after_round(self, system: System, report: RoundReport) -> None:
+        """Run the post-state checks for the round just completed."""
+        rnd = report.round_index
+        if self.check_safety:
+            for violation in check_safe(system):
+                self._record(rnd, "Safe (Theorem 5)", str(violation))
+        if self.check_invariant_1:
+            for violation in check_containment(system):
+                self._record(rnd, "Invariant 1", str(violation))
+        if self.check_invariant_2:
+            for uid in check_disjoint_membership(system):
+                self._record(
+                    rnd, "Invariant 2", f"entity {uid} present in multiple cells"
+                )
+        if self.check_lemma_4 and self._signal_pairs:
+            crossings = {
+                frozenset((t.src, t.dst)) for t in report.move.transfers
+            }
+            for a, b in self._signal_pairs:
+                if frozenset((a, b)) in crossings:
+                    self._record(
+                        rnd,
+                        "Lemma 4",
+                        f"transfer occurred between mutually signaling cells {a}, {b}",
+                    )
+            self._signal_pairs = []
+
+    # ------------------------------------------------------------------
+
+    def _record(self, round_index: int, name: str, detail: str) -> None:
+        violation = Violation(round_index=round_index, property_name=name, detail=detail)
+        self.violations.append(violation)
+        if self.strict:
+            raise MonitorViolation(violation)
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def violation_counts(self) -> dict:
+        """Violations grouped by property name (for the unsafe baseline)."""
+        counts: dict = {}
+        for violation in self.violations:
+            counts[violation.property_name] = counts.get(violation.property_name, 0) + 1
+        return counts

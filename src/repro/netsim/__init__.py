@@ -1,0 +1,47 @@
+"""Message-passing realization of the protocol.
+
+The paper models ``System`` with shared variables but explains the
+intended implementation: "at the beginning of each round, Cell_{i,j}
+broadcasts messages containing the values of these variables and
+receives similar values from its neighbors" (Section II-B). This package
+builds that implementation for real:
+
+* :mod:`repro.netsim.message` — the wire messages: per-phase state
+  adverts and entity-transfer messages.
+* :mod:`repro.netsim.network` — a synchronous network: per-sub-round
+  mailboxes with reliable, bounded (one sub-round) delivery; crashed
+  nodes fall silent, which is precisely how neighbors observe failure.
+* :mod:`repro.netsim.process` — a per-cell process that runs the
+  protocol using *only* messages and local state.
+* :mod:`repro.netsim.runtime` — :class:`MessagePassingSystem`, which
+  drives one paper round as three communication sub-rounds
+  (dist -> Route, next/occupancy -> Signal, grants -> Move + transfers).
+
+``MessagePassingSystem`` is step-for-step equivalent to the
+shared-variable :class:`repro.core.system.System`: the bisimulation
+tests in ``tests/test_netsim.py`` run both side by side under identical
+fault schedules and assert state equality after every round.
+"""
+
+from repro.netsim.message import (
+    EntityTransferMessage,
+    GrantAdvert,
+    Message,
+    OccupancyAdvert,
+    RouteAdvert,
+)
+from repro.netsim.network import NetworkStats, SynchronousNetwork
+from repro.netsim.process import CellProcess
+from repro.netsim.runtime import MessagePassingSystem
+
+__all__ = [
+    "CellProcess",
+    "EntityTransferMessage",
+    "GrantAdvert",
+    "Message",
+    "MessagePassingSystem",
+    "NetworkStats",
+    "OccupancyAdvert",
+    "RouteAdvert",
+    "SynchronousNetwork",
+]

@@ -1,0 +1,54 @@
+"""Lossy advert delivery — graceful degradation under message loss.
+
+The paper assumes reliable, timely delivery. The protocol nevertheless
+has a striking robustness property the shared-variable model hides:
+every advert's *absence* is interpreted conservatively —
+
+* a missing ``RouteAdvert`` reads as ``dist = infinity`` (the neighbor
+  may be worth avoiding; at worst a detour),
+* a missing ``OccupancyAdvert`` keeps the sender out of ``NEPrev`` (at
+  worst it waits a round longer),
+* a missing ``GrantAdvert`` means no permission (at worst nobody moves).
+
+So dropping *adverts* with any probability can only cost throughput,
+never safety. :class:`LossyNetwork` implements exactly that fault model.
+
+``EntityTransferMessage`` is exempt: it is bookkeeping for a *physical*
+hand-off (the entity is already straddling the boundary), not soft
+state — a real deployment acknowledges it or keeps the entity. Dropping
+it would teleport matter out of existence, which no network fault can
+do. The experiment in ``benchmarks/bench_lossy.py`` sweeps the drop
+probability and verifies: monitors stay clean, conservation holds,
+throughput decays smoothly to zero.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.netsim.message import EntityTransferMessage, Message
+from repro.netsim.network import SynchronousNetwork
+
+
+class LossyNetwork(SynchronousNetwork):
+    """A synchronous network that drops each advert with probability p."""
+
+    def __init__(self, grid, drop_probability: float, rng: Optional[random.Random] = None):
+        if not 0.0 <= drop_probability <= 1.0:
+            raise ValueError(
+                f"drop probability must be in [0, 1], got {drop_probability}"
+            )
+        super().__init__(grid)
+        self.drop_probability = drop_probability
+        self.rng = rng or random.Random(0)
+        self.dropped = 0
+
+    def send(self, message: Message) -> None:
+        if (
+            not isinstance(message, EntityTransferMessage)
+            and self.rng.random() < self.drop_probability
+        ):
+            self.dropped += 1
+            return
+        super().send(message)

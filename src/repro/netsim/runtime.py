@@ -1,0 +1,197 @@
+"""The message-passing system runtime.
+
+Drives one paper round as three broadcast/compute sub-rounds plus the
+transfer delivery and source production, over a
+:class:`~repro.netsim.network.SynchronousNetwork`. The public surface
+mirrors :class:`repro.core.system.System` (``update``, ``fail``,
+``recover``, ``entity_count`` ...), so simulations, monitors, and the
+bisimulation tests can treat the two implementations uniformly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Set
+
+from repro.core.cell import CellState
+from repro.core.entity import Entity
+from repro.core.params import Parameters
+from repro.core.policies import RoundRobinTokenPolicy, TokenPolicy
+from repro.core.sources import SourcePolicy
+from repro.grid.topology import CellId, Grid
+from repro.netsim.network import SynchronousNetwork
+from repro.netsim.process import CellProcess
+
+
+@dataclass
+class NetRoundReport:
+    """Observable outcome of one message-passing round."""
+
+    round_index: int
+    consumed: List[Entity] = field(default_factory=list)
+    produced: List[Entity] = field(default_factory=list)
+    moved_cells: List[CellId] = field(default_factory=list)
+    messages_sent: int = 0
+
+    @property
+    def consumed_count(self) -> int:
+        return len(self.consumed)
+
+
+class MessagePassingSystem:
+    """The protocol over real messages (see package docstring)."""
+
+    def __init__(
+        self,
+        grid: Grid,
+        params: Parameters,
+        tid: CellId,
+        sources: Optional[Mapping[CellId, SourcePolicy]] = None,
+        token_policy: Optional[TokenPolicy] = None,
+        rng: Optional[random.Random] = None,
+    ):
+        grid.require(tid)
+        self.grid = grid
+        self.params = params
+        self.tid = tid
+        self.sources: Dict[CellId, SourcePolicy] = dict(sources or {})
+        for source in self.sources:
+            grid.require(source)
+            if source == tid:
+                raise ValueError("the target cell cannot be a source")
+        self.token_policy = token_policy or RoundRobinTokenPolicy()
+        self.rng = rng or random.Random(0)
+        self.network = SynchronousNetwork(grid)
+        self.processes: Dict[CellId, CellProcess] = {
+            cid: CellProcess(
+                cell_id=cid,
+                grid=grid,
+                params=params,
+                is_target=(cid == tid),
+                token_policy=self.token_policy,
+            )
+            for cid in grid.cells()
+        }
+        self.round_index = 0
+        self._next_uid = 0
+        self.total_produced = 0
+        self.total_consumed = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def cells(self) -> Dict[CellId, CellState]:
+        """The per-cell states, shaped like ``System.cells``.
+
+        Lets the monitor suite and the renderers work on either
+        implementation unchanged.
+        """
+        return {cid: process.state for cid, process in self.processes.items()}
+
+    def fail(self, cid: CellId) -> None:
+        """Crash a cell between rounds."""
+        self.processes[self.grid.require(cid)].crash()
+
+    def recover(self, cid: CellId) -> None:
+        """Un-crash a cell with cleared protocol state."""
+        process = self.processes[self.grid.require(cid)]
+        if process.failed:
+            process.recover()
+
+    def failed_cells(self) -> Set[CellId]:
+        """Identifiers of currently crashed cells."""
+        return {cid for cid, process in self.processes.items() if process.failed}
+
+    def non_faulty_cells(self) -> Set[CellId]:
+        """Identifiers of live cells."""
+        return {cid for cid, process in self.processes.items() if not process.failed}
+
+    def entity_count(self) -> int:
+        """Entities currently present across all cells."""
+        return sum(len(process.state.members) for process in self.processes.values())
+
+    def seed_entity(self, cid: CellId, x: float, y: float) -> Entity:
+        """Place a fresh entity at an absolute position (setup helper)."""
+        entity = Entity(
+            uid=self._next_uid,
+            x=x,
+            y=y,
+            birth_round=self.round_index,
+            side=self.params.l,
+        )
+        self._next_uid += 1
+        self.total_produced += 1
+        self.processes[self.grid.require(cid)].state.add_entity(entity)
+        return entity
+
+    # ------------------------------------------------------------------
+
+    def update(self) -> NetRoundReport:
+        """One paper round = three communication sub-rounds + production."""
+        self.network.set_crashed(self.failed_cells())
+        report = NetRoundReport(round_index=self.round_index)
+        sent_before = self.network.stats.total_sent
+
+        # Sub-round 1: dist adverts -> Route.
+        for process in self._live_processes():
+            process.advert_route(self.network)
+        inboxes = self.network.deliver()
+        for cid, process in self.processes.items():
+            process.on_route(inboxes.get(cid, []))
+
+        # Sub-round 2: next/occupancy adverts -> Signal.
+        for process in self._live_processes():
+            process.advert_occupancy(self.network)
+        inboxes = self.network.deliver()
+        for cid, process in self.processes.items():
+            process.on_occupancy(inboxes.get(cid, []))
+
+        # Sub-round 3: grant adverts -> Move; then transfer delivery.
+        for process in self._live_processes():
+            process.advert_grant(self.network)
+        inboxes = self.network.deliver()
+        for cid, process in self.processes.items():
+            if process.on_grant(inboxes.get(cid, []), self.network):
+                report.moved_cells.append(cid)
+        transfer_inboxes = self.network.deliver()
+        for cid, process in self.processes.items():
+            consumed = process.on_transfers(transfer_inboxes.get(cid, []))
+            report.consumed.extend(consumed)
+
+        report.produced = self._produce()
+        report.messages_sent = self.network.stats.total_sent - sent_before
+        self.total_consumed += len(report.consumed)
+        self.round_index += 1
+        return report
+
+    def run(self, rounds: int) -> List[NetRoundReport]:
+        """Run ``rounds`` consecutive message-passing rounds."""
+        return [self.update() for _ in range(rounds)]
+
+    def _live_processes(self) -> List[CellProcess]:
+        return [p for p in self.processes.values() if not p.failed]
+
+    def _produce(self) -> List[Entity]:
+        produced: List[Entity] = []
+        for cid in sorted(self.sources):
+            process = self.processes[cid]
+            if process.failed:
+                continue
+            candidate = self.sources[cid].place(
+                process.state, self.params, self.round_index, self.rng
+            )
+            if candidate is None:
+                continue
+            entity = Entity(
+                uid=self._next_uid,
+                x=candidate.x,
+                y=candidate.y,
+                birth_round=self.round_index,
+                side=self.params.l,
+            )
+            self._next_uid += 1
+            self.total_produced += 1
+            process.state.add_entity(entity)
+            produced.append(entity)
+        return produced

@@ -1,0 +1,17 @@
+"""Routing substrate: the paper's Route rule, generalized.
+
+The grid protocol's Route function is an instance of self-stabilizing
+distance-vector (BFS) routing. This package lifts it to arbitrary graphs
+(anything networkx-like) so it can be studied, tested, and compared in
+isolation from the traffic machinery:
+
+* :mod:`repro.routing.distance_vector` — the synchronous self-stabilizing
+  algorithm with crash/recovery of nodes.
+* :mod:`repro.routing.static` — one-shot global shortest-path tables (the
+  non-stabilizing baseline a centralized coordinator would compute).
+"""
+
+from repro.routing.distance_vector import DistanceVectorRouter
+from repro.routing.static import static_routes
+
+__all__ = ["DistanceVectorRouter", "static_routes"]

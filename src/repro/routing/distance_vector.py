@@ -1,0 +1,149 @@
+"""Self-stabilizing distance-vector routing on arbitrary graphs.
+
+The synchronous rule of the paper's Route function, for any undirected
+graph: each round, every live non-target node simultaneously sets
+
+    ``dist := 1 + min(neighbors' dist)``     (infinity propagates)
+    ``next := argmin (dist, node-id)``
+
+against the previous round's values. Crashed nodes advertise infinity.
+Lemma 6's guarantee carries over verbatim: after failures cease, a node
+at true hop distance ``h`` from the target stabilizes within ``h``
+rounds, and the whole graph within its (failure-adjusted) eccentricity.
+
+Works with ``networkx`` graphs or any object exposing ``nodes`` and
+``neighbors(node)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, Iterable, List, Optional, Set
+
+INFINITY = math.inf
+Node = Hashable
+
+
+class DistanceVectorRouter:
+    """Round-based self-stabilizing BFS routing over a graph."""
+
+    def __init__(self, graph, target: Node):
+        if target not in set(graph.nodes):
+            raise ValueError(f"target {target!r} not in graph")
+        self.graph = graph
+        self.target = target
+        self.dist: Dict[Node, float] = {node: INFINITY for node in graph.nodes}
+        self.next_hop: Dict[Node, Optional[Node]] = {
+            node: None for node in graph.nodes
+        }
+        self.crashed: Set[Node] = set()
+        self.dist[target] = 0.0
+
+    # ------------------------------------------------------------------
+
+    def crash(self, node: Node) -> None:
+        """Crash a node: it advertises infinity and computes nothing."""
+        if node not in self.dist:
+            raise ValueError(f"unknown node {node!r}")
+        self.crashed.add(node)
+        self.dist[node] = INFINITY
+        self.next_hop[node] = None
+
+    def recover(self, node: Node) -> None:
+        """Recover a node with cleared routing state."""
+        self.crashed.discard(node)
+        self.dist[node] = 0.0 if node == self.target else INFINITY
+        self.next_hop[node] = None
+
+    # ------------------------------------------------------------------
+
+    def step(self) -> bool:
+        """One synchronous round; returns True when anything changed."""
+        snapshot = dict(self.dist)
+        changed = False
+        for node in self.graph.nodes:
+            if node in self.crashed or node == self.target:
+                continue
+            best_dist = INFINITY
+            best_next: Optional[Node] = None
+            for neighbor in self.graph.neighbors(node):
+                d = snapshot[neighbor]
+                if d < best_dist or (
+                    d == best_dist
+                    and best_next is not None
+                    and repr(neighbor) < repr(best_next)
+                ):
+                    best_dist = d
+                    best_next = neighbor
+            new_dist = INFINITY if best_dist == INFINITY else best_dist + 1.0
+            new_next = None if new_dist == INFINITY else best_next
+            if new_dist != self.dist[node] or new_next != self.next_hop[node]:
+                changed = True
+                self.dist[node] = new_dist
+                self.next_hop[node] = new_next
+        return changed
+
+    def run_to_fixpoint(self, max_rounds: Optional[int] = None) -> int:
+        """Step until quiescent; returns the number of rounds taken.
+
+        ``max_rounds`` defaults to the node count (Corollary 7's bound for
+        the grid is ``O(N^2)`` = the number of nodes; for general graphs
+        the eccentricity is at most ``|V| - 1``, plus one quiescent
+        confirmation round).
+        """
+        budget = (len(self.dist) + 1) if max_rounds is None else max_rounds
+        for rounds in range(budget):
+            if not self.step():
+                return rounds
+        raise RuntimeError(f"routing did not stabilize within {budget} rounds")
+
+    # ------------------------------------------------------------------
+
+    def true_distances(self) -> Dict[Node, float]:
+        """Ground-truth BFS distances through live nodes (for verification)."""
+        rho = {node: INFINITY for node in self.dist}
+        if self.target in self.crashed:
+            return rho
+        rho[self.target] = 0.0
+        frontier: List[Node] = [self.target]
+        depth = 0.0
+        while frontier:
+            depth += 1.0
+            next_frontier: List[Node] = []
+            for node in frontier:
+                for neighbor in self.graph.neighbors(node):
+                    if neighbor in self.crashed or rho[neighbor] != INFINITY:
+                        continue
+                    rho[neighbor] = depth
+                    next_frontier.append(neighbor)
+            frontier = next_frontier
+        return rho
+
+    def is_correct(self) -> bool:
+        """Do dist/next match the ground truth everywhere (live nodes)?"""
+        rho = self.true_distances()
+        for node in self.dist:
+            if node in self.crashed:
+                continue
+            if self.dist[node] != rho[node]:
+                return False
+            if node == self.target or rho[node] == INFINITY:
+                continue
+            nxt = self.next_hop[node]
+            if nxt is None or rho[nxt] != rho[node] - 1.0:
+                return False
+        return True
+
+    def route_from(self, node: Node, max_hops: Optional[int] = None) -> List[Node]:
+        """Follow next-hops from ``node`` to the target (for tests/demos)."""
+        path = [node]
+        budget = len(self.dist) if max_hops is None else max_hops
+        cursor = node
+        for _ in range(budget):
+            if cursor == self.target:
+                return path
+            cursor = self.next_hop[cursor]
+            if cursor is None:
+                raise ValueError(f"no route from {node!r}")
+            path.append(cursor)
+        raise ValueError(f"route from {node!r} did not reach target (loop?)")

@@ -1,0 +1,57 @@
+"""Static global shortest-path tables (the centralized baseline's core).
+
+One BFS from the target yields dist/next for every node — instantly
+correct, but with no notion of failure: the tables are only as fresh as
+the last time someone recomputed them. Used by the centralized baseline
+and as the verification oracle for the distance-vector router.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Dict, Hashable, Iterable, Optional, Set, Tuple
+
+INFINITY = math.inf
+Node = Hashable
+
+
+def static_routes(
+    graph, target: Node, excluded: Iterable[Node] = ()
+) -> Tuple[Dict[Node, float], Dict[Node, Optional[Node]]]:
+    """BFS ``(dist, next_hop)`` tables toward ``target``.
+
+    ``excluded`` nodes (e.g. currently crashed ones) are treated as absent.
+    Next-hop ties break toward the neighbor with the smallest ``repr`` for
+    determinism.
+    """
+    nodes = set(graph.nodes)
+    if target not in nodes:
+        raise ValueError(f"target {target!r} not in graph")
+    excluded_set: Set[Node] = set(excluded)
+    dist: Dict[Node, float] = {node: INFINITY for node in nodes}
+    next_hop: Dict[Node, Optional[Node]] = {node: None for node in nodes}
+    if target in excluded_set:
+        return dist, next_hop
+
+    dist[target] = 0.0
+    queue = deque([target])
+    while queue:
+        node = queue.popleft()
+        for neighbor in graph.neighbors(node):
+            if neighbor in excluded_set:
+                continue
+            if dist[neighbor] == INFINITY:
+                dist[neighbor] = dist[node] + 1.0
+                queue.append(neighbor)
+
+    for node in nodes:
+        if node == target or dist[node] == INFINITY:
+            continue
+        candidates = [
+            neighbor
+            for neighbor in graph.neighbors(node)
+            if neighbor not in excluded_set and dist[neighbor] == dist[node] - 1.0
+        ]
+        next_hop[node] = min(candidates, key=repr) if candidates else None
+    return dist, next_hop

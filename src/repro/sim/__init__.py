@@ -1,0 +1,27 @@
+"""Simulation harness: configs, the round loop, multi-seed runs, sweeps.
+
+Composes the core protocol (:mod:`repro.core`) with fault injection
+(:mod:`repro.faults`), runtime verification (:mod:`repro.monitors`) and
+measurement (:mod:`repro.metrics`) into reproducible experiments.
+"""
+
+from repro.sim.config import FaultSpec, SimulationConfig
+from repro.sim.results import SimulationResult, SweepResult
+from repro.sim.runner import run_config, run_replications
+from repro.sim.seeding import derive_seed
+from repro.sim.simulator import Simulator, build_simulation
+from repro.sim.sweep import Sweep, sweep_grid
+
+__all__ = [
+    "FaultSpec",
+    "SimulationConfig",
+    "SimulationResult",
+    "Simulator",
+    "Sweep",
+    "SweepResult",
+    "build_simulation",
+    "derive_seed",
+    "run_config",
+    "run_replications",
+    "sweep_grid",
+]

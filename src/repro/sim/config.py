@@ -1,0 +1,121 @@
+"""Declarative simulation configuration.
+
+A :class:`SimulationConfig` captures everything needed to reproduce a run:
+grid, protocol parameters, workload (corridor path or explicit
+target/sources), source policy, fault model, horizon, and seed. Configs
+serialize to/from plain dicts so experiment registries and result files
+can embed them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.params import Parameters
+from repro.grid.topology import CellId
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Declarative fault model: Bernoulli fail/recover coins.
+
+    ``pf = 0`` means fault-free. ``protect_target`` grants the target cell
+    immunity (the analysis assumption); the Figure 9 experiment leaves it
+    False so even the target churns.
+    """
+
+    pf: float = 0.0
+    pr: float = 0.0
+    protect_target: bool = False
+
+    @property
+    def enabled(self) -> bool:
+        return self.pf > 0.0
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """A complete, reproducible run description."""
+
+    grid_width: int
+    params: Parameters
+    rounds: int
+    grid_height: Optional[int] = None
+    path: Optional[Tuple[CellId, ...]] = None
+    """Corridor mode: source at path[0], target at path[-1], complement
+    failed. Mutually exclusive with explicit ``tid``/``sources``."""
+
+    tid: Optional[CellId] = None
+    sources: Tuple[CellId, ...] = ()
+    source_policy: str = "eager"
+    """One of ``eager``, ``silent``, ``bernoulli:<rate>``, ``capped:<n>``."""
+
+    fault: FaultSpec = field(default_factory=FaultSpec)
+    seed: int = 0
+    warmup: int = 0
+    """Rounds discarded before throughput accounting."""
+
+    monitors: bool = True
+    """Run the full monitor suite every round (strict)."""
+
+    fail_complement: bool = True
+    """In corridor mode, pre-fail all off-path cells."""
+
+    def __post_init__(self) -> None:
+        if self.rounds <= 0:
+            raise ValueError(f"rounds must be positive, got {self.rounds}")
+        if self.warmup < 0 or self.warmup >= self.rounds:
+            raise ValueError(
+                f"warmup must be in [0, rounds), got {self.warmup} of {self.rounds}"
+            )
+        if self.path is None and self.tid is None:
+            raise ValueError("either a corridor path or an explicit tid is required")
+        if self.path is not None and self.tid is not None:
+            raise ValueError("corridor path and explicit tid are mutually exclusive")
+        if self.path is not None and len(self.path) < 2:
+            raise ValueError("a corridor path needs at least 2 cells")
+        if self.fault.enabled and self.path is not None and self.fail_complement:
+            raise ValueError(
+                "corridor mode with a failed complement cannot be combined with "
+                "a recovery fault model (the complement would resurrect); use "
+                "fail_complement=False, as the paper's Figure 9 does"
+            )
+        _parse_source_policy(self.source_policy)  # validate eagerly
+
+    def to_dict(self) -> Dict:
+        """Plain-dict form (JSON-serializable) for result files."""
+        data = asdict(self)
+        data["params"] = {"l": self.params.l, "rs": self.params.rs, "v": self.params.v}
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SimulationConfig":
+        payload = dict(data)
+        payload["params"] = Parameters(**payload["params"])
+        if payload.get("path") is not None:
+            payload["path"] = tuple(tuple(cell) for cell in payload["path"])
+        if payload.get("tid") is not None:
+            payload["tid"] = tuple(payload["tid"])
+        payload["sources"] = tuple(tuple(cell) for cell in payload.get("sources", ()))
+        fault = payload.get("fault")
+        if isinstance(fault, dict):
+            payload["fault"] = FaultSpec(**fault)
+        return cls(**payload)
+
+
+def _parse_source_policy(spec: str) -> Tuple[str, Optional[float]]:
+    """Parse a source-policy spec string; returns ``(kind, argument)``."""
+    if spec in ("eager", "silent"):
+        return spec, None
+    if spec.startswith("bernoulli:"):
+        rate = float(spec.split(":", 1)[1])
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"bernoulli rate must be in [0, 1], got {rate}")
+        return "bernoulli", rate
+    if spec.startswith("capped:"):
+        limit = int(spec.split(":", 1)[1])
+        if limit < 0:
+            raise ValueError(f"capped limit must be nonnegative, got {limit}")
+        return "capped", float(limit)
+    raise ValueError(f"unknown source policy spec: {spec!r}")

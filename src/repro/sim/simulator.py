@@ -1,0 +1,168 @@
+"""The round loop: building and driving one simulation.
+
+:func:`build_simulation` turns a declarative config into a live
+:class:`Simulator`; :meth:`Simulator.run` executes the loop
+
+    fault events  ->  update (Route; Signal; Move; produce)  ->  monitors
+                                                              ->  metrics
+
+and returns a :class:`~repro.sim.results.SimulationResult`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.core.params import Parameters
+from repro.core.sources import (
+    BernoulliSource,
+    CappedSource,
+    EagerSource,
+    SilentSource,
+    SourcePolicy,
+)
+from repro.core.system import System, build_corridor_system
+from repro.faults.injector import FaultInjector
+from repro.faults.model import BernoulliFaultModel, FaultModel, NoFaults
+from repro.grid.topology import Grid
+from repro.metrics.occupancy import OccupancyProbe
+from repro.metrics.throughput import ThroughputMeter
+from repro.monitors.progress import EntityTracker
+from repro.monitors.recorder import MonitorSuite
+from repro.sim.config import SimulationConfig, _parse_source_policy
+from repro.sim.results import SimulationResult
+from repro.sim.seeding import derive_rng
+
+
+class Simulator:
+    """Drives one ``System`` for a fixed horizon with all instrumentation."""
+
+    def __init__(
+        self,
+        system: System,
+        rounds: int,
+        injector: Optional[FaultInjector] = None,
+        monitors: Optional[MonitorSuite] = None,
+        warmup: int = 0,
+        config: Optional[SimulationConfig] = None,
+    ):
+        if rounds <= 0:
+            raise ValueError(f"rounds must be positive, got {rounds}")
+        if not 0 <= warmup < rounds:
+            raise ValueError(f"warmup must be in [0, rounds), got {warmup}")
+        self.system = system
+        self.rounds = rounds
+        self.warmup = warmup
+        self.injector = injector or FaultInjector(NoFaults())
+        self.monitors = monitors
+        if self.monitors is not None:
+            self.monitors.attach(system)
+        self.config = config
+        self.meter = ThroughputMeter()
+        self.occupancy = OccupancyProbe()
+        self.tracker = EntityTracker()
+
+    def step(self) -> None:
+        """One loop iteration: faults, update, monitors, metrics."""
+        self.injector.apply(self.system)
+        report = self.system.update()
+        if self.monitors is not None:
+            self.monitors.after_round(self.system, report)
+        self.meter.observe(report.consumed_count)
+        self.occupancy.observe(self.system, report)
+        self.tracker.observe(report, self.system)
+
+    def run(self) -> SimulationResult:
+        """Execute the full horizon and summarize."""
+        for _ in range(self.rounds):
+            self.step()
+        return self.summarize()
+
+    def summarize(self) -> SimulationResult:
+        """Summarize the instrumentation into a result record."""
+        latencies = self.tracker.latencies()
+        mean_latency = sum(latencies) / len(latencies) if latencies else None
+        p95_latency = None
+        if latencies:
+            p95_latency = latencies[min(len(latencies) - 1, int(0.95 * len(latencies)))]
+        return SimulationResult(
+            config=self.config.to_dict() if self.config else {},
+            rounds=self.meter.rounds,
+            produced=self.system.total_produced,
+            consumed=self.meter.total_consumed,
+            throughput=self.meter.average_throughput(warmup=self.warmup),
+            in_flight=self.system.entity_count(),
+            mean_latency=mean_latency,
+            p95_latency=p95_latency,
+            mean_blocked_cells=self.occupancy.mean_blocked(),
+            mean_entities=self.occupancy.mean_entities(),
+            total_failures=self.injector.total_failures,
+            total_recoveries=self.injector.total_recoveries,
+            monitor_violations=(
+                len(self.monitors.violations) if self.monitors else 0
+            ),
+        )
+
+
+def _make_source_policy(spec: str) -> SourcePolicy:
+    kind, argument = _parse_source_policy(spec)
+    if kind == "eager":
+        return EagerSource()
+    if kind == "silent":
+        return SilentSource()
+    if kind == "bernoulli":
+        assert argument is not None
+        return BernoulliSource(rate=argument)
+    assert kind == "capped" and argument is not None
+    return CappedSource(EagerSource(), limit=int(argument))
+
+
+def build_simulation(config: SimulationConfig) -> Simulator:
+    """Materialize a :class:`Simulator` from a declarative config."""
+    grid = Grid(config.grid_width, config.grid_height)
+    params: Parameters = config.params
+    source_rng = derive_rng(config.seed, "sources")
+
+    if config.path is not None:
+        system = build_corridor_system(
+            grid,
+            params,
+            list(config.path),
+            source_policy=_make_source_policy(config.source_policy),
+            rng=source_rng,
+            fail_complement=config.fail_complement,
+        )
+    else:
+        assert config.tid is not None
+        sources = {
+            cid: _make_source_policy(config.source_policy)
+            for cid in config.sources
+        }
+        system = System(
+            grid=grid,
+            params=params,
+            tid=config.tid,
+            sources=sources,
+            rng=source_rng,
+        )
+
+    fault_model: FaultModel
+    if config.fault.enabled:
+        immune = frozenset({system.tid}) if config.fault.protect_target else frozenset()
+        fault_model = BernoulliFaultModel(
+            pf=config.fault.pf, pr=config.fault.pr, immune=immune
+        )
+    else:
+        fault_model = NoFaults()
+    injector = FaultInjector(fault_model, rng=derive_rng(config.seed, "faults"))
+
+    monitors = MonitorSuite() if config.monitors else None
+    return Simulator(
+        system=system,
+        rounds=config.rounds,
+        injector=injector,
+        monitors=monitors,
+        warmup=config.warmup,
+        config=config,
+    )

@@ -1,0 +1,68 @@
+"""Parameter sweeps.
+
+A sweep is a named list of (label, config, annotations) points, executed
+into a :class:`~repro.sim.results.SweepResult`. The figure experiments in
+:mod:`repro.experiments` are thin builders of sweeps.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+
+from repro.sim.config import SimulationConfig
+from repro.sim.results import SweepResult
+from repro.sim.runner import run_config
+
+
+@dataclass
+class Sweep:
+    """An ordered collection of labeled simulation points."""
+
+    name: str
+    points: List[Tuple[str, SimulationConfig, Dict]] = field(default_factory=list)
+
+    def add(self, label: str, config: SimulationConfig, **extras) -> None:
+        """Append a labeled point with annotation extras."""
+        self.points.append((label, config, dict(extras)))
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def run(
+        self, progress: Callable[[str], None] = lambda message: None
+    ) -> SweepResult:
+        """Execute every point in order; ``progress`` gets one call per point."""
+        result = SweepResult(name=self.name)
+        for label, config, extras in self.points:
+            progress(f"[{self.name}] running {label}")
+            result.add(run_config(config, point=label, **extras))
+        return result
+
+
+def sweep_grid(
+    name: str,
+    base: SimulationConfig,
+    axes: Dict[str, Sequence],
+    configure: Callable[[SimulationConfig, Dict], SimulationConfig] = None,
+) -> Sweep:
+    """Cartesian-product sweep over config fields.
+
+    ``axes`` maps field names (or virtual names handled by ``configure``)
+    to value lists. For plain config fields the value is applied with
+    ``dataclasses.replace``; anything else must be consumed by the
+    ``configure`` callback, which receives the base config and the full
+    assignment dict and returns the final config.
+    """
+    sweep = Sweep(name=name)
+    keys = list(axes)
+    for values in itertools.product(*(axes[key] for key in keys)):
+        assignment = dict(zip(keys, values))
+        if configure is not None:
+            config = configure(base, assignment)
+        else:
+            config = replace(base, **assignment)
+        label = ",".join(f"{key}={value}" for key, value in assignment.items())
+        sweep.add(label, config, **assignment)
+    return sweep

@@ -1,0 +1,174 @@
+"""Trace recording and offline replay verification.
+
+A :class:`TraceRecorder` captures, per round, the protocol-relevant
+state of every cell plus the round's observable events, as JSON-lines —
+an audit artifact a paper-reproduction run can ship. The companion
+:func:`verify_trace` re-checks the paper's state properties (Safe,
+Invariants 1-2) *offline* on a recorded trace, and
+:func:`replay_throughput` recomputes the throughput series from the
+events, so claims in result files can be re-derived from raw traces
+without re-running the simulation.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional
+
+from repro.core.system import RoundReport, System
+from repro.geometry.separation import axis_separated
+from repro.geometry.point import Point
+from repro.geometry.tolerance import tol_ge, tol_le
+
+
+def snapshot_state(system: System) -> Dict:
+    """JSON-ready snapshot of the protocol state."""
+    cells = {}
+    for cid, state in system.cells.items():
+        cells[f"{cid[0]},{cid[1]}"] = {
+            "failed": state.failed,
+            "dist": None if math.isinf(state.dist) else state.dist,
+            "next": list(state.next_id) if state.next_id else None,
+            "signal": list(state.signal) if state.signal else None,
+            "members": [
+                {"uid": uid, "x": entity.x, "y": entity.y}
+                for uid, entity in sorted(state.members.items())
+            ],
+        }
+    return cells
+
+
+@dataclass
+class TraceRecorder:
+    """Accumulates one JSON record per round; writes JSON-lines."""
+
+    params: Dict = field(default_factory=dict)
+    records: List[Dict] = field(default_factory=list)
+
+    @classmethod
+    def for_system(cls, system: System) -> "TraceRecorder":
+        return cls(
+            params={
+                "l": system.params.l,
+                "rs": system.params.rs,
+                "v": system.params.v,
+                "grid": [system.grid.width, system.grid.height],
+                "tid": list(system.tid),
+            }
+        )
+
+    def observe(self, system: System, report: RoundReport) -> None:
+        """Append one round's snapshot and events."""
+        self.records.append(
+            {
+                "round": report.round_index,
+                "consumed": [entity.uid for entity in report.move.consumed],
+                "produced": [entity.uid for entity in report.produced],
+                "transfers": [
+                    {"uid": t.uid, "src": list(t.src), "dst": list(t.dst)}
+                    for t in report.move.transfers
+                ],
+                "state": snapshot_state(system),
+            }
+        )
+
+    def save(self, path) -> Path:
+        """Write header + records as JSON-lines; returns the path."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        with target.open("w") as handle:
+            handle.write(json.dumps({"header": self.params}) + "\n")
+            for record in self.records:
+                handle.write(json.dumps(record) + "\n")
+        return target
+
+
+def load_trace(path) -> tuple:
+    """Read a trace file; returns ``(header, records)``."""
+    lines = Path(path).read_text().splitlines()
+    if not lines:
+        raise ValueError(f"empty trace file: {path}")
+    header = json.loads(lines[0])["header"]
+    records = [json.loads(line) for line in lines[1:]]
+    return header, records
+
+
+@dataclass
+class TraceViolation:
+    round_index: int
+    property_name: str
+    detail: str
+
+
+def verify_trace(path) -> List[TraceViolation]:
+    """Offline re-check of Safe and Invariants 1-2 on a recorded trace."""
+    header, records = load_trace(path)
+    d = header["l"] + header["rs"]
+    half_l = header["l"] / 2.0
+    violations: List[TraceViolation] = []
+    for record in records:
+        seen_uids: Dict[int, str] = {}
+        for cell_key, cell in record["state"].items():
+            i, j = (int(part) for part in cell_key.split(","))
+            members = cell["members"]
+            for index, member in enumerate(members):
+                uid = member["uid"]
+                if uid in seen_uids:
+                    violations.append(
+                        TraceViolation(
+                            record["round"],
+                            "Invariant 2",
+                            f"uid {uid} in both {seen_uids[uid]} and {cell_key}",
+                        )
+                    )
+                seen_uids[uid] = cell_key
+                inside = (
+                    tol_ge(member["x"], i + half_l)
+                    and tol_le(member["x"], i + 1 - half_l)
+                    and tol_ge(member["y"], j + half_l)
+                    and tol_le(member["y"], j + 1 - half_l)
+                )
+                if not inside:
+                    violations.append(
+                        TraceViolation(
+                            record["round"],
+                            "Invariant 1",
+                            f"uid {uid} outside cell {cell_key}",
+                        )
+                    )
+                for other in members[index + 1 :]:
+                    if not axis_separated(
+                        Point(member["x"], member["y"]),
+                        Point(other["x"], other["y"]),
+                        d,
+                    ):
+                        violations.append(
+                            TraceViolation(
+                                record["round"],
+                                "Safe",
+                                f"uids {uid},{other['uid']} too close in {cell_key}",
+                            )
+                        )
+    return violations
+
+
+def replay_throughput(path, warmup: int = 0) -> float:
+    """Recompute average throughput from a trace's consumption events."""
+    _, records = load_trace(path)
+    effective = records[warmup:]
+    if not effective:
+        return 0.0
+    return sum(len(record["consumed"]) for record in effective) / len(effective)
+
+
+def iter_entity_positions(path, uid: int) -> Iterator[tuple]:
+    """Yield ``(round, x, y)`` for one entity across a trace (debugging)."""
+    _, records = load_trace(path)
+    for record in records:
+        for cell in record["state"].values():
+            for member in cell["members"]:
+                if member["uid"] == uid:
+                    yield record["round"], member["x"], member["y"]

@@ -1,0 +1,6 @@
+"""Visualization: ASCII and SVG rendering of system states."""
+
+from repro.viz.render import render_grid, render_routes
+from repro.viz.svg import render_svg, save_svg
+
+__all__ = ["render_grid", "render_routes", "render_svg", "save_svg"]

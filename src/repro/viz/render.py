@@ -1,0 +1,70 @@
+"""ASCII rendering of ``System`` states.
+
+``render_grid`` draws one character cell per lattice cell: the target,
+sources, failures, and entity counts at a glance. ``render_routes`` draws
+each cell's ``next`` pointer as an arrow — the quickest way to see the
+routing tree (and to watch it re-form after failures).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.system import System
+from repro.grid.topology import CellId
+
+
+def _cell_glyph(system: System, cid: CellId) -> str:
+    state = system.cells[cid]
+    if state.failed:
+        return "XX"
+    if cid == system.tid:
+        return "TT"
+    count = len(state.members)
+    if cid in system.sources:
+        return f"S{count}" if count < 10 else "S+"
+    if count == 0:
+        return ".."
+    return f"{count:2d}" if count < 100 else "++"
+
+
+def render_grid(system: System) -> str:
+    """Top row = highest j (north up), matching the paper's Figure 1."""
+    assert system.grid.height is not None
+    lines: List[str] = []
+    for j in range(system.grid.height - 1, -1, -1):
+        row = [_cell_glyph(system, (i, j)) for i in range(system.grid.width)]
+        lines.append(f"{j:2d} |" + " ".join(row))
+    lines.append("    " + "-" * (3 * system.grid.width - 1))
+    lines.append("    " + " ".join(f"{i:2d}" for i in range(system.grid.width)))
+    legend = "TT=target  Sn=source(n entities)  XX=failed  ..=empty  n=entities"
+    return "\n".join(lines + [legend])
+
+
+_ARROWS = {(1, 0): ">", (-1, 0): "<", (0, 1): "^", (0, -1): "v"}
+
+
+def _route_glyph(system: System, cid: CellId) -> str:
+    state = system.cells[cid]
+    if state.failed:
+        return "X"
+    if cid == system.tid:
+        return "T"
+    if state.next_id is None:
+        return "."
+    delta = (state.next_id[0] - cid[0], state.next_id[1] - cid[1])
+    return _ARROWS.get(delta, "?")
+
+
+def render_routes(system: System) -> str:
+    """Arrow field of the ``next`` pointers (T=target, X=failed, .=no route)."""
+    assert system.grid.height is not None
+    lines: List[str] = []
+    for j in range(system.grid.height - 1, -1, -1):
+        lines.append(
+            f"{j:2d} |"
+            + " ".join(_route_glyph(system, (i, j)) for i in range(system.grid.width))
+        )
+    lines.append("    " + "-" * (2 * system.grid.width - 1))
+    lines.append("    " + " ".join(str(i % 10) for i in range(system.grid.width)))
+    return "\n".join(lines)

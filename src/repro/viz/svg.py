@@ -1,0 +1,134 @@
+"""Dependency-free SVG snapshots of system states.
+
+Renders the partitioned plane the way the paper's Figure 1 draws it:
+unit cells with identifiers, the target green, sources blue, failed
+cells red, entities as filled squares with their safety region (the
+``rs``-margin) outlined, and the routing field as arrows. Output is a
+plain SVG string / file — viewable in any browser, embeddable in docs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional
+
+from repro.core.system import System
+from repro.grid.topology import CellId
+
+CELL_PX = 80
+MARGIN_PX = 30
+
+_STYLE = {
+    "cell": "fill:white;stroke:#555;stroke-width:1",
+    "cell_failed": "fill:#f6c8c8;stroke:#555;stroke-width:1",
+    "cell_target": "fill:#c9e8c9;stroke:#555;stroke-width:1",
+    "cell_source": "fill:#cfe0f5;stroke:#555;stroke-width:1",
+    "entity": "fill:#3465a4;stroke:#204a87;stroke-width:1",
+    "safety": "fill:none;stroke:#cc0000;stroke-width:1;stroke-dasharray:3,2",
+    "arrow": "stroke:#2e8b57;stroke-width:2;fill:#2e8b57",
+    "label": "font-family:monospace;font-size:11px;fill:#333",
+}
+
+
+def _cell_style(system: System, cid: CellId) -> str:
+    state = system.cells[cid]
+    if state.failed:
+        return _STYLE["cell_failed"]
+    if cid == system.tid:
+        return _STYLE["cell_target"]
+    if cid in system.sources:
+        return _STYLE["cell_source"]
+    return _STYLE["cell"]
+
+
+def _to_px_x(system: System, x: float) -> float:
+    return MARGIN_PX + x * CELL_PX
+
+
+def _to_px_y(system: System, y: float) -> float:
+    assert system.grid.height is not None
+    return MARGIN_PX + (system.grid.height - y) * CELL_PX
+
+
+def render_svg(
+    system: System,
+    show_routes: bool = True,
+    show_safety_margin: bool = True,
+    title: Optional[str] = None,
+) -> str:
+    """Render the current state as an SVG document string."""
+    grid = system.grid
+    assert grid.height is not None
+    width_px = 2 * MARGIN_PX + grid.width * CELL_PX
+    height_px = 2 * MARGIN_PX + grid.height * CELL_PX
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width_px}" '
+        f'height="{height_px}" viewBox="0 0 {width_px} {height_px}">',
+        f'<rect width="{width_px}" height="{height_px}" fill="#fafafa"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{MARGIN_PX}" y="18" style="{_STYLE["label"]}">'
+            f"{title}</text>"
+        )
+
+    for cid in grid.cells():
+        x_px = _to_px_x(system, cid[0])
+        y_px = _to_px_y(system, cid[1] + 1)
+        parts.append(
+            f'<rect x="{x_px:.1f}" y="{y_px:.1f}" width="{CELL_PX}" '
+            f'height="{CELL_PX}" style="{_cell_style(system, cid)}"/>'
+        )
+        parts.append(
+            f'<text x="{x_px + 3:.1f}" y="{y_px + 12:.1f}" '
+            f'style="{_STYLE["label"]}">{cid[0]},{cid[1]}</text>'
+        )
+
+    if show_routes:
+        for cid, state in system.cells.items():
+            if state.failed or state.next_id is None:
+                continue
+            x0 = _to_px_x(system, cid[0] + 0.5)
+            y0 = _to_px_y(system, cid[1] + 0.5)
+            dx = (state.next_id[0] - cid[0]) * 0.3 * CELL_PX
+            dy = -(state.next_id[1] - cid[1]) * 0.3 * CELL_PX
+            parts.append(
+                f'<line x1="{x0:.1f}" y1="{y0:.1f}" x2="{x0 + dx:.1f}" '
+                f'y2="{y0 + dy:.1f}" style="{_STYLE["arrow"]}"/>'
+            )
+            # Arrowhead: a small square at the tip keeps the markup simple.
+            parts.append(
+                f'<rect x="{x0 + dx - 2:.1f}" y="{y0 + dy - 2:.1f}" width="4" '
+                f'height="4" style="{_STYLE["arrow"]}"/>'
+            )
+
+    half_l = system.params.half_l
+    half_d = system.params.d / 2.0
+    for state in system.cells.values():
+        for entity in state.entities():
+            ex = _to_px_x(system, entity.x - half_l)
+            ey = _to_px_y(system, entity.y + half_l)
+            side = system.params.l * CELL_PX
+            parts.append(
+                f'<rect x="{ex:.1f}" y="{ey:.1f}" width="{side:.1f}" '
+                f'height="{side:.1f}" style="{_STYLE["entity"]}"/>'
+            )
+            if show_safety_margin:
+                sx = _to_px_x(system, entity.x - half_d)
+                sy = _to_px_y(system, entity.y + half_d)
+                sside = system.params.d * CELL_PX
+                parts.append(
+                    f'<rect x="{sx:.1f}" y="{sy:.1f}" width="{sside:.1f}" '
+                    f'height="{sside:.1f}" style="{_STYLE["safety"]}"/>'
+                )
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_svg(system: System, path, **kwargs) -> Path:
+    """Render and write an SVG file; returns the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(render_svg(system, **kwargs))
+    return target

@@ -1,0 +1,53 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.params import Parameters
+from repro.core.sources import EagerSource
+from repro.core.system import System, build_corridor_system
+from repro.grid.paths import straight_path
+from repro.grid.topology import Direction, Grid
+
+
+@pytest.fixture
+def params() -> Parameters:
+    """The paper's Figure 7 parameterization at v = 0.2."""
+    return Parameters(l=0.25, rs=0.05, v=0.2)
+
+
+@pytest.fixture
+def small_grid() -> Grid:
+    return Grid(4)
+
+
+@pytest.fixture
+def corridor_system(params) -> System:
+    """8x8 corridor from <1,0> to <1,7> (the paper's Figure 7 setup)."""
+    grid = Grid(8)
+    path = straight_path((1, 0), Direction.NORTH, 8)
+    return build_corridor_system(grid, params, path.cells)
+
+
+def make_two_cell_system(
+    params: Parameters = Parameters(l=0.25, rs=0.05, v=0.2),
+) -> System:
+    """A 2x1 world: source-less cell (0,0) feeding target (1,0).
+
+    The smallest system where transfers can happen; tests seed entities
+    directly.
+    """
+    grid = Grid(2, 1)
+    return System(grid=grid, params=params, tid=(1, 0), rng=random.Random(0))
+
+
+def drain(system: System, max_rounds: int = 10_000) -> int:
+    """Run updates until the system is empty; return rounds taken."""
+    for rounds in range(max_rounds):
+        if system.entity_count() == 0:
+            return rounds
+        system.update()
+    raise AssertionError(f"system did not drain within {max_rounds} rounds")

@@ -1,0 +1,91 @@
+"""Differential testing: the 3-D extension restricted to a single layer
+must reproduce the 2-D core exactly.
+
+``System3D`` with ``nz = 1`` (or ``ny = 1``) is geometrically the 2-D
+system; the consumption sequences of equivalent workloads must match
+round for round. This cross-validates the independently written 3-D
+implementation against the heavily verified 2-D one.
+"""
+
+import random
+from typing import List
+
+import pytest
+
+from repro.core.params import Parameters
+from repro.core.sources import EagerSource
+from repro.core.system import System
+from repro.extensions.grid3d import Grid3D, System3D, check_safe_3d
+from repro.grid.paths import straight_path, turns_path
+from repro.grid.topology import Direction, Grid
+
+L, RS, V = 0.25, 0.05, 0.2
+
+
+def run_2d(path_cells, rounds: int) -> List[int]:
+    grid = Grid(8)
+    system = System(
+        grid=grid,
+        params=Parameters(l=L, rs=RS, v=V),
+        tid=path_cells[-1],
+        sources={path_cells[0]: EagerSource()},
+        rng=random.Random(0),
+    )
+    for cid in grid.cells():
+        if cid not in set(path_cells):
+            system.fail(cid)
+    return [system.update().consumed_count for _ in range(rounds)]
+
+
+def run_3d_flat(path_cells_3d, rounds: int, grid: Grid3D) -> List[int]:
+    system = System3D(
+        grid=grid,
+        l=L,
+        rs=RS,
+        v=V,
+        tid=path_cells_3d[-1],
+        sources=(path_cells_3d[0],),
+        rng=random.Random(0),
+    )
+    for cid in grid.cells():
+        if cid not in set(path_cells_3d):
+            system.fail(cid)
+    sequence = [system.update() for _ in range(rounds)]
+    assert check_safe_3d(system) == []
+    return sequence
+
+
+class TestFlat3DMatches2D:
+    def test_straight_corridor(self):
+        """x/y corridor in 2-D == x/z corridor in a flat 3-D grid."""
+        path_2d = straight_path((1, 0), Direction.NORTH, 8)
+        two_d = run_2d(path_2d.cells, rounds=400)
+        # Same corridor embedded as (1, 0, k) in an 8x1x8 slab: y plays
+        # no role, the z axis takes the role of 2-D's y.
+        path_3d = [(1, 0, k) for k in range(8)]
+        three_d = run_3d_flat(path_3d, rounds=400, grid=Grid3D(8, 1, 8))
+        assert two_d == three_d
+
+    def test_turning_corridor(self):
+        """A 2-turn staircase, embedded in the x-z plane."""
+        path_2d = turns_path((0, 0), 8, 2)  # north/east staircase
+        two_d = run_2d(path_2d.cells, rounds=600)
+        path_3d = [(i, 0, j) for i, j in path_2d.cells]  # y -> z, x -> x
+        three_d = run_3d_flat(path_3d, rounds=600, grid=Grid3D(8, 1, 8))
+        assert two_d == three_d
+
+    def test_max_turns_staircase(self):
+        path_2d = turns_path((0, 0), 8, 6)
+        two_d = run_2d(path_2d.cells, rounds=600)
+        path_3d = [(i, 0, j) for i, j in path_2d.cells]
+        three_d = run_3d_flat(path_3d, rounds=600, grid=Grid3D(8, 1, 8))
+        assert two_d == three_d
+
+    def test_xy_plane_embedding(self):
+        """The same equivalence with the 3-D grid flattened along z
+        instead (x -> x, y -> y, nz = 1)."""
+        path_2d = turns_path((0, 0), 8, 3)
+        two_d = run_2d(path_2d.cells, rounds=500)
+        path_3d = [(i, j, 0) for i, j in path_2d.cells]
+        three_d = run_3d_flat(path_3d, rounds=500, grid=Grid3D(8, 8, 1))
+        assert two_d == three_d

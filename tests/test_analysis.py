@@ -1,0 +1,91 @@
+"""Unit tests for aggregation, tables, and ASCII plots."""
+
+import pytest
+
+from repro.analysis.aggregate import aggregate_by, curve, summarize
+from repro.analysis.ascii_plot import line_plot
+from repro.analysis.tables import format_series_table, format_table
+from repro.sim.results import SimulationResult
+
+
+def result(throughput: float, **extras) -> SimulationResult:
+    return SimulationResult(
+        config={},
+        rounds=100,
+        produced=10,
+        consumed=int(throughput * 100),
+        throughput=throughput,
+        in_flight=0,
+        extras=extras,
+    )
+
+
+class TestAggregate:
+    def test_summarize(self):
+        summary = summarize([result(0.1), result(0.2), result(0.3)])
+        assert summary.count == 3
+        assert summary.mean == pytest.approx(0.2)
+        assert summary.ci_half_width > 0
+
+    def test_summarize_custom_metric(self):
+        summary = summarize([result(0.1), result(0.3)], metric=lambda r: r.consumed)
+        assert summary.mean == pytest.approx(20.0)
+
+    def test_aggregate_by(self):
+        runs = [result(0.1, v=1), result(0.2, v=1), result(0.5, v=2)]
+        groups = aggregate_by(runs, key=lambda r: r.extras["v"])
+        assert groups[1].mean == pytest.approx(0.15)
+        assert groups[2].count == 1
+
+    def test_curve_sorted(self):
+        runs = [result(0.3, x=3), result(0.1, x=1), result(0.2, x=2)]
+        points = curve(runs, x_key="x")
+        assert [x for x, _, _ in points] == [1, 2, 3]
+        assert [m for _, m, _ in points] == [0.1, 0.2, 0.3]
+
+    def test_summary_str(self):
+        assert "n=2" in str(summarize([result(0.1), result(0.2)]))
+
+
+class TestFormatTable:
+    def test_basic_shape(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["xyz", 0.125]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header + rule + 2 rows
+        assert "2.5000" in text
+        assert "xyz" in text
+
+    def test_column_alignment(self):
+        text = format_table(["col"], [["short"], ["a-much-longer-value"]])
+        lines = text.splitlines()
+        assert len(lines[0]) == len(lines[2]) or len(lines[2]) >= len(lines[0])
+
+    def test_series_table(self):
+        curves = {
+            0.1: [(1, 0.5), (2, 0.4)],
+            0.2: [(1, 0.7)],
+        }
+        text = format_series_table(curves, x_label="rs")
+        assert "rs" in text.splitlines()[0]
+        assert "-" in text  # missing point placeholder
+        assert "0.5000" in text and "0.7000" in text
+
+
+class TestLinePlot:
+    def test_empty(self):
+        assert line_plot({}) == "(no data)"
+
+    def test_renders_markers_and_legend(self):
+        curves = {"a": [(0, 0.0), (1, 1.0)], "b": [(0, 1.0), (1, 0.0)]}
+        text = line_plot(curves, width=20, height=5)
+        assert "o = a" in text
+        assert "x = b" in text
+        assert "left=0" in text and "right=1" in text
+
+    def test_flat_series_does_not_crash(self):
+        text = line_plot({"flat": [(0, 0.5), (1, 0.5)]}, width=10, height=4)
+        assert "flat" in text
+
+    def test_single_point(self):
+        text = line_plot({"p": [(2.0, 3.0)]})
+        assert "p" in text

@@ -1,0 +1,257 @@
+"""Tests for the asynchronous realization: event scheduler, delay models,
+and the timed-round synchronizer's equivalence/degradation properties."""
+
+import random
+
+import pytest
+
+from repro.asyncnet.delay import FixedDelay, HeavyTailDelay, UniformDelay
+from repro.asyncnet.eventsim import EventScheduler
+from repro.asyncnet.timed_rounds import TimedRoundSystem
+from repro.core.params import Parameters
+from repro.core.sources import EagerSource
+from repro.core.system import System
+from repro.grid.paths import straight_path, turns_path
+from repro.grid.topology import Direction, Grid
+from repro.monitors.safety import check_safe
+from repro.netsim.message import RouteAdvert
+
+PARAMS = Parameters(l=0.25, rs=0.05, v=0.2)
+PATH = straight_path((1, 0), Direction.NORTH, 8)
+
+
+class TestEventScheduler:
+    def test_time_ordering(self):
+        scheduler = EventScheduler()
+        log = []
+        scheduler.schedule_at(2.0, lambda: log.append("b"))
+        scheduler.schedule_at(1.0, lambda: log.append("a"))
+        scheduler.schedule_at(3.0, lambda: log.append("c"))
+        scheduler.run_all()
+        assert log == ["a", "b", "c"]
+
+    def test_same_time_insertion_order(self):
+        scheduler = EventScheduler()
+        log = []
+        for name in "xyz":
+            scheduler.schedule_at(1.0, lambda n=name: log.append(n))
+        scheduler.run_all()
+        assert log == ["x", "y", "z"]
+
+    def test_past_scheduling_rejected(self):
+        scheduler = EventScheduler()
+        scheduler.schedule_at(5.0, lambda: None)
+        scheduler.step()
+        with pytest.raises(ValueError):
+            scheduler.schedule_at(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            EventScheduler().schedule_in(-1.0, lambda: None)
+
+    def test_run_until_partial(self):
+        scheduler = EventScheduler()
+        log = []
+        scheduler.schedule_at(1.0, lambda: log.append(1))
+        scheduler.schedule_at(2.0, lambda: log.append(2))
+        executed = scheduler.run_until(1.5)
+        assert executed == 1 and log == [1]
+        assert scheduler.now == 1.5
+        assert scheduler.pending == 1
+
+    def test_events_scheduling_events(self):
+        scheduler = EventScheduler()
+        log = []
+
+        def cascade():
+            log.append(scheduler.now)
+            if scheduler.now < 3:
+                scheduler.schedule_in(1.0, cascade)
+
+        scheduler.schedule_at(1.0, cascade)
+        scheduler.run_all()
+        assert log == [1.0, 2.0, 3.0]
+
+    def test_runaway_guard(self):
+        scheduler = EventScheduler()
+
+        def forever():
+            scheduler.schedule_in(0.1, forever)
+
+        scheduler.schedule_at(0.0, forever)
+        with pytest.raises(RuntimeError):
+            scheduler.run_all(max_events=100)
+
+
+class TestDelayModels:
+    def test_fixed(self):
+        model = FixedDelay(0.3)
+        message = RouteAdvert(src=(0, 0), dst=(0, 1), dist=None)
+        assert model.sample(message, random.Random(0)) == 0.3
+        assert model.bound == 0.3
+
+    def test_fixed_validation(self):
+        with pytest.raises(ValueError):
+            FixedDelay(-0.1)
+
+    def test_uniform_within_bounds(self):
+        model = UniformDelay(0.1, 0.9)
+        rng = random.Random(0)
+        message = RouteAdvert(src=(0, 0), dst=(0, 1), dist=None)
+        samples = [model.sample(message, rng) for _ in range(200)]
+        assert all(0.1 <= s <= 0.9 for s in samples)
+        assert model.bound == 0.9
+
+    def test_uniform_validation(self):
+        with pytest.raises(ValueError):
+            UniformDelay(0.5, 0.1)
+
+    def test_heavy_tail_exceeds_nominal_bound(self):
+        model = HeavyTailDelay(0.1, 0.9, tail_p=0.5, tail_factor=10)
+        rng = random.Random(0)
+        message = RouteAdvert(src=(0, 0), dst=(0, 1), dist=None)
+        samples = [model.sample(message, rng) for _ in range(100)]
+        assert any(s > model.bound for s in samples)
+
+
+def build_async(delay_model, period=1.0, seed=0) -> TimedRoundSystem:
+    system = TimedRoundSystem(
+        grid=Grid(8),
+        params=PARAMS,
+        tid=PATH.target,
+        sources={PATH.source: EagerSource()},
+        delay_model=delay_model,
+        period=period,
+        rng=random.Random(seed),
+        delay_rng=random.Random(seed + 1),
+    )
+    for cid in Grid(8).cells():
+        if cid not in PATH:
+            system.fail(cid)
+    return system
+
+
+def build_sync() -> System:
+    system = System(
+        grid=Grid(8),
+        params=PARAMS,
+        tid=PATH.target,
+        sources={PATH.source: EagerSource()},
+        rng=random.Random(0),
+    )
+    for cid in Grid(8).cells():
+        if cid not in PATH:
+            system.fail(cid)
+    return system
+
+
+def fingerprint(cells) -> dict:
+    return {
+        cid: (
+            state.failed,
+            state.dist,
+            state.next_id,
+            state.token,
+            state.signal,
+            tuple(
+                (uid, round(e.x, 9), round(e.y, 9))
+                for uid, e in sorted(state.members.items())
+            ),
+        )
+        for cid, state in cells.items()
+    }
+
+
+class TestBoundedDelayEquivalence:
+    @pytest.mark.parametrize(
+        "delay_model",
+        [FixedDelay(0.5), UniformDelay(0.0, 0.99), UniformDelay(0.3, 0.7)],
+        ids=["fixed", "full-jitter", "mid-jitter"],
+    )
+    def test_lockstep_with_synchronous_model(self, delay_model):
+        """Delays <= period: the asynchronous execution equals the
+        synchronous one state-for-state, jitter and reordering included."""
+        asynchronous = build_async(delay_model)
+        synchronous = build_sync()
+        for round_index in range(250):
+            asynchronous.run_round()
+            synchronous.update()
+            assert fingerprint(asynchronous.cells) == fingerprint(
+                synchronous.cells
+            ), f"diverged at round {round_index}"
+        assert asynchronous.late_adverts == 0
+
+    def test_lockstep_on_turning_path_with_faults(self):
+        path = turns_path((0, 0), 8, 2)
+
+        def build_on(cls_builder):
+            system = cls_builder()
+            return system
+
+        asynchronous = TimedRoundSystem(
+            grid=Grid(8),
+            params=PARAMS,
+            tid=path.target,
+            sources={path.source: EagerSource()},
+            delay_model=UniformDelay(0.1, 0.9),
+            rng=random.Random(0),
+            delay_rng=random.Random(9),
+        )
+        synchronous = System(
+            grid=Grid(8),
+            params=PARAMS,
+            tid=path.target,
+            sources={path.source: EagerSource()},
+            rng=random.Random(0),
+        )
+        for cid in Grid(8).cells():
+            if cid not in path:
+                asynchronous.fail(cid)
+                synchronous.fail(cid)
+        plan = {40: ("fail", path.cells[4]), 120: ("recover", path.cells[4])}
+        for round_index in range(300):
+            if round_index in plan:
+                kind, cell = plan[round_index]
+                getattr(asynchronous, kind)(cell)
+                getattr(synchronous, kind)(cell)
+            asynchronous.run_round()
+            synchronous.update()
+            assert fingerprint(asynchronous.cells) == fingerprint(
+                synchronous.cells
+            ), f"diverged at round {round_index}"
+
+
+class TestDelayBoundViolations:
+    def test_late_adverts_detected_and_dropped(self):
+        model = HeavyTailDelay(0.2, 0.9, tail_p=0.1, tail_factor=4)
+        system = build_async(model)
+        system.run(300)
+        assert system.late_adverts > 0
+
+    def test_safety_survives_bound_violations(self):
+        """Tail latencies beyond the engineered bound degrade throughput,
+        never separation (late adverts read conservatively)."""
+        model = HeavyTailDelay(0.2, 0.9, tail_p=0.2, tail_factor=6)
+        system = build_async(model)
+        for _ in range(400):
+            system.run_round()
+            assert check_safe(system) == []
+            assert (
+                system.total_produced
+                == system.total_consumed + system.entity_count()
+            )
+
+    def test_throughput_degrades_with_tail_probability(self):
+        results = []
+        for tail_p in (0.0, 0.2, 0.5):
+            model = HeavyTailDelay(0.2, 0.9, tail_p=tail_p, tail_factor=6)
+            system = build_async(model)
+            consumed = sum(r.consumed_count for r in system.run(500))
+            results.append(consumed)
+        assert results[0] > results[1] > results[2]
+
+    def test_still_delivers_under_moderate_tails(self):
+        model = HeavyTailDelay(0.2, 0.9, tail_p=0.1, tail_factor=4)
+        system = build_async(model)
+        consumed = sum(r.consumed_count for r in system.run(600))
+        assert consumed > 0

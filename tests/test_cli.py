@@ -1,0 +1,87 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli.main import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.grid == 8 and args.rounds == 2500
+
+    def test_experiment_names_restricted(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out and "fig8" in out and "fig9" in out
+
+    def test_run_small(self, capsys):
+        code = main(["run", "--rounds", "200", "--grid", "8"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "monitor violations: 0" in out
+
+    def test_run_with_turns(self, capsys):
+        assert main(["run", "--rounds", "150", "--turns", "2", "--length", "6"]) == 0
+        assert "consumed" in capsys.readouterr().out
+
+    def test_run_with_faults(self, capsys):
+        code = main(
+            ["run", "--rounds", "200", "--pf", "0.02", "--pr", "0.1", "--seed", "5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "failures/recovs" in out
+
+    def test_watch(self, capsys):
+        assert main(["watch", "--rounds", "30", "--frames", "3", "--routes"]) == 0
+        out = capsys.readouterr().out
+        assert "round 0" in out
+        assert "TT" in out
+
+    def test_ablation_token(self, capsys):
+        assert main(["ablation", "token", "--rounds", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "round-robin" in out and "sticky" in out
+
+    def test_ablation_unsafe(self, capsys):
+        assert main(["ablation", "unsafe", "--rounds", "300"]) == 0
+        assert "greedy" in capsys.readouterr().out
+
+    def test_trace_roundtrip(self, capsys, tmp_path):
+        out_file = tmp_path / "run.jsonl"
+        code = main(["trace", "--rounds", "150", "--out", str(out_file)])
+        assert code == 0
+        assert out_file.exists()
+        out = capsys.readouterr().out
+        assert "0 violations" in out
+
+    def test_svg_output(self, capsys, tmp_path):
+        out_file = tmp_path / "state.svg"
+        assert main(["svg", "--rounds", "100", "--out", str(out_file)]) == 0
+        assert out_file.read_text().startswith("<svg")
+
+    def test_experiment_tiny(self, capsys, tmp_path):
+        code = main(
+            ["experiment", "fig8", "--rounds", "60", "--out", str(tmp_path)]
+        )
+        out = capsys.readouterr().out
+        assert "turns" in out
+        assert "shape check" in out
+        saved = json.loads((tmp_path / "fig8.json").read_text())
+        assert saved["name"] == "fig8"
+        assert (tmp_path / "fig8.csv").exists()
+        assert code in (0, 1)  # shape checks may be noisy at 60 rounds

@@ -1,0 +1,126 @@
+"""Unit tests for per-cell state and the failure-masked view."""
+
+import math
+
+import pytest
+
+from repro.core.cell import (
+    INFINITY,
+    CellState,
+    effective_dist,
+    effective_next,
+    effective_nonempty,
+    effective_signal,
+)
+from repro.core.entity import Entity
+
+
+def make_state(**kwargs) -> CellState:
+    return CellState(cell_id=(1, 1), **kwargs)
+
+
+class TestInitialState:
+    def test_figure_3_defaults(self):
+        state = make_state()
+        assert state.members == {}
+        assert state.next_id is None
+        assert state.ne_prev == set()
+        assert state.dist == INFINITY
+        assert state.token is None
+        assert state.signal is None
+        assert not state.failed
+        assert state.is_empty
+
+
+class TestMembership:
+    def test_add_and_remove(self):
+        state = make_state()
+        entity = Entity(uid=1, x=1.5, y=1.5)
+        state.add_entity(entity)
+        assert not state.is_empty
+        removed = state.remove_entity(1)
+        assert removed is entity
+        assert state.is_empty
+
+    def test_duplicate_add_rejected(self):
+        state = make_state()
+        state.add_entity(Entity(uid=1, x=1.5, y=1.5))
+        with pytest.raises(ValueError):
+            state.add_entity(Entity(uid=1, x=1.2, y=1.2))
+
+    def test_remove_missing_rejected(self):
+        with pytest.raises(ValueError):
+            make_state().remove_entity(42)
+
+    def test_entities_sorted_by_uid(self):
+        state = make_state()
+        state.add_entity(Entity(uid=5, x=1.5, y=1.5))
+        state.add_entity(Entity(uid=2, x=1.2, y=1.2))
+        assert [e.uid for e in state.entities()] == [2, 5]
+
+
+class TestFailureTransitions:
+    def test_mark_failed_matches_paper_effect(self):
+        state = make_state(dist=3.0, next_id=(1, 2))
+        state.mark_failed()
+        assert state.failed
+        assert state.dist == INFINITY
+        assert state.next_id is None
+
+    def test_members_survive_crash(self):
+        state = make_state()
+        state.add_entity(Entity(uid=1, x=1.5, y=1.5))
+        state.mark_failed()
+        assert len(state.members) == 1
+
+    def test_recover_ordinary(self):
+        state = make_state()
+        state.mark_failed()
+        state.mark_recovered(is_target=False)
+        assert not state.failed
+        assert state.dist == INFINITY
+        assert state.next_id is None
+        assert state.token is None and state.signal is None
+
+    def test_recover_target_resets_dist(self):
+        state = make_state()
+        state.mark_failed()
+        state.mark_recovered(is_target=True)
+        assert state.dist == 0.0
+
+
+class TestEffectiveView:
+    def test_live_cell_transparent(self):
+        state = make_state(dist=2.0, next_id=(1, 2))
+        state.signal = (0, 1)
+        state.add_entity(Entity(uid=1, x=1.5, y=1.5))
+        assert effective_dist(state) == 2.0
+        assert effective_next(state) == (1, 2)
+        assert effective_signal(state) == (0, 1)
+        assert effective_nonempty(state)
+
+    def test_failed_cell_masked(self):
+        state = make_state(dist=2.0, next_id=(1, 2))
+        state.signal = (0, 1)
+        state.add_entity(Entity(uid=1, x=1.5, y=1.5))
+        state.failed = True
+        assert math.isinf(effective_dist(state))
+        assert effective_next(state) is None
+        assert effective_signal(state) is None
+        assert not effective_nonempty(state)
+
+    def test_empty_live_cell_not_nonempty(self):
+        assert not effective_nonempty(make_state())
+
+
+class TestClone:
+    def test_deep_copy(self):
+        state = make_state(dist=1.0, next_id=(1, 2))
+        state.add_entity(Entity(uid=1, x=1.5, y=1.5))
+        state.ne_prev = {(0, 1)}
+        copy = state.clone()
+        copy.members[1].x = 9.9
+        copy.ne_prev.add((2, 1))
+        assert state.members[1].x == 1.5
+        assert state.ne_prev == {(0, 1)}
+        assert copy.dist == 1.0 and copy.next_id == (1, 2)

@@ -1,0 +1,74 @@
+"""Unit tests for entities."""
+
+import pytest
+
+from repro.core.entity import Entity
+from repro.grid.topology import Direction
+
+
+class TestMovement:
+    def test_translate_east(self):
+        entity = Entity(uid=1, x=0.5, y=0.5)
+        entity.translate(Direction.EAST, 0.2)
+        assert entity.x == pytest.approx(0.7)
+        assert entity.y == 0.5
+
+    def test_translate_south(self):
+        entity = Entity(uid=1, x=0.5, y=0.5)
+        entity.translate(Direction.SOUTH, 0.2)
+        assert entity.y == pytest.approx(0.3)
+
+    def test_footprint(self):
+        entity = Entity(uid=1, x=0.5, y=0.5)
+        square = entity.footprint(0.25)
+        assert square.left == pytest.approx(0.375)
+        assert square.right == pytest.approx(0.625)
+
+
+class TestSnapping:
+    def test_snap_entering_east(self):
+        """Entity travelling east into cell (2, 0): left edge on x = 2."""
+        entity = Entity(uid=1, x=2.05, y=0.5)
+        entity.snap_to_entry_edge((2, 0), Direction.EAST, half_l=0.125)
+        assert entity.x == pytest.approx(2.125)
+        assert entity.y == 0.5
+
+    def test_snap_entering_west(self):
+        """Entity travelling west into cell (1, 0): right edge on x = 2."""
+        entity = Entity(uid=1, x=1.9, y=0.5)
+        entity.snap_to_entry_edge((1, 0), Direction.WEST, half_l=0.125)
+        assert entity.x == pytest.approx(1.875)
+
+    def test_snap_entering_north(self):
+        entity = Entity(uid=1, x=0.5, y=3.1)
+        entity.snap_to_entry_edge((0, 3), Direction.NORTH, half_l=0.125)
+        assert entity.y == pytest.approx(3.125)
+
+    def test_snap_entering_south(self):
+        entity = Entity(uid=1, x=0.5, y=2.95)
+        entity.snap_to_entry_edge((0, 2), Direction.SOUTH, half_l=0.125)
+        assert entity.y == pytest.approx(2.875)
+
+    def test_snap_preserves_perpendicular_coordinate(self):
+        entity = Entity(uid=1, x=0.42, y=5.01)
+        entity.snap_to_entry_edge((0, 5), Direction.NORTH, half_l=0.1)
+        assert entity.x == 0.42
+
+
+class TestBookkeeping:
+    def test_clone_is_independent(self):
+        original = Entity(uid=7, x=1.0, y=2.0, birth_round=3)
+        copy = original.clone()
+        copy.x = 9.0
+        assert original.x == 1.0
+        assert copy.uid == 7 and copy.birth_round == 3
+
+    def test_position_key_quantizes(self):
+        a = Entity(uid=1, x=0.5, y=0.5)
+        b = Entity(uid=1, x=0.5 + 1e-13, y=0.5)
+        assert a.position_key() == b.position_key()
+
+    def test_position_key_distinguishes_uids(self):
+        a = Entity(uid=1, x=0.5, y=0.5)
+        b = Entity(uid=2, x=0.5, y=0.5)
+        assert a.position_key() != b.position_key()

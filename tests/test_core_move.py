@@ -1,0 +1,203 @@
+"""Unit tests for the Move function (paper Figure 6, Lemma 4)."""
+
+import random
+
+import pytest
+
+from repro.core.move import crossed_boundary, move_phase
+from repro.core.entity import Entity
+from repro.core.params import Parameters
+from repro.core.system import System
+from repro.grid.topology import Direction, Grid
+
+PARAMS = Parameters(l=0.25, rs=0.05, v=0.2)
+
+
+def make_chain(tid=(0, 2)) -> System:
+    """A 1x3 vertical chain: (0,0) -> (0,1) -> (0,2)=target."""
+    system = System(grid=Grid(1, 3), params=PARAMS, tid=tid, rng=random.Random(0))
+    from repro.core.route import route_phase
+
+    for _ in range(5):
+        route_phase(system.grid, system.cells, system.tid)
+    return system
+
+
+def grant(system: System) -> None:
+    from repro.core.signal import signal_phase
+
+    signal_phase(system.grid, system.cells, PARAMS)
+
+
+class TestCrossedBoundary:
+    def test_east_crossing(self):
+        entity = Entity(uid=1, x=0.9, y=0.5)
+        assert crossed_boundary(entity, (0, 0), Direction.EAST, half_l=0.125)
+
+    def test_east_flush_not_crossed(self):
+        entity = Entity(uid=1, x=0.875, y=0.5)  # right edge exactly at 1.0
+        assert not crossed_boundary(entity, (0, 0), Direction.EAST, half_l=0.125)
+
+    def test_west_crossing(self):
+        entity = Entity(uid=1, x=1.1, y=0.5)
+        assert crossed_boundary(entity, (1, 0), Direction.WEST, half_l=0.125)
+
+    def test_north_crossing(self):
+        entity = Entity(uid=1, x=0.5, y=0.95)
+        assert crossed_boundary(entity, (0, 0), Direction.NORTH, half_l=0.125)
+
+    def test_south_crossing(self):
+        entity = Entity(uid=1, x=0.5, y=1.05)
+        assert crossed_boundary(entity, (0, 1), Direction.SOUTH, half_l=0.125)
+
+
+class TestMovePhase:
+    def test_no_grant_no_motion(self):
+        system = make_chain()
+        entity = system.seed_entity((0, 0), 0.5, 0.5)
+        # No signal phase ran: signal of (0,1) is None.
+        report = move_phase(system.grid, system.cells, PARAMS, system.tid)
+        assert report.moved_cells == []
+        assert entity.y == 0.5
+
+    def test_granted_cell_moves_by_v(self):
+        system = make_chain()
+        entity = system.seed_entity((0, 0), 0.5, 0.5)
+        grant(system)
+        report = move_phase(system.grid, system.cells, PARAMS, system.tid)
+        assert (0, 0) in report.moved_cells
+        assert entity.y == pytest.approx(0.7)
+
+    def test_all_members_move_identically(self):
+        system = make_chain()
+        a = system.seed_entity((0, 0), 0.5, 0.3)
+        b = system.seed_entity((0, 0), 0.5, 0.6)
+        grant(system)
+        move_phase(system.grid, system.cells, PARAMS, system.tid)
+        assert a.y == pytest.approx(0.5)
+        assert b.y == pytest.approx(0.8)
+
+    def test_transfer_snaps_to_entry_edge(self):
+        system = make_chain()
+        entity = system.seed_entity((0, 0), 0.5, 0.8)
+        grant(system)
+        report = move_phase(system.grid, system.cells, PARAMS, system.tid)
+        # y = 0.8 + 0.2 = 1.0, top edge 1.125 > 1: transfer, snap to 1.125.
+        assert len(report.transfers) == 1
+        transfer = report.transfers[0]
+        assert transfer.src == (0, 0) and transfer.dst == (0, 1)
+        assert not transfer.consumed
+        assert entity.uid in system.cells[(0, 1)].members
+        assert entity.uid not in system.cells[(0, 0)].members
+        assert entity.y == pytest.approx(1.125)
+
+    def test_target_consumes(self):
+        system = make_chain()
+        entity = system.seed_entity((0, 1), 0.5, 1.8)
+        grant(system)
+        report = move_phase(system.grid, system.cells, PARAMS, system.tid)
+        assert len(report.consumed) == 1
+        assert report.consumed[0].uid == entity.uid
+        assert system.cells[(0, 2)].members == {}
+        assert report.transfers[0].consumed
+
+    def test_failed_cell_does_not_move(self):
+        system = make_chain()
+        system.seed_entity((0, 0), 0.5, 0.5)
+        grant(system)
+        system.cells[(0, 0)].failed = True
+        report = move_phase(system.grid, system.cells, PARAMS, system.tid)
+        assert (0, 0) not in report.moved_cells
+
+    def test_partial_transfer_splits_members(self):
+        """Only entities whose edge crosses transfer; the rest stay."""
+        system = make_chain()
+        front = system.seed_entity((0, 0), 0.5, 0.8)
+        back = system.seed_entity((0, 0), 0.5, 0.4)
+        grant(system)
+        move_phase(system.grid, system.cells, PARAMS, system.tid)
+        assert front.uid in system.cells[(0, 1)].members
+        assert back.uid in system.cells[(0, 0)].members
+        assert back.y == pytest.approx(0.6)
+
+    def test_transferred_entity_not_double_moved(self):
+        """An entity arriving in a cell that itself moved this round gets
+        snapped once, not additionally shifted by the receiving cell."""
+        system = make_chain()
+        front = system.seed_entity((0, 1), 0.5, 1.8)  # will enter target
+        back = system.seed_entity((0, 0), 0.5, 0.8)  # will enter (0,1)
+        grant(system)
+        move_phase(system.grid, system.cells, PARAMS, system.tid)
+        assert back.uid in system.cells[(0, 1)].members
+        assert back.y == pytest.approx(1.125)
+
+
+class TestWaveMovement:
+    def test_chain_of_granted_cells_moves_in_lockstep(self):
+        """Three consecutive loaded cells, each granted by its successor,
+        all move in the same round — the pipelined 'wave' that gives the
+        protocol its throughput."""
+        system = System(
+            grid=Grid(1, 4), params=PARAMS, tid=(0, 3), rng=random.Random(0)
+        )
+        from repro.core.route import route_phase
+
+        for _ in range(5):
+            route_phase(system.grid, system.cells, system.tid)
+        entities = [
+            system.seed_entity((0, 0), 0.5, 0.5),
+            system.seed_entity((0, 1), 0.5, 1.5),
+            system.seed_entity((0, 2), 0.5, 2.5),
+        ]
+        grant(system)
+        # Every cell's successor granted it: (0,1) grants (0,0), etc.
+        for cell in [(0, 1), (0, 2), (0, 3)]:
+            assert system.cells[cell].signal is not None
+        report = move_phase(system.grid, system.cells, PARAMS, system.tid)
+        assert sorted(report.moved_cells) == [(0, 0), (0, 1), (0, 2)]
+        for entity in entities:
+            assert entity.y == pytest.approx(entity.y)  # moved in place below
+        assert [e.y for e in entities] == pytest.approx([0.7, 1.7, 2.7])
+
+    def test_wave_with_blocked_head_stalls_only_the_blocked_cell(self):
+        """If the head cell is denied (gap occupied), the cells behind it
+        still move — blocking is local, not a convoy stall."""
+        system = System(
+            grid=Grid(1, 4), params=PARAMS, tid=(0, 3), rng=random.Random(0)
+        )
+        from repro.core.route import route_phase
+
+        for _ in range(5):
+            route_phase(system.grid, system.cells, system.tid)
+        back = system.seed_entity((0, 0), 0.5, 0.5)
+        head_blocker = system.seed_entity((0, 1), 0.5, 1.2)  # occupies south strip
+        grant(system)
+        assert system.cells[(0, 1)].signal is None  # (0,0) blocked
+        assert system.cells[(0, 2)].signal == (0, 1)  # (0,1) itself may move
+        report = move_phase(system.grid, system.cells, PARAMS, system.tid)
+        assert report.moved_cells == [(0, 1)]
+        assert back.y == 0.5
+        assert head_blocker.y == pytest.approx(1.4)
+
+
+class TestLemma4:
+    def test_mutual_signals_no_transfer(self):
+        """Two adjacent cells granted toward each other cannot exchange
+        entities in that round (Lemma 4)."""
+        # 2x1 grid with both cells pointing at each other artificially.
+        system = System(
+            grid=Grid(2, 1), params=PARAMS, tid=(1, 0), rng=random.Random(0)
+        )
+        left = system.cells[(0, 0)]
+        right = system.cells[(1, 0)]
+        # Entities far from the shared edge (H holds when signals are set).
+        a = system.seed_entity((0, 0), 0.2, 0.5)
+        b = system.seed_entity((1, 0), 1.8, 0.5)
+        left.next_id = (1, 0)
+        right.next_id = (0, 0)
+        left.signal = (1, 0)
+        right.signal = (0, 0)
+        report = move_phase(system.grid, system.cells, PARAMS, system.tid)
+        assert report.transfers == []
+        assert a.uid in left.members
+        assert b.uid in right.members

@@ -1,0 +1,72 @@
+"""Unit tests for protocol parameter validation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.params import Parameters
+
+
+class TestValidation:
+    def test_paper_fig7_params(self):
+        params = Parameters(l=0.25, rs=0.05, v=0.2)
+        assert params.d == pytest.approx(0.3)
+        assert params.half_l == 0.125
+
+    def test_paper_fig9_params_v_equals_l(self):
+        # The paper's own Figure 8/9 setting violates its stated v < l;
+        # we accept v == l (see DESIGN.md).
+        params = Parameters(l=0.2, rs=0.05, v=0.2)
+        assert params.d == pytest.approx(0.25)
+
+    def test_v_greater_than_l_rejected(self):
+        with pytest.raises(ValueError, match="velocity"):
+            Parameters(l=0.2, rs=0.05, v=0.25)
+
+    def test_l_at_least_one_rejected(self):
+        with pytest.raises(ValueError, match="entity length"):
+            Parameters(l=1.0, rs=0.0, v=0.5)
+
+    def test_nonpositive_l_rejected(self):
+        with pytest.raises(ValueError):
+            Parameters(l=0.0, rs=0.05, v=0.0)
+
+    def test_negative_rs_rejected(self):
+        with pytest.raises(ValueError, match="rs"):
+            Parameters(l=0.25, rs=-0.01, v=0.1)
+
+    def test_nonpositive_v_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            Parameters(l=0.25, rs=0.05, v=0.0)
+
+    def test_rs_plus_l_must_be_below_one(self):
+        with pytest.raises(ValueError, match="rs"):
+            Parameters(l=0.25, rs=0.75, v=0.1)
+        Parameters(l=0.25, rs=0.7, v=0.1)  # 0.95 < 1 is fine
+
+    def test_frozen(self):
+        params = Parameters(l=0.25, rs=0.05, v=0.2)
+        with pytest.raises(AttributeError):
+            params.l = 0.3
+
+
+class TestDerived:
+    def test_max_entities_per_axis_examples(self):
+        # l=0.25, d=0.3: centers in [0.125, 0.875], span 0.75 -> 3 centers.
+        assert Parameters(l=0.25, rs=0.05, v=0.2).max_entities_per_axis() == 3
+        # l=0.25, d=0.8: span 0.75 < d -> only 1 center.
+        assert Parameters(l=0.25, rs=0.55, v=0.2).max_entities_per_axis() == 1
+
+    @given(
+        l=st.floats(min_value=0.05, max_value=0.5),
+        rs=st.floats(min_value=0.0, max_value=0.45),
+    )
+    def test_max_entities_consistent_with_packing(self, l, rs):
+        if rs + l >= 1.0:
+            return
+        params = Parameters(l=l, rs=rs, v=l / 2)
+        bound = params.max_entities_per_axis()
+        # `bound` centers spaced exactly d apart must fit in [l/2, 1 - l/2].
+        assert l / 2 + (bound - 1) * params.d <= 1 - l / 2 + 1e-9
+        # One more would not fit.
+        assert l / 2 + bound * params.d > 1 - l / 2 - 1e-9

@@ -1,0 +1,119 @@
+"""Unit tests for token selection policies."""
+
+import random
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.policies import (
+    RandomTokenPolicy,
+    RoundRobinTokenPolicy,
+    StickyTokenPolicy,
+)
+
+cells = st.tuples(st.integers(0, 5), st.integers(0, 5))
+
+
+class TestRoundRobin:
+    def setup_method(self):
+        self.policy = RoundRobinTokenPolicy()
+
+    def test_initial_empty(self):
+        assert self.policy.initial(set()) is None
+
+    def test_initial_is_minimum(self):
+        assert self.policy.initial({(2, 1), (0, 1), (1, 2)}) == (0, 1)
+
+    def test_rotate_cycles_through_all(self):
+        ne_prev = {(0, 1), (1, 0), (1, 2), (2, 1)}
+        current = self.policy.initial(ne_prev)
+        seen = {current}
+        for _ in range(len(ne_prev) - 1):
+            current = self.policy.rotate(ne_prev, current)
+            seen.add(current)
+        assert seen == ne_prev
+
+    def test_rotate_single_member_stays(self):
+        assert self.policy.rotate({(1, 0)}, (1, 0)) == (1, 0)
+
+    def test_rotate_avoids_current_when_possible(self):
+        assert self.policy.rotate({(0, 1), (1, 0)}, (0, 1)) == (1, 0)
+
+    def test_rotate_empty(self):
+        assert self.policy.rotate(set(), (0, 1)) is None
+
+    def test_rotate_wraps_around(self):
+        ne_prev = {(0, 1), (1, 0)}
+        assert self.policy.rotate(ne_prev, (1, 0)) == (0, 1)
+
+    def test_rotate_handles_departed_current(self):
+        # The current holder left NEPrev; rotation still yields a member.
+        result = self.policy.rotate({(0, 1), (2, 1)}, (1, 0))
+        assert result in {(0, 1), (2, 1)}
+
+
+class TestRandom:
+    def test_initial_from_set(self):
+        policy = RandomTokenPolicy(random.Random(0))
+        ne_prev = {(0, 1), (1, 0), (2, 1)}
+        assert policy.initial(ne_prev) in ne_prev
+
+    def test_rotate_avoids_current(self):
+        policy = RandomTokenPolicy(random.Random(0))
+        ne_prev = {(0, 1), (1, 0), (2, 1)}
+        for _ in range(50):
+            assert policy.rotate(ne_prev, (0, 1)) != (0, 1)
+
+    def test_rotate_single_member(self):
+        policy = RandomTokenPolicy(random.Random(0))
+        assert policy.rotate({(1, 0)}, (1, 0)) == (1, 0)
+
+    def test_deterministic_given_seed(self):
+        a = RandomTokenPolicy(random.Random(42))
+        b = RandomTokenPolicy(random.Random(42))
+        ne_prev = {(0, 1), (1, 0), (2, 1), (1, 2)}
+        for _ in range(20):
+            assert a.initial(ne_prev) == b.initial(ne_prev)
+
+
+class TestSticky:
+    def test_never_rotates_while_member(self):
+        policy = StickyTokenPolicy()
+        ne_prev = {(0, 1), (1, 0)}
+        assert policy.rotate(ne_prev, (0, 1)) == (0, 1)
+
+    def test_falls_back_when_holder_leaves(self):
+        policy = StickyTokenPolicy()
+        assert policy.rotate({(1, 0)}, (0, 1)) == (1, 0)
+
+    def test_empty(self):
+        policy = StickyTokenPolicy()
+        assert policy.initial(set()) is None
+        assert policy.rotate(set(), (0, 1)) is None
+
+
+class TestPolicyContracts:
+    """Properties every policy must satisfy (the Lemma 9 prerequisites,
+    minus fairness, which only round-robin/random provide)."""
+
+    policies = [
+        RoundRobinTokenPolicy(),
+        RandomTokenPolicy(random.Random(7)),
+        StickyTokenPolicy(),
+    ]
+
+    @given(st.sets(cells, min_size=1, max_size=6))
+    def test_initial_picks_member(self, ne_prev):
+        for policy in self.policies:
+            assert policy.initial(ne_prev) in ne_prev
+
+    @given(st.sets(cells, min_size=1, max_size=6), cells)
+    def test_rotate_picks_member(self, ne_prev, current):
+        for policy in self.policies:
+            assert policy.rotate(ne_prev, current) in ne_prev
+
+    @given(st.sets(cells, min_size=2, max_size=6))
+    def test_fair_policies_avoid_current(self, ne_prev):
+        current = sorted(ne_prev)[0]
+        assert RoundRobinTokenPolicy().rotate(ne_prev, current) != current
+        assert RandomTokenPolicy(random.Random(1)).rotate(ne_prev, current) != current

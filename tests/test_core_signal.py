@@ -1,0 +1,189 @@
+"""Unit tests for the Signal function (paper Figure 5, Lemmas 3 and 9)."""
+
+import random
+
+import pytest
+
+from repro.core.params import Parameters
+from repro.core.signal import compute_ne_prev, gap_clear, signal_phase
+from repro.core.system import System
+from repro.grid.topology import Direction, Grid
+
+PARAMS = Parameters(l=0.25, rs=0.05, v=0.2)  # d = 0.3
+
+
+def make_system(n=3, tid=(1, 2)) -> System:
+    return System(grid=Grid(n), params=PARAMS, tid=tid, rng=random.Random(0))
+
+
+def converge_routes(system: System, rounds: int = 10) -> None:
+    from repro.core.route import route_phase
+
+    for _ in range(rounds):
+        route_phase(system.grid, system.cells, system.tid)
+
+
+class TestGapClear:
+    """The lines 4-7 predicate, all four directions (d = 0.3, l/2 = 0.125)."""
+
+    def test_empty_cell_always_clear(self):
+        system = make_system()
+        for direction in Direction:
+            assert gap_clear(system.cells[(1, 1)], direction, PARAMS)
+
+    def test_east_gap(self):
+        system = make_system()
+        state = system.cells[(1, 1)]
+        # Right edge at x = 1.5 + 0.125 = 1.625 <= 2 - 0.3 = 1.7: clear.
+        system.seed_entity((1, 1), 1.5, 1.5)
+        assert gap_clear(state, Direction.EAST, PARAMS)
+        # An entity further right closes the gap.
+        system.seed_entity((1, 1), 1.8, 1.5)
+        assert not gap_clear(state, Direction.EAST, PARAMS)
+
+    def test_west_gap(self):
+        system = make_system()
+        state = system.cells[(1, 1)]
+        system.seed_entity((1, 1), 1.5, 1.5)
+        assert gap_clear(state, Direction.WEST, PARAMS)
+        system.seed_entity((1, 1), 1.2, 1.5)
+        assert not gap_clear(state, Direction.WEST, PARAMS)
+
+    def test_north_gap(self):
+        system = make_system()
+        state = system.cells[(1, 1)]
+        system.seed_entity((1, 1), 1.5, 1.5)
+        assert gap_clear(state, Direction.NORTH, PARAMS)
+        system.seed_entity((1, 1), 1.5, 1.8)
+        assert not gap_clear(state, Direction.NORTH, PARAMS)
+
+    def test_south_gap(self):
+        system = make_system()
+        state = system.cells[(1, 1)]
+        system.seed_entity((1, 1), 1.5, 1.5)
+        assert gap_clear(state, Direction.SOUTH, PARAMS)
+        system.seed_entity((1, 1), 1.5, 1.2)
+        assert not gap_clear(state, Direction.SOUTH, PARAMS)
+
+    def test_boundary_case_exactly_at_gap(self):
+        system = make_system()
+        state = system.cells[(1, 1)]
+        # Right edge exactly at i+1-d: x = 1.7 - 0.125 = 1.575.
+        system.seed_entity((1, 1), 1.575, 1.5)
+        assert gap_clear(state, Direction.EAST, PARAMS)
+
+
+class TestNEPrev:
+    def test_empty_when_no_inbound(self):
+        system = make_system()
+        converge_routes(system)
+        assert compute_ne_prev(system.grid, system.cells, (1, 2)) == set()
+
+    def test_inbound_nonempty_neighbor_included(self):
+        system = make_system()
+        converge_routes(system)
+        system.seed_entity((1, 1), 1.5, 1.5)  # next of (1,1) is tid (1,2)
+        assert compute_ne_prev(system.grid, system.cells, (1, 2)) == {(1, 1)}
+
+    def test_empty_neighbor_excluded(self):
+        system = make_system()
+        converge_routes(system)
+        assert compute_ne_prev(system.grid, system.cells, (1, 2)) == set()
+
+    def test_failed_neighbor_excluded(self):
+        system = make_system()
+        converge_routes(system)
+        system.seed_entity((1, 1), 1.5, 1.5)
+        system.cells[(1, 1)].failed = True
+        assert compute_ne_prev(system.grid, system.cells, (1, 2)) == set()
+
+
+class TestSignalPhase:
+    def test_grant_to_single_inbound(self):
+        system = make_system()
+        converge_routes(system)
+        system.seed_entity((1, 1), 1.5, 1.5)
+        report = signal_phase(system.grid, system.cells, PARAMS)
+        assert system.cells[(1, 2)].signal == (1, 1)
+        assert report.granted[(1, 2)] == (1, 1)
+
+    def test_block_when_gap_occupied(self):
+        """(1,0) wants to enter (1,1) from the south; an entity sitting in
+        (1,1)'s south strip (depth d = 0.3) forces signal = bot."""
+        system = make_system(tid=(1, 2))
+        converge_routes(system)
+        system.seed_entity((1, 0), 1.5, 0.5)
+        system.seed_entity((1, 1), 1.5, 1.2)  # bottom edge 1.075 < 1 + 0.3
+        report = signal_phase(system.grid, system.cells, PARAMS)
+        assert system.cells[(1, 1)].signal is None
+        assert (1, 1) in report.blocked
+
+    def test_blocked_token_parks(self):
+        """A blocked grant leaves the token on the same neighbor (the
+        fairness step in Lemma 9's proof)."""
+        system = make_system()
+        converge_routes(system)
+        system.seed_entity((1, 0), 1.5, 0.5)
+        system.seed_entity((1, 1), 1.5, 1.2)  # blocks (1,1)'s south strip
+        signal_phase(system.grid, system.cells, PARAMS)
+        assert system.cells[(1, 1)].token == (1, 0)
+        assert system.cells[(1, 1)].signal is None
+        signal_phase(system.grid, system.cells, PARAMS)
+        assert system.cells[(1, 1)].token == (1, 0)
+
+    def test_token_rotates_after_grant(self):
+        """With two inbound neighbors, consecutive grants alternate."""
+        system = make_system(n=3, tid=(1, 1))
+        converge_routes(system)
+        system.seed_entity((0, 1), 0.5, 1.5)
+        system.seed_entity((2, 1), 2.5, 1.5)
+        signal_phase(system.grid, system.cells, PARAMS)
+        first = system.cells[(1, 1)].signal
+        signal_phase(system.grid, system.cells, PARAMS)
+        second = system.cells[(1, 1)].signal
+        assert {first, second} == {(0, 1), (2, 1)}
+
+    def test_dangling_token_dropped(self):
+        """A token holder that drained out of NEPrev is replaced."""
+        system = make_system(n=3, tid=(1, 1))
+        converge_routes(system)
+        system.seed_entity((0, 1), 0.5, 1.5)
+        signal_phase(system.grid, system.cells, PARAMS)
+        assert system.cells[(1, 1)].token == (0, 1)
+        # Drain (0,1); (2,1) becomes the only candidate.
+        system.cells[(0, 1)].members.clear()
+        system.seed_entity((2, 1), 2.5, 1.5)
+        signal_phase(system.grid, system.cells, PARAMS)
+        assert system.cells[(1, 1)].signal == (2, 1)
+
+    def test_long_run_grant_fairness(self):
+        """Lemma 9's enabling condition: with three persistently nonempty
+        inbound neighbors, grants distribute evenly over time."""
+        system = make_system(n=3, tid=(1, 1))
+        converge_routes(system)
+        inbound = [(0, 1), (2, 1), (1, 0)]
+        for cid in inbound:
+            system.seed_entity(cid, cid[0] + 0.5, cid[1] + 0.5)
+        grants = {cid: 0 for cid in inbound}
+        for _ in range(90):
+            signal_phase(system.grid, system.cells, PARAMS)
+            granted = system.cells[(1, 1)].signal
+            if granted is not None:
+                grants[granted] += 1
+        assert all(count == 30 for count in grants.values()), grants
+
+    def test_failed_cell_computes_nothing(self):
+        system = make_system()
+        converge_routes(system)
+        system.seed_entity((1, 1), 1.5, 1.5)
+        system.cells[(1, 2)].failed = True
+        signal_phase(system.grid, system.cells, PARAMS)
+        # Unchanged from initial None (the failed target never granted).
+        assert system.cells[(1, 2)].signal is None
+
+    def test_no_inbound_means_no_signal(self):
+        system = make_system()
+        converge_routes(system)
+        signal_phase(system.grid, system.cells, PARAMS)
+        for state in system.cells.values():
+            assert state.signal is None

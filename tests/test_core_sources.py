@@ -1,0 +1,129 @@
+"""Unit tests for source policies."""
+
+import random
+
+import pytest
+
+from repro.core.cell import CellState
+from repro.core.entity import Entity
+from repro.core.params import Parameters
+from repro.core.sources import (
+    BernoulliSource,
+    CappedSource,
+    EagerSource,
+    SilentSource,
+    entry_wall_center,
+)
+from repro.geometry.separation import fits_among
+
+PARAMS = Parameters(l=0.25, rs=0.05, v=0.2)
+RNG = random.Random(0)
+
+
+def make_state(next_id=None) -> CellState:
+    return CellState(cell_id=(2, 3), next_id=next_id)
+
+
+class TestEntryWallCenter:
+    def test_exit_north_places_south(self):
+        point = entry_wall_center(make_state(next_id=(2, 4)), PARAMS)
+        assert point.x == 2.5
+        assert point.y == pytest.approx(3.125)
+
+    def test_exit_east_places_west(self):
+        point = entry_wall_center(make_state(next_id=(3, 3)), PARAMS)
+        assert point.x == pytest.approx(2.125)
+        assert point.y == 3.5
+
+    def test_exit_west_places_east(self):
+        point = entry_wall_center(make_state(next_id=(1, 3)), PARAMS)
+        assert point.x == pytest.approx(2.875)
+
+    def test_exit_south_places_north(self):
+        point = entry_wall_center(make_state(next_id=(2, 2)), PARAMS)
+        assert point.y == pytest.approx(3.875)
+
+    def test_no_route_uses_default(self):
+        point = entry_wall_center(make_state(), PARAMS)
+        assert point.y == pytest.approx(3.125)  # default exit north
+
+
+class TestEagerSource:
+    def test_places_in_empty_cell(self):
+        state = make_state(next_id=(2, 4))
+        point = EagerSource().place(state, PARAMS, 0, RNG)
+        assert point is not None
+        assert fits_among(point, [], PARAMS.d)
+
+    def test_respects_gap(self):
+        state = make_state(next_id=(2, 4))
+        # Occupy the entry wall: insertion must be refused.
+        state.add_entity(Entity(uid=1, x=2.5, y=3.2))
+        assert EagerSource().place(state, PARAMS, 0, RNG) is None
+
+    def test_allows_when_previous_entity_moved_away(self):
+        state = make_state(next_id=(2, 4))
+        state.add_entity(Entity(uid=1, x=2.5, y=3.5))  # d=0.3 away from 3.125
+        point = EagerSource().place(state, PARAMS, 0, RNG)
+        assert point is not None
+        centers = [e.center for e in state.members.values()]
+        assert fits_among(point, centers, PARAMS.d)
+
+
+class TestBernoulliSource:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            BernoulliSource(rate=1.5)
+        with pytest.raises(ValueError):
+            BernoulliSource(rate=-0.1)
+
+    def test_rate_zero_never_produces(self):
+        source = BernoulliSource(rate=0.0)
+        state = make_state(next_id=(2, 4))
+        assert all(
+            source.place(state, PARAMS, k, random.Random(k)) is None
+            for k in range(50)
+        )
+
+    def test_rate_one_always_offers(self):
+        source = BernoulliSource(rate=1.0)
+        state = make_state(next_id=(2, 4))
+        assert source.place(state, PARAMS, 0, random.Random(0)) is not None
+
+    def test_intermediate_rate_statistics(self):
+        source = BernoulliSource(rate=0.3)
+        state = make_state(next_id=(2, 4))
+        rng = random.Random(42)
+        offers = sum(
+            source.place(state, PARAMS, k, rng) is not None for k in range(2000)
+        )
+        assert 450 < offers < 750  # ~600 expected
+
+
+class TestCappedSource:
+    def test_stops_at_limit(self):
+        source = CappedSource(EagerSource(), limit=3)
+        state = make_state(next_id=(2, 4))
+        produced = 0
+        for k in range(10):
+            if source.place(state, PARAMS, k, RNG) is not None:
+                produced += 1
+        assert produced == 3
+        assert source.produced == 3
+
+    def test_failed_placements_do_not_count(self):
+        source = CappedSource(EagerSource(), limit=2)
+        state = make_state(next_id=(2, 4))
+        state.add_entity(Entity(uid=1, x=2.5, y=3.2))  # blocks insertion
+        assert source.place(state, PARAMS, 0, RNG) is None
+        assert source.produced == 0
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ValueError):
+            CappedSource(EagerSource(), limit=-1)
+
+
+class TestSilentSource:
+    def test_never_produces(self):
+        state = make_state(next_id=(2, 4))
+        assert SilentSource().place(state, PARAMS, 0, RNG) is None

@@ -1,0 +1,141 @@
+"""Unit tests for the DTS framework (automaton, execution, explorer,
+predicates) on small hand-built systems."""
+
+import pytest
+
+from repro.dts.automaton import FiniteDTS, LambdaDTS
+from repro.dts.execution import Execution, execution_states, is_execution
+from repro.dts.explorer import explore
+from repro.dts.predicates import (
+    check_invariant,
+    check_stabilizes,
+    check_stable,
+    find_violation,
+)
+
+
+def counter_dts(limit=5):
+    """0 -> 1 -> ... -> limit (self-loop at limit)."""
+    table = {k: [("inc", min(k + 1, limit))] for k in range(limit + 1)}
+    return FiniteDTS(start=[0], table=table)
+
+
+def branching_dts():
+    """0 branches to 1 and 2; 2 leads to the 'bad' state 3."""
+    return FiniteDTS(
+        start=[0],
+        table={0: [("a", 1), ("b", 2)], 1: [("a", 1)], 2: [("c", 3)], 3: []},
+    )
+
+
+class TestFiniteDTS:
+    def test_states_and_actions(self):
+        dts = branching_dts()
+        assert set(dts.states()) == {0, 1, 2, 3}
+        assert set(dts.actions()) == {"a", "b", "c"}
+
+    def test_transitions(self):
+        assert dict(branching_dts().transitions(0)) == {"a": 1, "b": 2}
+
+    def test_missing_state_has_no_transitions(self):
+        assert list(branching_dts().transitions(99)) == []
+
+
+class TestLambdaDTS:
+    def test_successor_function(self):
+        dts = LambdaDTS(start=[0], successor_fn=lambda s: [("inc", s + 1)])
+        assert list(dts.transitions(3)) == [("inc", 4)]
+
+
+class TestExecution:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Execution(states=[0, 1], actions=[])
+
+    def test_steps(self):
+        execution = Execution(states=[0, 1, 2], actions=["a", "b"])
+        assert list(execution.steps()) == [(0, "a", 1), (1, "b", 2)]
+        assert execution.first == 0 and execution.last == 2
+
+    def test_is_execution_valid(self):
+        dts = counter_dts()
+        assert is_execution(dts, [0, 1, 2, 3])
+
+    def test_is_execution_wrong_start(self):
+        dts = counter_dts()
+        assert not is_execution(dts, [2, 3])
+        assert is_execution(dts, [2, 3], from_start=False)
+
+    def test_is_execution_invalid_step(self):
+        assert not is_execution(counter_dts(), [0, 2])
+
+    def test_generate(self):
+        states = execution_states(counter_dts(), start=0, length=4)
+        assert states == [0, 1, 2, 3]
+
+    def test_generate_stops_at_deadlock(self):
+        dts = FiniteDTS(start=[0], table={0: [("a", 1)], 1: []})
+        assert execution_states(dts, start=0, length=10) == [0, 1]
+
+
+class TestExplorer:
+    def test_full_reachability(self):
+        result = explore(counter_dts(limit=4))
+        assert result.state_count == 5
+        assert result.complete
+        assert result.violation is None
+
+    def test_depths(self):
+        result = explore(counter_dts(limit=4))
+        assert result.reachable[0] == 0
+        assert result.reachable[4] == 4
+
+    def test_predicate_violation_and_trace(self):
+        result = explore(branching_dts(), predicate=lambda s: s != 3)
+        assert result.violation == 3
+        trace = result.trace_to(3)
+        assert [state for _, state in trace] == [0, 2, 3]
+        assert trace[0][0] is None
+        assert trace[-1][0] == "c"
+
+    def test_budget_exhaustion(self):
+        infinite = LambdaDTS(start=[0], successor_fn=lambda s: [("inc", s + 1)])
+        result = explore(infinite, max_states=100)
+        assert not result.complete
+        assert result.state_count == 100
+
+    def test_trace_to_unreached_state(self):
+        result = explore(counter_dts(limit=3))
+        with pytest.raises(KeyError):
+            result.trace_to(99)
+
+
+class TestPredicates:
+    def test_check_invariant_holds(self):
+        result = check_invariant(counter_dts(limit=4), lambda s: s <= 4)
+        assert result.violation is None and result.complete
+
+    def test_find_violation_returns_trace(self):
+        trace = find_violation(branching_dts(), lambda s: s != 3)
+        assert trace == [0, 2, 3]
+
+    def test_find_violation_none(self):
+        assert find_violation(counter_dts(), lambda s: True) is None
+
+    def test_check_stable_closed_set(self):
+        dts = counter_dts(limit=4)
+        states = explore(dts).reachable
+        # {s >= 2} is closed under increment-with-cap.
+        assert check_stable(dts, lambda s: s >= 2, states) is None
+
+    def test_check_stable_violated(self):
+        dts = FiniteDTS(start=[0], table={0: [("a", 1)], 1: [("b", 0)]})
+        offender = check_stable(dts, lambda s: s == 1, [0, 1])
+        assert offender == (1, 0)
+
+    def test_check_stabilizes(self):
+        fragment = [5, 4, 3, 2, 1, 0, 0, 0]
+        assert check_stabilizes(fragment, lambda s: s == 0) == 5
+        assert check_stabilizes(fragment, lambda s: s == 0, within=3) is None
+        assert check_stabilizes(fragment, lambda s: s < 99) == 0
+        assert check_stabilizes(fragment, lambda s: s < 0) is None

@@ -1,0 +1,97 @@
+"""Tests for the figure experiment definitions (scaled-down horizons).
+
+Full-horizon reproduction lives in the benchmark harness; these tests
+assert that the definitions match the paper's parameterization and that
+the qualitative shapes already emerge at reduced horizons.
+"""
+
+import pytest
+
+from repro.experiments import fig7, fig8, fig9
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+
+
+class TestRegistry:
+    def test_all_figures_registered(self):
+        assert set(EXPERIMENTS) == {"fig7", "fig8", "fig9", "pathlen"}
+
+    def test_get_unknown_raises_with_known_list(self):
+        with pytest.raises(KeyError, match="fig7"):
+            get_experiment("nope")
+
+    def test_paper_horizons(self):
+        assert get_experiment("fig7").paper_rounds == 2500
+        assert get_experiment("fig8").paper_rounds == 2500
+        assert get_experiment("fig9").paper_rounds == 20000
+
+
+class TestFig7Definition:
+    def test_paper_parameterization(self):
+        sweep = fig7.build_sweep()
+        assert len(sweep) == len(fig7.VELOCITIES) * len(fig7.SPACINGS)
+        _, config, extras = sweep.points[0]
+        assert config.grid_width == 8
+        assert config.params.l == 0.25
+        assert config.rounds == 2500
+        assert config.path[0] == (1, 0) and config.path[-1] == (1, 7)
+
+    def test_velocities_match_paper(self):
+        assert fig7.VELOCITIES == (0.05, 0.1, 0.2, 0.25)
+
+    def test_spacings_respect_constraint(self):
+        assert all(rs + 0.25 < 1.0 for rs in fig7.SPACINGS)
+
+    def test_series_and_checks_small(self):
+        result = fig7.run(
+            rounds=250, velocities=(0.1, 0.25), spacings=(0.05, 0.25, 0.55, 0.6)
+        )
+        curves = fig7.series(result)
+        assert set(curves) == {0.1, 0.25}
+        assert all(len(points) == 4 for points in curves.values())
+        checks = fig7.shape_checks(result)
+        assert checks["monotone_rs"]
+        assert checks["saturation"]
+
+
+class TestFig8Definition:
+    def test_paper_parameterization(self):
+        sweep = fig8.build_sweep()
+        assert len(sweep) == len(fig8.COMBOS) * len(fig8.TURN_COUNTS)
+        assert fig8.COMBOS[0] == (0.2, 0.2)
+        assert fig8.SAFETY_SPACING == 0.05
+
+    def test_turn_counts_cover_length_8(self):
+        assert fig8.TURN_COUNTS == (0, 1, 2, 3, 4, 5, 6)
+
+    def test_paths_have_exact_turns(self):
+        for turns in fig8.TURN_COUNTS:
+            assert fig8.path_with_turns(turns).turns == turns
+
+    def test_series_and_checks_small(self):
+        result = fig8.run(rounds=300, combos=((0.2, 0.2),), turn_counts=(0, 2, 5, 6))
+        curves = fig8.series(result)
+        assert set(curves) == {(0.2, 0.2)}
+        checks = fig8.shape_checks(result)
+        assert checks["turns_hurt"]
+
+
+class TestFig9Definition:
+    def test_paper_parameterization(self):
+        assert fig9.PARAMS.l == 0.2 and fig9.PARAMS.v == 0.2
+        assert fig9.RECOVER_PROBS == (0.05, 0.1, 0.15, 0.2)
+        assert fig9.FAIL_PROBS[0] == 0.01 and fig9.FAIL_PROBS[-1] == 0.05
+
+    def test_whole_grid_stays_alive(self):
+        sweep = fig9.build_sweep(rounds=10)
+        _, config, _ = sweep.points[0]
+        assert config.fail_complement is False
+        assert config.fault.enabled
+
+    def test_series_small(self):
+        result = fig9.run(
+            rounds=400, fail_probs=(0.01, 0.05), recover_probs=(0.05, 0.2)
+        )
+        curves = fig9.series(result)
+        assert set(curves) == {0.05, 0.2}
+        checks = fig9.shape_checks(result)
+        assert checks["pf_hurts"]

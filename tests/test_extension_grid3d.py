@@ -1,0 +1,167 @@
+"""Tests for the 3-D extension (the conclusion's rectangular partitions)."""
+
+import math
+import random
+
+import pytest
+
+from repro.extensions.grid3d import (
+    Cell3D,
+    Direction3D,
+    Entity3D,
+    Grid3D,
+    System3D,
+    axis_separated_3d,
+    check_containment_3d,
+    check_safe_3d,
+    direction_between_3d,
+)
+
+
+class TestGrid3D:
+    def test_size_and_containment(self):
+        grid = Grid3D(2, 3, 4)
+        assert grid.size == 24
+        assert grid.contains((1, 2, 3))
+        assert not grid.contains((2, 0, 0))
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            Grid3D(0, 1, 1)
+
+    def test_interior_has_six_neighbors(self):
+        grid = Grid3D(3, 3, 3)
+        assert len(grid.neighbors((1, 1, 1))) == 6
+
+    def test_corner_has_three_neighbors(self):
+        assert len(Grid3D(3, 3, 3).neighbors((0, 0, 0))) == 3
+
+    def test_cells_enumeration(self):
+        cells = list(Grid3D(2, 2, 2).cells())
+        assert len(cells) == 8 and len(set(cells)) == 8
+
+
+class TestDirections3D:
+    def test_axes_and_signs(self):
+        assert Direction3D.UP.axis == 2 and Direction3D.UP.sign == 1
+        assert Direction3D.WEST.axis == 0 and Direction3D.WEST.sign == -1
+
+    def test_direction_between(self):
+        assert direction_between_3d((0, 0, 0), (0, 0, 1)) is Direction3D.UP
+        assert direction_between_3d((1, 1, 1), (0, 1, 1)) is Direction3D.WEST
+        with pytest.raises(ValueError):
+            direction_between_3d((0, 0, 0), (1, 1, 0))
+
+
+class TestSeparation3D:
+    def test_separated_on_z_only(self):
+        a = Entity3D(uid=1, pos=[0.5, 0.5, 0.2])
+        b = Entity3D(uid=2, pos=[0.55, 0.55, 0.8])
+        assert axis_separated_3d(a, b, d=0.5)
+
+    def test_not_separated(self):
+        a = Entity3D(uid=1, pos=[0.5, 0.5, 0.5])
+        b = Entity3D(uid=2, pos=[0.7, 0.7, 0.7])
+        assert not axis_separated_3d(a, b, d=0.5)
+
+
+def vertical_shaft(nz=4) -> System3D:
+    """A 1x1xN shaft: source at the bottom cube, target at the top."""
+    grid = Grid3D(1, 1, nz)
+    return System3D(
+        grid=grid,
+        l=0.25,
+        rs=0.05,
+        v=0.25,
+        tid=(0, 0, nz - 1),
+        sources=((0, 0, 0),),
+        rng=random.Random(0),
+    )
+
+
+class TestSystem3D:
+    def test_parameter_validation(self):
+        grid = Grid3D(2, 2, 2)
+        with pytest.raises(ValueError):
+            System3D(grid=grid, l=0.25, rs=0.05, v=0.3, tid=(0, 0, 0))
+        with pytest.raises(ValueError):
+            System3D(grid=grid, l=0.5, rs=0.5, v=0.25, tid=(0, 0, 0))
+        with pytest.raises(ValueError):
+            System3D(grid=grid, l=0.25, rs=0.05, v=0.2, tid=(5, 5, 5))
+        with pytest.raises(ValueError):
+            System3D(
+                grid=grid, l=0.25, rs=0.05, v=0.2, tid=(0, 0, 0), sources=((0, 0, 0),)
+            )
+
+    def test_routing_converges_in_3d(self):
+        system = vertical_shaft()
+        for _ in range(5):
+            system.update()
+        assert system.cells[(0, 0, 0)].dist == 3.0
+        assert system.cells[(0, 0, 0)].next_id == (0, 0, 1)
+
+    def test_entities_flow_up_the_shaft(self):
+        system = vertical_shaft()
+        consumed = sum(system.update() for _ in range(300))
+        assert consumed > 0
+        assert system.total_consumed == consumed
+
+    def test_safety_and_containment_throughout(self):
+        system = vertical_shaft()
+        for _ in range(300):
+            system.update()
+            assert check_safe_3d(system) == []
+            assert check_containment_3d(system) == []
+
+    def test_3d_corner_route(self):
+        """Traffic routes through a 3-D corner (two turns across axes)."""
+        grid = Grid3D(3, 3, 3)
+        system = System3D(
+            grid=grid,
+            l=0.25,
+            rs=0.05,
+            v=0.25,
+            tid=(2, 2, 2),
+            sources=((0, 0, 0),),
+            rng=random.Random(0),
+        )
+        consumed = 0
+        for _ in range(500):
+            consumed += system.update()
+            assert check_safe_3d(system) == []
+        assert consumed > 0
+
+    def test_failure_reroutes_in_3d(self):
+        """A 2x1x2 block has two routes from (0,0,0) to (1,0,1); failing
+        one relay forces the other, and traffic keeps flowing."""
+        grid = Grid3D(2, 1, 2)
+        system = System3D(
+            grid=grid, l=0.25, rs=0.05, v=0.25, tid=(1, 0, 1),
+            sources=((0, 0, 0),), rng=random.Random(0),
+        )
+        for _ in range(20):
+            system.update()
+        assert system.cells[(0, 0, 0)].dist == 2.0
+        system.fail((1, 0, 0))
+        consumed = 0
+        for _ in range(100):
+            consumed += system.update()
+            assert check_safe_3d(system) == []
+        assert system.cells[(0, 0, 0)].next_id == (0, 0, 1)
+        assert consumed > 0
+
+    def test_recover_target_resets_dist(self):
+        system = vertical_shaft()
+        system.fail(system.tid)
+        system.recover(system.tid)
+        assert system.cells[system.tid].dist == 0.0
+
+    def test_entity_conservation(self):
+        system = vertical_shaft()
+        for _ in range(200):
+            system.update()
+            assert (
+                sum(system.total_consumed for _ in range(1))
+                + system.entity_count()
+                == system.total_produced
+            )

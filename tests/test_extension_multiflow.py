@@ -1,0 +1,192 @@
+"""Tests for the multi-flow extension (type-exclusive cell discipline)."""
+
+import random
+
+import pytest
+
+from repro.core.params import Parameters
+from repro.extensions.multiflow import Flow, MultiFlowSystem
+from repro.grid.topology import Grid
+
+PARAMS = Parameters(l=0.2, rs=0.05, v=0.2)
+
+
+def crossing_system() -> MultiFlowSystem:
+    """Two flows crossing a 5x5 grid: west->east and south->north."""
+    return MultiFlowSystem(
+        grid=Grid(5),
+        params=PARAMS,
+        flows=[
+            Flow(name="eastbound", target=(4, 2), sources=((0, 2),)),
+            Flow(name="northbound", target=(2, 4), sources=((2, 0),)),
+        ],
+        rng=random.Random(0),
+    )
+
+
+class TestConstruction:
+    def test_flow_validation(self):
+        with pytest.raises(ValueError):
+            Flow(name="", target=(0, 0))
+        with pytest.raises(ValueError):
+            Flow(name="f", target=(0, 0), sources=((0, 0),))
+
+    def test_needs_flows(self):
+        with pytest.raises(ValueError):
+            MultiFlowSystem(grid=Grid(3), params=PARAMS, flows=[])
+
+    def test_unique_names(self):
+        with pytest.raises(ValueError):
+            MultiFlowSystem(
+                grid=Grid(3),
+                params=PARAMS,
+                flows=[Flow(name="f", target=(0, 0)), Flow(name="f", target=(1, 1))],
+            )
+
+    def test_per_flow_targets_initialized(self):
+        system = crossing_system()
+        assert system.cells[(4, 2)].dist["eastbound"] == 0.0
+        assert system.cells[(2, 4)].dist["northbound"] == 0.0
+        assert system.cells[(4, 2)].dist["northbound"] != 0.0
+
+
+class TestRouting:
+    def test_per_flow_tables_converge(self):
+        system = crossing_system()
+        for _ in range(10):
+            system.update()
+        assert system.cells[(0, 2)].dist["eastbound"] == 4.0
+        assert system.cells[(2, 0)].dist["northbound"] == 4.0
+        # The same cell routes differently per flow.
+        middle = system.cells[(2, 2)]
+        assert middle.next_id["eastbound"] == (3, 2)
+        assert middle.next_id["northbound"] == (2, 3)
+
+
+class TestFlowDelivery:
+    def test_both_flows_deliver(self):
+        system = crossing_system()
+        consumed = {"eastbound": 0, "northbound": 0}
+        for _ in range(1500):
+            round_consumed = system.update()
+            for name, count in round_consumed.items():
+                consumed[name] += count
+        assert consumed["eastbound"] > 0
+        assert consumed["northbound"] > 0
+
+    def test_safety_maintained(self):
+        system = crossing_system()
+        for _ in range(800):
+            system.update()
+            assert system.check_safe() == []
+
+    def test_type_exclusivity_invariant(self):
+        """No cell ever holds entities of two flows simultaneously."""
+        system = crossing_system()
+        for _ in range(800):
+            system.update()
+            assert system.check_type_exclusive() == []
+
+    def test_conservation_per_flow(self):
+        system = crossing_system()
+        for _ in range(400):
+            system.update()
+        for name in ("eastbound", "northbound"):
+            assert (
+                system.total_produced[name]
+                == system.total_consumed[name] + system.entities_of_flow(name)
+            )
+
+
+class TestWaitingCycleDetector:
+    def test_no_cycles_in_nominal_crossing(self):
+        system = crossing_system()
+        for _ in range(100):
+            system.update()
+            assert system.detect_waiting_cycles() == []
+
+    def test_hand_built_two_cycle_detected(self):
+        """Two loaded cells whose resident flows route through each other
+        form a waits-on 2-cycle."""
+        import repro.core.entity as entity_module
+
+        system = MultiFlowSystem(
+            grid=Grid(4, 1),
+            params=PARAMS,
+            flows=[
+                Flow(name="east", target=(3, 0)),
+                Flow(name="west", target=(0, 0)),
+            ],
+        )
+        a, b = system.cells[(1, 0)], system.cells[(2, 0)]
+        # Entity of flow "east" in (1,0), heading into (2,0)...
+        east_entity = entity_module.Entity(uid=1, x=1.5, y=0.5)
+        east_entity.flow_name = "east"
+        a.base.add_entity(east_entity)
+        a.next_id["east"] = (2, 0)
+        # ...and an entity of "west" in (2,0), heading into (1,0).
+        west_entity = entity_module.Entity(uid=2, x=2.5, y=0.5)
+        west_entity.flow_name = "west"
+        b.base.add_entity(west_entity)
+        b.next_id["west"] = (1, 0)
+        cycles = system.detect_waiting_cycles()
+        assert len(cycles) == 1
+        assert set(cycles[0]) == {(1, 0), (2, 0)}
+
+    def test_empty_cells_never_in_cycles(self):
+        system = crossing_system()
+        assert system.detect_waiting_cycles() == []
+
+
+class TestFaults:
+    def test_single_flow_reroutes_around_crash(self):
+        """With one flow the machinery reroutes around a crash exactly
+        like the core protocol (no inter-flow interaction to deadlock)."""
+        system = MultiFlowSystem(
+            grid=Grid(5),
+            params=PARAMS,
+            flows=[Flow(name="eastbound", target=(4, 2), sources=((0, 2),))],
+            rng=random.Random(0),
+        )
+        for _ in range(50):
+            system.update()
+        system.fail((2, 2))
+        consumed = 0
+        for _ in range(800):
+            consumed += system.update()["eastbound"]
+            assert system.check_safe() == []
+        assert consumed > 0
+
+    def test_head_to_head_detour_gridlocks_and_is_detected(self):
+        """The documented limitation: crashing the crossing cell forces
+        the two flows' detours through shared corridors in opposite
+        directions, gridlocking both. Safety still holds throughout
+        (Theorem 5 is crash/deadlock-oblivious); the waits-on cycle
+        detector names the jammed cells."""
+        system = crossing_system()
+        for _ in range(50):
+            system.update()
+        system.fail((2, 2))
+        consumed = {"eastbound": 0, "northbound": 0}
+        for _ in range(1200):
+            round_consumed = system.update()
+            for name, count in round_consumed.items():
+                consumed[name] += count
+            assert system.check_safe() == []
+            assert system.check_type_exclusive() == []
+        assert consumed == {"eastbound": 0, "northbound": 0}
+        cycles = system.detect_waiting_cycles()
+        assert cycles, "the gridlock should be observable as a waits-on cycle"
+        assert all(len(cycle) >= 2 for cycle in cycles)
+
+    def test_failed_cell_routes_masked_per_flow(self):
+        system = crossing_system()
+        for _ in range(10):
+            system.update()
+        system.fail((3, 2))
+        for _ in range(10):
+            system.update()
+        import math
+
+        assert math.isinf(system.cells[(3, 2)].dist["eastbound"])
+        assert system.cells[(2, 2)].next_id["eastbound"] != (3, 2)

@@ -1,0 +1,175 @@
+"""Unit tests for fault models, schedules, and the injector."""
+
+import random
+
+import pytest
+
+from repro.core.params import Parameters
+from repro.core.system import System
+from repro.faults.injector import FaultInjector
+from repro.faults.model import (
+    BernoulliFaultModel,
+    FaultDecision,
+    NoFaults,
+    WindowedFaultModel,
+)
+from repro.faults.schedule import FaultEvent, ScriptedFaultModel
+from repro.grid.topology import Grid
+
+PARAMS = Parameters(l=0.25, rs=0.05, v=0.2)
+CELLS = [(i, j) for i in range(3) for j in range(3)]
+
+
+class TestNoFaults:
+    def test_always_quiet(self):
+        model = NoFaults()
+        decision = model.decide(0, CELLS, [], random.Random(0))
+        assert decision.is_quiet
+
+
+class TestBernoulli:
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            BernoulliFaultModel(pf=1.5, pr=0.1)
+        with pytest.raises(ValueError):
+            BernoulliFaultModel(pf=0.1, pr=-0.1)
+
+    def test_zero_probabilities_quiet(self):
+        model = BernoulliFaultModel(pf=0.0, pr=0.0)
+        decision = model.decide(0, CELLS, CELLS, random.Random(0))
+        assert decision.is_quiet
+
+    def test_pf_one_fails_everything(self):
+        model = BernoulliFaultModel(pf=1.0, pr=0.0)
+        decision = model.decide(0, CELLS, [], random.Random(0))
+        assert decision.fail == frozenset(CELLS)
+
+    def test_immune_cells_never_fail(self):
+        model = BernoulliFaultModel(pf=1.0, pr=0.0, immune=frozenset({(1, 1)}))
+        decision = model.decide(0, CELLS, [], random.Random(0))
+        assert (1, 1) not in decision.fail
+
+    def test_recovery(self):
+        model = BernoulliFaultModel(pf=0.0, pr=1.0)
+        decision = model.decide(0, [], CELLS, random.Random(0))
+        assert decision.recover == frozenset(CELLS)
+
+    def test_reproducible_given_seed(self):
+        model = BernoulliFaultModel(pf=0.3, pr=0.3)
+        a = model.decide(0, CELLS, [], random.Random(5))
+        b = model.decide(0, CELLS, [], random.Random(5))
+        assert a == b
+
+    def test_empirical_rate(self):
+        model = BernoulliFaultModel(pf=0.2, pr=0.0)
+        rng = random.Random(1)
+        total = sum(
+            len(model.decide(k, CELLS, [], rng).fail) for k in range(2000)
+        )
+        assert 0.15 * 9 * 2000 < total < 0.25 * 9 * 2000
+
+    def test_stationary_fraction(self):
+        assert BernoulliFaultModel(pf=0.0, pr=0.5).stationary_failed_fraction() == 0.0
+        assert BernoulliFaultModel(
+            pf=0.1, pr=0.3
+        ).stationary_failed_fraction() == pytest.approx(0.25)
+
+
+class TestWindowed:
+    def test_active_only_in_window(self):
+        inner = BernoulliFaultModel(pf=1.0, pr=0.0)
+        model = WindowedFaultModel(inner=inner, start=5, stop=10)
+        rng = random.Random(0)
+        assert model.decide(4, CELLS, [], rng).is_quiet
+        assert model.decide(5, CELLS, [], rng).fail
+        assert model.decide(9, CELLS, [], rng).fail
+        assert model.decide(10, CELLS, [], rng).is_quiet
+
+    def test_recover_all_at_stop(self):
+        inner = BernoulliFaultModel(pf=1.0, pr=0.0)
+        model = WindowedFaultModel(
+            inner=inner, start=0, stop=3, recover_all_at_stop=True
+        )
+        rng = random.Random(0)
+        decision = model.decide(3, [], [(0, 0), (1, 1)], rng)
+        assert decision.recover == frozenset({(0, 0), (1, 1)})
+
+
+class TestScripted:
+    def test_event_validation(self):
+        with pytest.raises(ValueError):
+            FaultEvent(round_index=0, cell=(0, 0), kind="explode")
+        with pytest.raises(ValueError):
+            FaultEvent(round_index=-1, cell=(0, 0), kind="fail")
+
+    def test_replay(self):
+        model = ScriptedFaultModel(
+            [
+                FaultEvent(2, (0, 0), "fail"),
+                FaultEvent(2, (1, 1), "fail"),
+                FaultEvent(5, (0, 0), "recover"),
+            ]
+        )
+        rng = random.Random(0)
+        assert model.decide(0, CELLS, [], rng).is_quiet
+        decision = model.decide(2, CELLS, [], rng)
+        assert decision.fail == frozenset({(0, 0), (1, 1)})
+        assert model.decide(5, CELLS, [(0, 0)], rng).recover == frozenset({(0, 0)})
+        assert model.last_round == 5
+
+    def test_fail_at_shorthand(self):
+        model = ScriptedFaultModel.fail_at([(1, (0, 0)), (3, (2, 2))])
+        rng = random.Random(0)
+        assert model.decide(1, CELLS, [], rng).fail == frozenset({(0, 0)})
+        assert model.decide(3, CELLS, [], rng).fail == frozenset({(2, 2)})
+
+    def test_conflicting_events_rejected(self):
+        model = ScriptedFaultModel(
+            [FaultEvent(1, (0, 0), "fail"), FaultEvent(1, (0, 0), "recover")]
+        )
+        with pytest.raises(ValueError):
+            model.decide(1, CELLS, [], random.Random(0))
+
+    def test_empty_script(self):
+        model = ScriptedFaultModel([])
+        assert model.last_round == -1
+        assert model.decide(0, CELLS, [], random.Random(0)).is_quiet
+
+
+class TestInjector:
+    def make_system(self):
+        return System(grid=Grid(3), params=PARAMS, tid=(2, 2))
+
+    def test_applies_decisions(self):
+        system = self.make_system()
+        injector = FaultInjector(ScriptedFaultModel.fail_at([(0, (1, 1))]))
+        injector.apply(system)
+        assert system.cells[(1, 1)].failed
+        assert injector.total_failures == 1
+
+    def test_applies_recovery(self):
+        system = self.make_system()
+        system.fail((1, 1))
+        injector = FaultInjector(
+            ScriptedFaultModel([FaultEvent(0, (1, 1), "recover")])
+        )
+        injector.apply(system)
+        assert not system.cells[(1, 1)].failed
+        assert injector.total_recoveries == 1
+
+    def test_history_and_last_disruption(self):
+        system = self.make_system()
+        injector = FaultInjector(ScriptedFaultModel.fail_at([(1, (0, 0))]))
+        injector.apply(system)  # round 0: quiet
+        system.update()
+        injector.apply(system)  # round 1: fail
+        system.update()
+        injector.apply(system)  # round 2: quiet
+        assert len(injector.history) == 3
+        assert injector.last_disruption_round == 1
+
+    def test_no_disruption(self):
+        system = self.make_system()
+        injector = FaultInjector(NoFaults())
+        injector.apply(system)
+        assert injector.last_disruption_round is None

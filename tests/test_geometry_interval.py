@@ -1,0 +1,95 @@
+"""Unit tests for closed intervals."""
+
+import pytest
+from hypothesis import assume, given
+from hypothesis import strategies as st
+
+from repro.geometry.interval import Interval
+
+coord = st.floats(min_value=-50, max_value=50, allow_nan=False)
+
+
+def intervals():
+    return st.tuples(coord, coord).map(
+        lambda bounds: Interval(min(bounds), max(bounds))
+    )
+
+
+class TestConstruction:
+    def test_valid(self):
+        interval = Interval(0.0, 1.0)
+        assert interval.length == 1.0
+        assert interval.center == 0.5
+
+    def test_degenerate_allowed(self):
+        assert Interval(1.0, 1.0).length == 0.0
+
+    def test_inverted_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(2.0, 1.0)
+
+
+class TestContains:
+    def test_interior(self):
+        assert Interval(0, 1).contains(0.5)
+
+    def test_endpoints(self):
+        interval = Interval(0, 1)
+        assert interval.contains(0.0)
+        assert interval.contains(1.0)
+
+    def test_tolerant_endpoints(self):
+        assert Interval(0, 1).contains(1.0 + 1e-12)
+
+    def test_outside(self):
+        assert not Interval(0, 1).contains(1.1)
+
+    def test_contains_interval(self):
+        assert Interval(0, 1).contains_interval(Interval(0.2, 0.8))
+        assert Interval(0, 1).contains_interval(Interval(0.0, 1.0))
+        assert not Interval(0, 1).contains_interval(Interval(0.5, 1.5))
+
+
+class TestOverlapAndGap:
+    def test_overlapping(self):
+        assert Interval(0, 2).overlaps(Interval(1, 3))
+
+    def test_touching_counts_as_overlap(self):
+        assert Interval(0, 1).overlaps(Interval(1, 2))
+
+    def test_disjoint(self):
+        assert not Interval(0, 1).overlaps(Interval(2, 3))
+
+    def test_gap_zero_when_overlapping(self):
+        assert Interval(0, 2).gap_to(Interval(1, 3)) == 0.0
+
+    def test_gap_positive_when_disjoint(self):
+        assert Interval(0, 1).gap_to(Interval(3, 4)) == 2.0
+        assert Interval(3, 4).gap_to(Interval(0, 1)) == 2.0
+
+
+class TestTransforms:
+    def test_shift(self):
+        assert Interval(0, 1).shifted(2.5) == Interval(2.5, 3.5)
+
+    def test_clamp(self):
+        assert Interval(-1, 3).clamped_to(Interval(0, 1)) == Interval(0, 1)
+
+
+class TestProperties:
+    @given(intervals(), intervals())
+    def test_overlap_symmetric(self, a, b):
+        assert a.overlaps(b) == b.overlaps(a)
+
+    @given(intervals(), intervals())
+    def test_gap_symmetric(self, a, b):
+        assert a.gap_to(b) == pytest.approx(b.gap_to(a))
+
+    @given(intervals(), coord)
+    def test_shift_preserves_length(self, interval, delta):
+        assert interval.shifted(delta).length == pytest.approx(interval.length)
+
+    @given(intervals(), intervals())
+    def test_containment_implies_overlap(self, a, b):
+        assume(a.contains_interval(b))
+        assert a.overlaps(b)

@@ -1,0 +1,72 @@
+"""Unit tests for points and vectors."""
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.point import Point, Vector, ZERO_VECTOR
+
+coord = st.floats(min_value=-100, max_value=100, allow_nan=False)
+
+
+class TestVector:
+    def test_addition(self):
+        assert Vector(1, 2) + Vector(3, 4) == Vector(4, 6)
+
+    def test_negation(self):
+        assert -Vector(1, -2) == Vector(-1, 2)
+
+    def test_scalar_multiplication(self):
+        assert Vector(1, 2) * 3 == Vector(3, 6)
+        assert 3 * Vector(1, 2) == Vector(3, 6)
+
+    def test_norm(self):
+        assert Vector(3, 4).norm() == 5.0
+
+    def test_manhattan(self):
+        assert Vector(3, -4).manhattan() == 7.0
+
+    def test_axis_aligned(self):
+        assert Vector(0.5, 0).is_axis_aligned()
+        assert Vector(0, -0.5).is_axis_aligned()
+        assert ZERO_VECTOR.is_axis_aligned()
+        assert not Vector(0.1, 0.1).is_axis_aligned()
+
+
+class TestPoint:
+    def test_translate(self):
+        assert Point(1, 1) + Vector(0.5, -0.5) == Point(1.5, 0.5)
+
+    def test_difference_is_vector(self):
+        assert Point(3, 4) - Point(1, 1) == Vector(2, 3)
+
+    def test_euclidean_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == 5.0
+
+    def test_manhattan_distance(self):
+        assert Point(0, 0).manhattan_to(Point(3, -4)) == 7.0
+
+    def test_almost_equal(self):
+        assert Point(1, 1).almost_equal(Point(1 + 1e-12, 1 - 1e-12))
+        assert not Point(1, 1).almost_equal(Point(1.001, 1))
+
+
+class TestPointProperties:
+    @given(coord, coord, coord, coord)
+    def test_translation_roundtrip(self, x, y, dx, dy):
+        point = Point(x, y)
+        vec = Vector(dx, dy)
+        back = (point + vec) + (-vec)
+        assert math.isclose(back.x, x, abs_tol=1e-9)
+        assert math.isclose(back.y, y, abs_tol=1e-9)
+
+    @given(coord, coord, coord, coord)
+    def test_distance_symmetry(self, x1, y1, x2, y2):
+        a, b = Point(x1, y1), Point(x2, y2)
+        assert a.distance_to(b) == b.distance_to(a)
+
+    @given(coord, coord, coord, coord)
+    def test_euclidean_at_most_manhattan(self, x1, y1, x2, y2):
+        a, b = Point(x1, y1), Point(x2, y2)
+        assert a.distance_to(b) <= a.manhattan_to(b) + 1e-9

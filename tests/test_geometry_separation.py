@@ -1,0 +1,100 @@
+"""Unit and property tests for the center-spacing separation predicates."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.point import Point
+from repro.geometry.separation import (
+    axis_separated,
+    fits_among,
+    min_axis_separation,
+    pairwise_axis_separated,
+    separation_violations,
+)
+
+coord = st.floats(min_value=-10, max_value=10, allow_nan=False)
+points = st.builds(Point, coord, coord)
+spacing = st.floats(min_value=0.01, max_value=2.0, allow_nan=False)
+
+
+class TestAxisSeparated:
+    def test_separated_on_x(self):
+        assert axis_separated(Point(0, 0), Point(0.5, 0.1), d=0.5)
+
+    def test_separated_on_y(self):
+        assert axis_separated(Point(0, 0), Point(0.1, 0.5), d=0.5)
+
+    def test_not_separated(self):
+        assert not axis_separated(Point(0, 0), Point(0.3, 0.3), d=0.5)
+
+    def test_exactly_d_counts(self):
+        assert axis_separated(Point(0, 0), Point(0.5, 0), d=0.5)
+
+    def test_diagonal_distance_insufficient(self):
+        # Euclidean distance ~0.57 > 0.5, but neither axis reaches d.
+        assert not axis_separated(Point(0, 0), Point(0.4, 0.4), d=0.5)
+
+
+class TestMinAxisSeparation:
+    def test_reports_larger_axis(self):
+        assert min_axis_separation(Point(0, 0), Point(0.3, 0.7)) == 0.7
+
+    def test_zero_for_identical(self):
+        assert min_axis_separation(Point(1, 1), Point(1, 1)) == 0.0
+
+
+class TestPairwise:
+    def test_empty_and_single_are_safe(self):
+        assert pairwise_axis_separated([], d=0.5)
+        assert pairwise_axis_separated([Point(0, 0)], d=0.5)
+
+    def test_violating_pair_detected(self):
+        centers = [Point(0, 0), Point(1, 0), Point(1.1, 0.1)]
+        assert not pairwise_axis_separated(centers, d=0.5)
+        violations = list(separation_violations(centers, d=0.5))
+        assert len(violations) == 1
+        assert violations[0][:2] == (1, 2)
+
+    def test_grid_layout_is_safe(self):
+        centers = [Point(0.5 * i, 0.5 * j) for i in range(3) for j in range(3)]
+        assert pairwise_axis_separated(centers, d=0.5)
+
+
+class TestFitsAmong:
+    def test_fits_in_empty(self):
+        assert fits_among(Point(0, 0), [], d=0.5)
+
+    def test_rejected_when_close(self):
+        assert not fits_among(Point(0, 0), [Point(0.2, 0.2)], d=0.5)
+
+    def test_consistent_with_pairwise(self):
+        existing = [Point(0, 0), Point(1, 0)]
+        candidate = Point(0.5, 0.5)
+        combined = existing + [candidate]
+        assert fits_among(candidate, existing, d=0.5) == pairwise_axis_separated(
+            combined, d=0.5
+        )
+
+
+class TestProperties:
+    @given(points, points, spacing)
+    def test_symmetry(self, p, q, d):
+        assert axis_separated(p, q, d) == axis_separated(q, p, d)
+
+    @given(points, points, spacing, spacing)
+    def test_monotone_in_d(self, p, q, d1, d2):
+        low, high = sorted((d1, d2))
+        if axis_separated(p, q, high):
+            assert axis_separated(p, q, low)
+
+    @given(points, points)
+    def test_separated_iff_min_axis_reaches_d(self, p, q):
+        separation = min_axis_separation(p, q)
+        if separation > 0.01:
+            assert axis_separated(p, q, d=separation)
+            assert not axis_separated(p, q, d=separation * 1.5)
+
+    @given(st.lists(points, max_size=6), points, spacing)
+    def test_fits_among_extends_pairwise(self, centers, candidate, d):
+        if pairwise_axis_separated(centers, d) and fits_among(candidate, centers, d):
+            assert pairwise_axis_separated(centers + [candidate], d)

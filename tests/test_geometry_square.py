@@ -1,0 +1,88 @@
+"""Unit tests for axis-aligned squares."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.point import Point, Vector
+from repro.geometry.square import Square
+
+coord = st.floats(min_value=-20, max_value=20, allow_nan=False)
+side = st.floats(min_value=0.01, max_value=5.0, allow_nan=False)
+
+
+def squares():
+    return st.builds(lambda x, y, s: Square(Point(x, y), s), coord, coord, side)
+
+
+class TestConstruction:
+    def test_extents(self):
+        square = Square(Point(1.0, 2.0), 0.5)
+        assert square.left == 0.75
+        assert square.right == 1.25
+        assert square.bottom == 1.75
+        assert square.top == 2.25
+
+    def test_from_corner(self):
+        square = Square.from_corner(Point(0, 0), 1.0)
+        assert square.center == Point(0.5, 0.5)
+
+    def test_unit_cell(self):
+        cell = Square.unit_cell(2, 3)
+        assert cell.left == 2.0 and cell.bottom == 3.0
+        assert cell.right == 3.0 and cell.top == 4.0
+
+    def test_nonpositive_side_rejected(self):
+        with pytest.raises(ValueError):
+            Square(Point(0, 0), 0.0)
+
+
+class TestContainment:
+    def test_point_inside(self):
+        assert Square(Point(0, 0), 2).contains_point(Point(0.9, -0.9))
+
+    def test_point_on_edge(self):
+        assert Square(Point(0, 0), 2).contains_point(Point(1.0, 0.0))
+
+    def test_point_outside(self):
+        assert not Square(Point(0, 0), 2).contains_point(Point(1.1, 0.0))
+
+    def test_square_containment_is_invariant_1(self):
+        cell = Square.unit_cell(0, 0)
+        entity = Square(Point(0.5, 0.125), 0.25)  # flush against bottom edge
+        assert cell.contains_square(entity)
+        protruding = Square(Point(0.5, 0.1), 0.25)
+        assert not cell.contains_square(protruding)
+
+
+class TestOverlap:
+    def test_clear_overlap(self):
+        assert Square(Point(0, 0), 2).overlaps(Square(Point(1, 1), 2))
+
+    def test_edge_contact_closed(self):
+        a = Square(Point(0, 0), 2)
+        b = Square(Point(2, 0), 2)  # shares the edge x = 1
+        assert a.overlaps(b)
+        assert not a.interiors_overlap(b)
+
+    def test_disjoint(self):
+        assert not Square(Point(0, 0), 1).overlaps(Square(Point(3, 3), 1))
+
+
+class TestProperties:
+    @given(squares(), squares())
+    def test_overlap_symmetric(self, a, b):
+        assert a.overlaps(b) == b.overlaps(a)
+
+    @given(squares())
+    def test_contains_own_center(self, square):
+        assert square.contains_point(square.center)
+
+    @given(squares(), coord, coord)
+    def test_translation_preserves_side(self, square, dx, dy):
+        moved = square.translated(Vector(dx, dy))
+        assert moved.side == square.side
+
+    @given(squares())
+    def test_self_containment(self, square):
+        assert square.contains_square(square)

@@ -1,0 +1,81 @@
+"""Unit tests for the tolerance policy."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.tolerance import (
+    EPS,
+    is_close,
+    tol_ge,
+    tol_gt,
+    tol_le,
+    tol_lt,
+)
+
+
+class TestIsClose:
+    def test_equal_values(self):
+        assert is_close(1.0, 1.0)
+
+    def test_within_eps(self):
+        assert is_close(1.0, 1.0 + EPS / 2)
+
+    def test_outside_eps(self):
+        assert not is_close(1.0, 1.0 + 10 * EPS)
+
+    def test_custom_eps(self):
+        assert is_close(1.0, 1.05, eps=0.1)
+        assert not is_close(1.0, 1.05, eps=0.01)
+
+
+class TestNonStrict:
+    def test_le_accepts_slight_excess(self):
+        assert tol_le(1.0 + EPS / 2, 1.0)
+
+    def test_le_rejects_clear_excess(self):
+        assert not tol_le(1.0 + 1e-6, 1.0)
+
+    def test_ge_accepts_slight_shortfall(self):
+        assert tol_ge(1.0 - EPS / 2, 1.0)
+
+    def test_ge_rejects_clear_shortfall(self):
+        assert not tol_ge(1.0 - 1e-6, 1.0)
+
+
+class TestStrict:
+    def test_lt_requires_clear_difference(self):
+        assert not tol_lt(1.0 - EPS / 2, 1.0)
+        assert tol_lt(1.0 - 1e-6, 1.0)
+
+    def test_gt_requires_clear_difference(self):
+        assert not tol_gt(1.0 + EPS / 2, 1.0)
+        assert tol_gt(1.0 + 1e-6, 1.0)
+
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+class TestAlgebraicProperties:
+    @given(finite, finite)
+    def test_strict_implies_nonstrict(self, a, b):
+        if tol_lt(a, b):
+            assert tol_le(a, b)
+        if tol_gt(a, b):
+            assert tol_ge(a, b)
+
+    @given(finite, finite)
+    def test_strict_and_reverse_nonstrict_exclusive(self, a, b):
+        assert not (tol_lt(a, b) and tol_ge(a, b))
+        assert not (tol_gt(a, b) and tol_le(a, b))
+
+    @given(finite)
+    def test_reflexive(self, a):
+        assert tol_le(a, a)
+        assert tol_ge(a, a)
+        assert not tol_lt(a, a)
+        assert not tol_gt(a, a)
+
+    @given(finite, finite)
+    def test_totality(self, a, b):
+        assert tol_le(a, b) or tol_ge(a, b)

@@ -1,0 +1,148 @@
+"""Unit and property tests for path construction."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.grid.paths import (
+    Path,
+    count_turns,
+    is_valid_path,
+    snake_path,
+    staircase_path,
+    straight_path,
+    turns_path,
+)
+from repro.grid.topology import Direction, Grid
+
+
+class TestPathValidation:
+    def test_single_cell(self):
+        path = Path.from_cells([(0, 0)])
+        assert len(path) == 1
+        assert path.hops == 0
+        assert path.turns == 0
+
+    def test_adjacency_required(self):
+        with pytest.raises(ValueError):
+            Path.from_cells([(0, 0), (2, 0)])
+
+    def test_self_avoidance_required(self):
+        with pytest.raises(ValueError):
+            Path.from_cells([(0, 0), (1, 0), (0, 0)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Path.from_cells([])
+
+    def test_is_valid_path_helper(self):
+        assert is_valid_path([(0, 0), (0, 1), (1, 1)])
+        assert not is_valid_path([(0, 0), (1, 1)])
+
+
+class TestPathAccessors:
+    def test_source_target(self):
+        path = Path.from_cells([(0, 0), (0, 1), (1, 1)])
+        assert path.source == (0, 0)
+        assert path.target == (1, 1)
+
+    def test_successor(self):
+        path = Path.from_cells([(0, 0), (0, 1), (1, 1)])
+        assert path.successor((0, 0)) == (0, 1)
+        assert path.successor((1, 1)) is None
+
+    def test_successor_off_path(self):
+        with pytest.raises(ValueError):
+            Path.from_cells([(0, 0), (0, 1)]).successor((5, 5))
+
+    def test_contains_and_index(self):
+        path = Path.from_cells([(0, 0), (0, 1)])
+        assert (0, 1) in path
+        assert (9, 9) not in path
+        assert path.index_of((0, 1)) == 1
+
+    def test_directions(self):
+        path = Path.from_cells([(0, 0), (0, 1), (1, 1)])
+        assert path.directions() == [Direction.NORTH, Direction.EAST]
+
+    def test_fits(self):
+        path = straight_path((0, 0), Direction.EAST, 5)
+        assert path.fits(Grid(5))
+        assert not path.fits(Grid(4))
+
+
+class TestConstructors:
+    def test_straight_path(self):
+        path = straight_path((1, 0), Direction.NORTH, 8)
+        assert len(path) == 8
+        assert path.turns == 0
+        assert path.target == (1, 7)
+
+    def test_straight_path_length_one(self):
+        assert len(straight_path((0, 0), Direction.EAST, 1)) == 1
+
+    def test_turns_path_exact_turns(self):
+        for turns in range(0, 7):
+            path = turns_path((0, 0), 8, turns)
+            assert len(path) == 8
+            assert path.turns == turns
+
+    def test_turns_path_fits_paper_grid(self):
+        grid = Grid(8)
+        for turns in range(0, 7):
+            assert turns_path((0, 0), 8, turns).fits(grid)
+
+    def test_turns_path_rejects_impossible(self):
+        with pytest.raises(ValueError):
+            turns_path((0, 0), 8, 7)  # 7 hops support at most 6 turns
+        with pytest.raises(ValueError):
+            turns_path((0, 0), 1, 1)
+        with pytest.raises(ValueError):
+            turns_path((0, 0), 5, -1)
+
+    def test_turns_path_same_axis_rejected(self):
+        with pytest.raises(ValueError):
+            turns_path((0, 0), 5, 1, first=Direction.EAST, second=Direction.WEST)
+
+    def test_staircase_is_max_turns(self):
+        path = staircase_path((0, 0), 8)
+        assert path.turns == 6
+
+    def test_snake_covers_grid(self):
+        grid = Grid(4)
+        path = snake_path(grid)
+        assert len(path) == grid.size
+        assert set(path.cells) == set(grid.cells())
+
+    def test_snake_partial_columns(self):
+        path = snake_path(Grid(4), columns=2)
+        assert len(path) == 8
+
+    def test_snake_invalid_columns(self):
+        with pytest.raises(ValueError):
+            snake_path(Grid(4), columns=0)
+
+
+class TestCountTurns:
+    def test_straight(self):
+        assert count_turns([(0, 0), (0, 1), (0, 2)]) == 0
+
+    def test_one_turn(self):
+        assert count_turns([(0, 0), (0, 1), (1, 1)]) == 1
+
+    def test_alternating(self):
+        assert count_turns([(0, 0), (0, 1), (1, 1), (1, 2), (2, 2)]) == 3
+
+
+@given(
+    length=st.integers(min_value=2, max_value=12),
+    data=st.data(),
+)
+def test_turns_path_property(length, data):
+    """turns_path(start, L, T) always yields L cells with exactly T turns."""
+    turns = data.draw(st.integers(min_value=0, max_value=length - 2))
+    path = turns_path((0, 0), length, turns)
+    assert len(path) == length
+    assert path.turns == turns
+    # The staircase family never leaves the quarter-plane of its start.
+    assert all(i >= 0 and j >= 0 for i, j in path.cells)

@@ -1,0 +1,43 @@
+"""Unit tests for corridor region construction."""
+
+import pytest
+
+from repro.grid.paths import straight_path
+from repro.grid.regions import complement, corridor_failures, corridor_region
+from repro.grid.topology import Direction, Grid
+
+
+class TestCorridor:
+    def test_region_is_path(self):
+        grid = Grid(4)
+        path = straight_path((0, 0), Direction.EAST, 4)
+        assert corridor_region(grid, path) == frozenset(path.cells)
+
+    def test_failures_are_complement(self):
+        grid = Grid(4)
+        path = straight_path((0, 0), Direction.EAST, 4)
+        failures = corridor_failures(grid, path)
+        assert len(failures) == grid.size - len(path)
+        assert failures.isdisjoint(path.cells)
+        assert failures | set(path.cells) == set(grid.cells())
+
+    def test_path_must_fit(self):
+        with pytest.raises(ValueError):
+            corridor_region(Grid(3), straight_path((0, 0), Direction.EAST, 4))
+
+
+class TestComplement:
+    def test_complement_partitions(self):
+        grid = Grid(3)
+        alive = {(0, 0), (1, 1)}
+        rest = complement(grid, alive)
+        assert rest | alive == set(grid.cells())
+        assert rest.isdisjoint(alive)
+
+    def test_unknown_cell_rejected(self):
+        with pytest.raises(ValueError):
+            complement(Grid(3), [(9, 9)])
+
+    def test_empty_alive(self):
+        grid = Grid(2)
+        assert complement(grid, []) == frozenset(grid.cells())

@@ -1,0 +1,134 @@
+"""Unit tests for the grid lattice topology."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.grid.topology import (
+    DIRECTIONS,
+    Direction,
+    Grid,
+    direction_between,
+    manhattan_distance,
+)
+
+
+class TestDirection:
+    def test_opposites(self):
+        assert Direction.EAST.opposite is Direction.WEST
+        assert Direction.NORTH.opposite is Direction.SOUTH
+
+    def test_double_opposite_is_identity(self):
+        for direction in DIRECTIONS:
+            assert direction.opposite.opposite is direction
+
+    def test_axes(self):
+        assert Direction.EAST.axis == "x"
+        assert Direction.WEST.axis == "x"
+        assert Direction.NORTH.axis == "y"
+        assert Direction.SOUTH.axis == "y"
+
+    def test_step(self):
+        assert Direction.EAST.step((2, 3)) == (3, 3)
+        assert Direction.SOUTH.step((2, 3)) == (2, 2)
+
+    def test_direction_between(self):
+        assert direction_between((1, 1), (2, 1)) is Direction.EAST
+        assert direction_between((1, 1), (1, 0)) is Direction.SOUTH
+
+    def test_direction_between_non_neighbors(self):
+        with pytest.raises(ValueError):
+            direction_between((0, 0), (2, 0))
+        with pytest.raises(ValueError):
+            direction_between((0, 0), (1, 1))
+
+
+class TestGrid:
+    def test_square_default(self):
+        grid = Grid(5)
+        assert grid.height == 5
+        assert grid.size == 25
+
+    def test_rectangular(self):
+        grid = Grid(3, 7)
+        assert grid.size == 21
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            Grid(0)
+        with pytest.raises(ValueError):
+            Grid(3, -1)
+
+    def test_contains(self):
+        grid = Grid(3)
+        assert grid.contains((0, 0))
+        assert grid.contains((2, 2))
+        assert not grid.contains((3, 0))
+        assert not grid.contains((0, -1))
+
+    def test_require_raises(self):
+        with pytest.raises(ValueError):
+            Grid(3).require((5, 5))
+
+    def test_cells_enumeration(self):
+        cells = list(Grid(2, 3).cells())
+        assert len(cells) == 6
+        assert len(set(cells)) == 6
+        assert cells[0] == (0, 0)
+
+    def test_corner_neighbors(self):
+        assert sorted(Grid(3).neighbors((0, 0))) == [(0, 1), (1, 0)]
+
+    def test_edge_neighbors(self):
+        assert len(Grid(3).neighbors((1, 0))) == 3
+
+    def test_interior_neighbors(self):
+        assert len(Grid(3).neighbors((1, 1))) == 4
+
+    def test_neighbor_symmetry(self):
+        grid = Grid(4)
+        for cell in grid.cells():
+            for neighbor in grid.neighbors(cell):
+                assert cell in grid.neighbors(neighbor)
+
+    def test_are_neighbors(self):
+        grid = Grid(3)
+        assert grid.are_neighbors((0, 0), (0, 1))
+        assert not grid.are_neighbors((0, 0), (1, 1))
+        assert not grid.are_neighbors((0, 0), (0, 0))
+
+    def test_boundary_cells(self):
+        boundary = set(Grid(4).boundary_cells())
+        assert len(boundary) == 12  # 16 - 4 interior
+        assert (0, 0) in boundary
+        assert (1, 1) not in boundary
+
+    def test_boundary_of_thin_grid_is_everything(self):
+        grid = Grid(1, 5)
+        assert set(grid.boundary_cells()) == set(grid.cells())
+
+    def test_cell_origin(self):
+        assert Grid(4).cell_origin((2, 3)) == (2.0, 3.0)
+
+
+grid_cells = st.tuples(st.integers(0, 7), st.integers(0, 7))
+
+
+class TestManhattan:
+    @given(grid_cells, grid_cells)
+    def test_symmetric(self, a, b):
+        assert manhattan_distance(a, b) == manhattan_distance(b, a)
+
+    @given(grid_cells, grid_cells, grid_cells)
+    def test_triangle_inequality(self, a, b, c):
+        assert manhattan_distance(a, c) <= manhattan_distance(a, b) + manhattan_distance(b, c)
+
+    @given(grid_cells)
+    def test_identity(self, a):
+        assert manhattan_distance(a, a) == 0
+
+    def test_neighbors_are_distance_one(self):
+        grid = Grid(5)
+        for cell in grid.cells():
+            for neighbor in grid.neighbors(cell):
+                assert manhattan_distance(cell, neighbor) == 1

@@ -1,0 +1,153 @@
+"""End-to-end integration tests, including the paper's prose claims that
+are not captured by a figure."""
+
+import random
+
+import pytest
+
+from repro.core.params import Parameters
+from repro.core.sources import EagerSource
+from repro.core.system import System, build_corridor_system
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import FaultEvent, ScriptedFaultModel
+from repro.grid.paths import snake_path, straight_path
+from repro.grid.topology import Direction, Grid
+from repro.monitors.recorder import MonitorSuite
+from repro.sim.simulator import Simulator
+
+PARAMS = Parameters(l=0.25, rs=0.05, v=0.2)
+
+
+def corridor(length: int, rounds: int) -> float:
+    grid = Grid(max(8, length))
+    path = straight_path((1, 0), Direction.NORTH, length)
+    system = build_corridor_system(grid, PARAMS, path.cells)
+    monitors = MonitorSuite().attach(system)
+    consumed = 0
+    for _ in range(rounds):
+        report = system.update()
+        monitors.after_round(system, report)
+        consumed += report.consumed_count
+    assert monitors.clean
+    return consumed / rounds
+
+
+class TestPaperProseClaims:
+    def test_throughput_independent_of_path_length(self):
+        """Section IV: 'for a sufficiently large K, throughput is
+        independent of the length of the path'. Longer paths only add
+        pipeline latency, not steady-state rate."""
+        short = corridor(length=4, rounds=3000)
+        long = corridor(length=10, rounds=3000)
+        assert short == pytest.approx(long, rel=0.1)
+
+    def test_throughput_proportional_to_velocity_at_moderate_rs(self):
+        """Section IV's rough calculation: throughput ~ v (other factors
+        fixed). Check the ratio ordering across a 4x velocity span."""
+        def run(v: float) -> float:
+            grid = Grid(8)
+            path = straight_path((1, 0), Direction.NORTH, 8)
+            system = build_corridor_system(
+                grid, Parameters(l=0.25, rs=0.3, v=v), path.cells
+            )
+            return sum(system.update().consumed_count for _ in range(2000)) / 2000
+
+        slow, fast = run(0.05), run(0.2)
+        assert fast > 2 * slow  # roughly proportional, certainly ordered
+
+    def test_saturation_leaves_one_entity_per_cell(self):
+        """Section IV attributes the rs-saturation to 'roughly one entity
+        per cell'. Verify the occupancy indicator at large rs."""
+        grid = Grid(8)
+        path = straight_path((1, 0), Direction.NORTH, 8)
+        system = build_corridor_system(
+            grid, Parameters(l=0.25, rs=0.6, v=0.2), path.cells
+        )
+        simulator = Simulator(system=system, rounds=1500, monitors=MonitorSuite())
+        simulator.run()
+        assert simulator.occupancy.mean_entities_per_occupied_cell() < 1.3
+
+
+class TestScriptedFailureScenarios:
+    def test_crash_blocks_then_recovery_restores_flow(self):
+        grid = Grid(8)
+        path = straight_path((1, 0), Direction.NORTH, 8)
+        system = build_corridor_system(grid, PARAMS, path.cells)
+        injector = FaultInjector(
+            ScriptedFaultModel(
+                [FaultEvent(200, (1, 4), "fail"), FaultEvent(600, (1, 4), "recover")]
+            )
+        )
+        monitors = MonitorSuite().attach(system)
+        consumed_by_phase = {"before": 0, "blocked": 0, "after": 0}
+        for round_index in range(1200):
+            injector.apply(system)
+            report = system.update()
+            monitors.after_round(system, report)
+            if round_index < 200:
+                consumed_by_phase["before"] += report.consumed_count
+            elif round_index < 600:
+                consumed_by_phase["blocked"] += report.consumed_count
+            else:
+                consumed_by_phase["after"] += report.consumed_count
+        assert monitors.clean
+        # While (1,4) is down the corridor is severed: only the entities
+        # already past it can arrive, then nothing.
+        assert consumed_by_phase["blocked"] <= 5
+        assert consumed_by_phase["before"] > 10
+        assert consumed_by_phase["after"] > 50
+
+    def test_entities_stranded_on_failed_cell_resume_after_recovery(self):
+        grid = Grid(8)
+        path = straight_path((1, 0), Direction.NORTH, 8)
+        system = build_corridor_system(grid, PARAMS, path.cells)
+        for _ in range(100):
+            system.update()
+        victim = (1, 3)
+        system.fail(victim)
+        stranded = set(system.cells[victim].members)
+        for _ in range(100):
+            system.update()
+        assert set(system.cells[victim].members) == stranded  # frozen
+        system.recover(victim)
+        for _ in range(400):
+            system.update()
+        assert not (stranded & set(system.cells[victim].members))  # moved on
+
+
+class TestLongRunStability:
+    def test_snake_path_long_run(self):
+        """A 64-cell boustrophedon corridor, 2000 rounds, full monitors."""
+        grid = Grid(8)
+        path = snake_path(grid)
+        system = build_corridor_system(grid, PARAMS, path.cells)
+        monitors = MonitorSuite().attach(system)
+        consumed = 0
+        for _ in range(2000):
+            report = system.update()
+            monitors.after_round(system, report)
+            consumed += report.consumed_count
+        assert monitors.clean
+        assert consumed > 0
+
+    def test_open_grid_with_all_sources_on_boundary(self):
+        """Stress: every boundary cell produces, center consumes."""
+        grid = Grid(6)
+        sources = {
+            cid: EagerSource() for cid in grid.boundary_cells() if cid != (3, 3)
+        }
+        system = System(
+            grid=grid,
+            params=PARAMS,
+            tid=(3, 3),
+            sources=sources,
+            rng=random.Random(1),
+        )
+        monitors = MonitorSuite().attach(system)
+        consumed = 0
+        for _ in range(800):
+            report = system.update()
+            monitors.after_round(system, report)
+            consumed += report.consumed_count
+        assert monitors.clean
+        assert consumed > 100

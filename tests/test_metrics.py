@@ -1,0 +1,153 @@
+"""Unit tests for throughput, latency, occupancy, and series metrics."""
+
+import pytest
+
+from repro.metrics.latency import latency_stats
+from repro.metrics.series import RollingMean, TimeSeries, mean_and_ci
+from repro.metrics.throughput import ThroughputMeter
+
+
+class TestThroughputMeter:
+    def test_empty(self):
+        meter = ThroughputMeter()
+        assert meter.rounds == 0
+        assert meter.total_consumed == 0
+        assert meter.average_throughput() == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ThroughputMeter().observe(-1)
+
+    def test_k_round_throughput(self):
+        meter = ThroughputMeter()
+        for count in [0, 1, 0, 2, 1]:
+            meter.observe(count)
+        assert meter.k_round_throughput(2) == 0.5
+        assert meter.k_round_throughput(5) == pytest.approx(0.8)
+
+    def test_k_round_bounds(self):
+        meter = ThroughputMeter()
+        meter.observe(1)
+        with pytest.raises(ValueError):
+            meter.k_round_throughput(0)
+        with pytest.raises(ValueError):
+            meter.k_round_throughput(5)
+
+    def test_average_with_warmup(self):
+        meter = ThroughputMeter()
+        for count in [0, 0, 0, 0, 2, 2]:
+            meter.observe(count)
+        assert meter.average_throughput() == pytest.approx(4 / 6)
+        assert meter.average_throughput(warmup=4) == pytest.approx(2.0)
+
+    def test_warmup_validation(self):
+        meter = ThroughputMeter()
+        meter.observe(1)
+        with pytest.raises(ValueError):
+            meter.average_throughput(warmup=-1)
+
+    def test_cumulative_series(self):
+        meter = ThroughputMeter()
+        for count in [1, 0, 2]:
+            meter.observe(count)
+        assert meter.cumulative_series() == [1.0, 0.5, 1.0]
+
+    def test_windowed_series(self):
+        meter = ThroughputMeter()
+        for count in [1, 0, 2, 2, 0, 0]:
+            meter.observe(count)
+        assert meter.windowed_series(2) == [0.5, 2.0, 0.0]
+        with pytest.raises(ValueError):
+            meter.windowed_series(0)
+
+
+class TestLatencyStats:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            latency_stats([])
+
+    def test_single_value(self):
+        stats = latency_stats([10])
+        assert stats.count == 1
+        assert stats.mean == 10.0
+        assert stats.median == 10.0
+        assert stats.p95 == 10.0
+        assert stats.stdev == 0.0
+
+    def test_summary(self):
+        stats = latency_stats([10, 20, 30, 40, 50])
+        assert stats.mean == 30.0
+        assert stats.median == 30.0
+        assert stats.minimum == 10.0
+        assert stats.maximum == 50.0
+        assert 40.0 <= stats.p95 <= 50.0
+
+    def test_order_independent(self):
+        assert latency_stats([3, 1, 2]) == latency_stats([1, 2, 3])
+
+
+class TestTimeSeries:
+    def test_append_and_last(self):
+        series = TimeSeries(name="x")
+        series.append(0, 1.0)
+        series.append(5, 2.0)
+        assert len(series) == 2
+        assert series.last() == (5, 2.0)
+        assert series.mean() == 1.5
+
+    def test_monotone_rounds_enforced(self):
+        series = TimeSeries(name="x")
+        series.append(3, 1.0)
+        with pytest.raises(ValueError):
+            series.append(3, 2.0)
+
+    def test_empty(self):
+        series = TimeSeries(name="x")
+        assert series.last() is None
+        assert series.mean() == 0.0
+
+
+class TestRollingMean:
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            RollingMean(window=0)
+
+    def test_partial_window(self):
+        rolling = RollingMean(window=4)
+        assert rolling.observe(2.0) == 2.0
+        assert rolling.observe(4.0) == 3.0
+        assert not rolling.full
+
+    def test_full_window_evicts(self):
+        rolling = RollingMean(window=2)
+        rolling.observe(1.0)
+        rolling.observe(3.0)
+        assert rolling.full
+        assert rolling.observe(5.0) == 4.0  # (3 + 5) / 2
+
+    def test_long_stream_matches_naive(self):
+        rolling = RollingMean(window=5)
+        values = [float(k % 7) for k in range(100)]
+        for index, value in enumerate(values):
+            result = rolling.observe(value)
+            window = values[max(0, index - 4) : index + 1]
+            assert result == pytest.approx(sum(window) / len(window))
+
+
+class TestMeanAndCI:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_and_ci([])
+
+    def test_single_sample(self):
+        mean, half = mean_and_ci([4.0])
+        assert mean == 4.0 and half == 0.0
+
+    def test_spread(self):
+        mean, half = mean_and_ci([1.0, 2.0, 3.0])
+        assert mean == 2.0
+        assert half > 0.0
+
+    def test_identical_samples_zero_ci(self):
+        mean, half = mean_and_ci([2.0, 2.0, 2.0, 2.0])
+        assert mean == 2.0 and half == 0.0

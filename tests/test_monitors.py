@@ -1,0 +1,178 @@
+"""Unit tests for the runtime monitors (safety, invariants, recorder)."""
+
+import random
+
+import pytest
+
+from repro.core.params import Parameters
+from repro.core.system import System, build_corridor_system
+from repro.grid.paths import straight_path
+from repro.grid.topology import Direction, Grid
+from repro.monitors.invariants import (
+    check_containment,
+    check_disjoint_membership,
+    check_signal_gap,
+    two_cycle_signal_pairs,
+)
+from repro.monitors.recorder import MonitorSuite, MonitorViolation
+from repro.monitors.safety import check_safe, safe_cell
+
+PARAMS = Parameters(l=0.25, rs=0.05, v=0.2)  # d = 0.3
+
+
+def make_system(n=3, tid=(2, 2)) -> System:
+    return System(grid=Grid(n), params=PARAMS, tid=tid, rng=random.Random(0))
+
+
+class TestSafetyMonitor:
+    def test_empty_system_safe(self):
+        assert check_safe(make_system()) == []
+
+    def test_separated_entities_safe(self):
+        system = make_system()
+        system.seed_entity((0, 0), 0.3, 0.5)
+        system.seed_entity((0, 0), 0.7, 0.5)  # 0.4 >= d on x
+        assert check_safe(system) == []
+
+    def test_axis_separation_suffices(self):
+        system = make_system()
+        system.seed_entity((0, 0), 0.3, 0.3)
+        system.seed_entity((0, 0), 0.35, 0.7)  # close on x, far on y
+        assert check_safe(system) == []
+
+    def test_violation_detected_and_described(self):
+        system = make_system()
+        system.seed_entity((0, 0), 0.4, 0.5)
+        system.seed_entity((0, 0), 0.6, 0.6)
+        violations = check_safe(system)
+        assert len(violations) == 1
+        violation = violations[0]
+        assert violation.cell == (0, 0)
+        assert violation.separation == pytest.approx(0.2)
+        assert violation.required == pytest.approx(0.3)
+        assert "0.2" in str(violation)
+
+    def test_cross_cell_proximity_allowed(self):
+        """Entities in adjacent cells may be closer than d (paper note)."""
+        system = make_system()
+        system.seed_entity((0, 0), 0.875, 0.5)
+        system.seed_entity((1, 0), 1.125, 0.5)  # centers 0.25 = l apart
+        assert check_safe(system) == []
+
+    def test_safe_cell_predicate(self):
+        system = make_system()
+        system.seed_entity((0, 0), 0.4, 0.5)
+        assert safe_cell(system.cells[(0, 0)], PARAMS.d)
+        system.seed_entity((0, 0), 0.5, 0.55)
+        assert not safe_cell(system.cells[(0, 0)], PARAMS.d)
+
+
+class TestContainmentMonitor:
+    def test_inside_ok(self):
+        system = make_system()
+        system.seed_entity((0, 0), 0.125, 0.5)  # flush against left wall
+        assert check_containment(system) == []
+
+    def test_protrusion_detected(self):
+        system = make_system()
+        system.seed_entity((0, 0), 0.1, 0.5)  # left edge at -0.025
+        violations = check_containment(system)
+        assert len(violations) == 1
+        assert violations[0].cell == (0, 0)
+
+    def test_wrong_cell_detected(self):
+        system = make_system()
+        system.seed_entity((1, 1), 0.5, 0.5)  # position belongs to (0,0)
+        assert len(check_containment(system)) == 1
+
+
+class TestDisjointMembership:
+    def test_disjoint_ok(self):
+        system = make_system()
+        system.seed_entity((0, 0), 0.5, 0.5)
+        system.seed_entity((1, 1), 1.5, 1.5)
+        assert check_disjoint_membership(system) == []
+
+    def test_duplicate_detected(self):
+        system = make_system()
+        entity = system.seed_entity((0, 0), 0.5, 0.5)
+        system.cells[(1, 1)].members[entity.uid] = entity
+        assert check_disjoint_membership(system) == [entity.uid]
+
+
+class TestSignalGapMonitor:
+    def test_grant_with_clear_strip_ok(self):
+        system = make_system()
+        system.cells[(1, 1)].signal = (0, 1)
+        system.seed_entity((1, 1), 1.9, 1.5)  # far from the west edge
+        assert check_signal_gap(system.cells, PARAMS) == []
+
+    def test_grant_with_occupied_strip_flagged(self):
+        system = make_system()
+        system.cells[(1, 1)].signal = (0, 1)
+        system.seed_entity((1, 1), 1.2, 1.5)  # in the west strip
+        violations = check_signal_gap(system.cells, PARAMS)
+        assert len(violations) == 1
+        assert violations[0].cell == (1, 1)
+
+    def test_failed_cell_ignored(self):
+        system = make_system()
+        system.cells[(1, 1)].signal = (0, 1)
+        system.seed_entity((1, 1), 1.2, 1.5)
+        system.cells[(1, 1)].failed = True
+        assert check_signal_gap(system.cells, PARAMS) == []
+
+
+class TestTwoCycleDetection:
+    def test_mutual_signals_found_once(self):
+        system = make_system()
+        system.cells[(0, 0)].signal = (1, 0)
+        system.cells[(1, 0)].signal = (0, 0)
+        assert two_cycle_signal_pairs(system) == [((0, 0), (1, 0))]
+
+    def test_one_way_signal_not_a_cycle(self):
+        system = make_system()
+        system.cells[(0, 0)].signal = (1, 0)
+        assert two_cycle_signal_pairs(system) == []
+
+
+class TestMonitorSuite:
+    def test_clean_run_raises_nothing(self):
+        grid = Grid(8)
+        path = straight_path((1, 0), Direction.NORTH, 8)
+        system = build_corridor_system(grid, PARAMS, path.cells)
+        suite = MonitorSuite().attach(system)
+        for _ in range(300):
+            report = system.update()
+            suite.after_round(system, report)
+        assert suite.clean
+
+    def test_strict_mode_raises(self):
+        system = make_system()
+        suite = MonitorSuite().attach(system)
+        system.seed_entity((0, 0), 0.4, 0.5)
+        system.seed_entity((0, 0), 0.5, 0.55)  # violates Safe
+        report = system.update()
+        with pytest.raises(MonitorViolation) as excinfo:
+            suite.after_round(system, report)
+        assert "Safe (Theorem 5)" in str(excinfo.value)
+
+    def test_lenient_mode_records(self):
+        system = make_system()
+        suite = MonitorSuite(strict=False).attach(system)
+        system.seed_entity((0, 0), 0.4, 0.5)
+        system.seed_entity((0, 0), 0.5, 0.55)
+        report = system.update()
+        suite.after_round(system, report)
+        assert not suite.clean
+        counts = suite.violation_counts()
+        assert counts.get("Safe (Theorem 5)", 0) >= 1
+
+    def test_checks_can_be_disabled(self):
+        system = make_system()
+        suite = MonitorSuite(check_safety=False).attach(system)
+        system.seed_entity((0, 0), 0.4, 0.5)
+        system.seed_entity((0, 0), 0.5, 0.55)
+        report = system.update()
+        suite.after_round(system, report)  # no raise
+        assert suite.clean

@@ -1,0 +1,116 @@
+"""Unit tests for the progress monitors: entity tracking and routing
+stabilization detection."""
+
+import random
+
+import pytest
+
+from repro.core.params import Parameters
+from repro.core.sources import CappedSource, EagerSource
+from repro.core.system import System, build_corridor_system
+from repro.grid.paths import straight_path
+from repro.grid.topology import Direction, Grid
+from repro.monitors.progress import (
+    EntityTracker,
+    routing_matches_ground_truth,
+    routing_stabilization_round,
+)
+
+PARAMS = Parameters(l=0.25, rs=0.05, v=0.25)
+
+
+def tracked_corridor(limit=3):
+    grid = Grid(6)
+    path = straight_path((1, 0), Direction.NORTH, 6)
+    system = build_corridor_system(
+        grid, PARAMS, path.cells,
+        source_policy=CappedSource(EagerSource(), limit=limit),
+    )
+    return system
+
+
+class TestEntityTracker:
+    def test_records_births(self):
+        system = tracked_corridor(limit=2)
+        tracker = EntityTracker()
+        for _ in range(10):  # sources wait for routing before producing
+            report = system.update()
+            tracker.observe(report, system)
+            if tracker.records:
+                break
+        assert len(tracker.records) == 1
+        record = next(iter(tracker.records.values()))
+        assert record.source == (1, 0)
+        assert record.in_flight
+
+    def test_latency_and_hops_on_consumption(self):
+        system = tracked_corridor(limit=1)
+        tracker = EntityTracker()
+        for _ in range(300):
+            report = system.update()
+            tracker.observe(report, system)
+            if tracker.consumed():
+                break
+        consumed = tracker.consumed()
+        assert len(consumed) == 1
+        record = consumed[0]
+        assert record.latency is not None and record.latency > 0
+        assert record.hops == 5  # five boundary crossings to the target
+        assert tracker.latencies() == [record.latency]
+
+    def test_in_flight_and_ages(self):
+        system = tracked_corridor(limit=3)
+        tracker = EntityTracker()
+        for _ in range(12):  # includes the routing warm-up before births
+            report = system.update()
+            tracker.observe(report, system)
+        assert tracker.in_flight()
+        age = tracker.oldest_in_flight_age(current_round=20)
+        assert age is not None and age >= 8
+
+    def test_oldest_age_empty(self):
+        assert EntityTracker().oldest_in_flight_age(5) is None
+
+    def test_adopts_seeded_entities(self):
+        """Entities placed directly (no production event) are adopted on
+        their first observed transfer."""
+        system = tracked_corridor(limit=0)
+        system.seed_entity((1, 2), 1.5, 2.8)
+        tracker = EntityTracker()
+        for _ in range(20):
+            report = system.update()
+            tracker.observe(report, system)
+        assert tracker.records  # adopted via its transfer
+
+
+class TestRoutingStabilizationRound:
+    def test_fresh_system_stabilizes_within_bound(self):
+        system = System(grid=Grid(5), params=PARAMS, tid=(2, 2))
+        k = routing_stabilization_round(system, max_rounds=30)
+        assert k is not None and k <= 5  # max rho = 4, one extra round slack
+
+    def test_already_stable_returns_zero(self):
+        system = System(grid=Grid(3), params=PARAMS, tid=(0, 0))
+        for _ in range(10):
+            system.update()
+        assert routing_stabilization_round(system, max_rounds=5) == 0
+
+    def test_returns_none_when_horizon_too_small(self):
+        system = System(grid=Grid(5), params=PARAMS, tid=(0, 0))
+        # The far corner needs 8 rounds; one round cannot suffice.
+        assert routing_stabilization_round(system, max_rounds=1) is None
+
+    def test_failed_target_trivially_matches(self):
+        """With the target down, TC is empty, so the TC-scoped Lemma 6
+        check holds vacuously (the strict variant would not — see
+        test_properties_progress for the count-to-infinity behavior)."""
+        system = System(grid=Grid(3), params=PARAMS, tid=(0, 0))
+        system.fail((0, 0))
+        system.update()
+        assert routing_matches_ground_truth(system)
+
+    def test_require_hold(self):
+        system = System(grid=Grid(4), params=PARAMS, tid=(3, 3))
+        k = routing_stabilization_round(system, max_rounds=30, require_hold=3)
+        assert k is not None
+        assert routing_matches_ground_truth(system)

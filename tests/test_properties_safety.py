@@ -1,0 +1,188 @@
+"""Property-based verification of Theorem 5 and the structural invariants.
+
+Hypothesis generates protocol parameters, workloads, and fault schedules;
+every generated run executes with the strict monitor suite attached, so a
+single separation/containment/disjointness/H/Lemma-4 violation anywhere
+fails the test with the generating choices minimized.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import Parameters
+from repro.core.policies import RandomTokenPolicy, RoundRobinTokenPolicy
+from repro.core.sources import EagerSource
+from repro.core.system import System, build_corridor_system
+from repro.faults.injector import FaultInjector
+from repro.faults.model import BernoulliFaultModel
+from repro.grid.paths import turns_path
+from repro.grid.topology import Grid
+from repro.monitors.recorder import MonitorSuite
+
+SLOW = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def protocol_parameters(draw):
+    """Valid (l, rs, v) triples across the interesting range."""
+    l = draw(st.sampled_from([0.1, 0.2, 0.25, 0.4]))
+    rs = draw(st.floats(min_value=0.0, max_value=0.99 - l).map(lambda x: round(x, 3)))
+    v = draw(st.sampled_from([l / 4, l / 2, l]))  # includes the v = l edge
+    return Parameters(l=l, rs=rs, v=v)
+
+
+@st.composite
+def corridor_setup(draw):
+    params = draw(protocol_parameters())
+    length = draw(st.integers(min_value=2, max_value=8))
+    turns = draw(st.integers(min_value=0, max_value=max(0, length - 2)))
+    return params, length, turns
+
+
+class TestSafetyUnderNominalOperation:
+    @SLOW
+    @given(setup=corridor_setup(), rounds=st.integers(min_value=10, max_value=120))
+    def test_corridor_flow_is_safe(self, setup, rounds):
+        params, length, turns = setup
+        path = turns_path((0, 0), length, turns)
+        grid = Grid(8)
+        system = build_corridor_system(grid, params, path.cells)
+        suite = MonitorSuite().attach(system)
+        for _ in range(rounds):
+            report = system.update()
+            suite.after_round(system, report)
+        assert suite.clean
+
+    @SLOW
+    @given(
+        params=protocol_parameters(),
+        seed=st.integers(min_value=0, max_value=2**16),
+        rounds=st.integers(min_value=10, max_value=80),
+    )
+    def test_open_grid_multi_source_is_safe(self, params, seed, rounds):
+        """Multiple sources on an open grid, random token policy."""
+        rng = random.Random(seed)
+        grid = Grid(5)
+        system = System(
+            grid=grid,
+            params=params,
+            tid=(2, 2),
+            sources={(0, 0): EagerSource(), (4, 4): EagerSource(), (4, 0): EagerSource()},
+            token_policy=RandomTokenPolicy(random.Random(seed)),
+            rng=rng,
+        )
+        suite = MonitorSuite().attach(system)
+        for _ in range(rounds):
+            report = system.update()
+            suite.after_round(system, report)
+        assert suite.clean
+
+
+class TestSafetyUnderFaults:
+    @SLOW
+    @given(
+        params=protocol_parameters(),
+        seed=st.integers(min_value=0, max_value=2**16),
+        pf=st.floats(min_value=0.0, max_value=0.2),
+        pr=st.floats(min_value=0.0, max_value=0.5),
+        rounds=st.integers(min_value=20, max_value=100),
+    )
+    def test_fault_churn_is_safe(self, params, seed, pf, pr, rounds):
+        """Theorem 5 holds 'in spite of failures' — including target churn."""
+        grid = Grid(5)
+        system = System(
+            grid=grid,
+            params=params,
+            tid=(2, 4),
+            sources={(2, 0): EagerSource()},
+            rng=random.Random(seed),
+        )
+        injector = FaultInjector(
+            BernoulliFaultModel(pf=pf, pr=pr), rng=random.Random(seed + 1)
+        )
+        suite = MonitorSuite().attach(system)
+        for _ in range(rounds):
+            injector.apply(system)
+            report = system.update()
+            suite.after_round(system, report)
+        assert suite.clean
+
+    @SLOW
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        crash_round=st.integers(min_value=0, max_value=40),
+    )
+    def test_mid_flight_crash_is_safe(self, seed, crash_round):
+        """Crashing a loaded cell mid-flow strands its entities but never
+        breaks separation anywhere."""
+        params = Parameters(l=0.25, rs=0.05, v=0.25)
+        grid = Grid(6)
+        path = turns_path((0, 0), 6, 2)
+        system = build_corridor_system(grid, params, path.cells)
+        suite = MonitorSuite().attach(system)
+        victim = path.cells[len(path.cells) // 2]
+        for round_index in range(80):
+            if round_index == crash_round:
+                system.fail(victim)
+            report = system.update()
+            suite.after_round(system, report)
+        assert suite.clean
+        # Entities on the crashed cell are frozen, not destroyed.
+        for entity in system.cells[victim].entities():
+            footprint = entity.footprint(params.l)
+            assert victim[0] <= footprint.left and footprint.right <= victim[0] + 1
+
+
+class TestKinematics:
+    @SLOW
+    @given(setup=corridor_setup(), rounds=st.integers(min_value=10, max_value=80))
+    def test_no_teleportation(self, setup, rounds):
+        """Per-round displacement of every entity is bounded: at most v
+        along one axis, except on a transfer round, where the snap onto
+        the receiving cell's entry edge adds up to one entity length
+        (the crossing entity jumps from 'trailing edge at the boundary'
+        to 'leading edge at the boundary'): total < l + v."""
+        params, length, turns = setup
+        path = turns_path((0, 0), length, turns)
+        system = build_corridor_system(Grid(8), params, path.cells)
+        previous = {}
+        for _ in range(rounds):
+            report = system.update()
+            transferred = {t.uid for t in report.move.transfers}
+            current = {
+                e.uid: (e.x, e.y) for e in system.all_entities()
+            }
+            for uid, (x, y) in current.items():
+                if uid not in previous:
+                    continue
+                dx = abs(x - previous[uid][0])
+                dy = abs(y - previous[uid][1])
+                bound = params.v + 1e-9
+                if uid in transferred:
+                    bound = params.l + params.v + 1e-9
+                assert dx <= bound and dy <= bound, (uid, dx, dy)
+                # Axis-aligned motion: at most one axis changes per round.
+                assert dx < 1e-9 or dy < 1e-9
+            previous = current
+
+
+class TestConservation:
+    @SLOW
+    @given(setup=corridor_setup(), rounds=st.integers(min_value=10, max_value=100))
+    def test_entities_neither_created_nor_destroyed(self, setup, rounds):
+        """produced == consumed + in-flight, always."""
+        params, length, turns = setup
+        path = turns_path((0, 0), length, turns)
+        system = build_corridor_system(Grid(8), params, path.cells)
+        for _ in range(rounds):
+            system.update()
+            assert (
+                system.total_produced
+                == system.total_consumed + system.entity_count()
+            )

@@ -1,0 +1,135 @@
+"""Unit and property tests for the generalized routing substrate."""
+
+import math
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.routing.distance_vector import DistanceVectorRouter
+from repro.routing.static import static_routes
+
+
+def grid_graph(n: int) -> nx.Graph:
+    return nx.grid_2d_graph(n, n)
+
+
+class TestStaticRoutes:
+    def test_distances_on_path_graph(self):
+        graph = nx.path_graph(5)
+        dist, next_hop = static_routes(graph, target=0)
+        assert [dist[k] for k in range(5)] == [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert [next_hop[k] for k in range(1, 5)] == [0, 1, 2, 3]
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(ValueError):
+            static_routes(nx.path_graph(3), target=99)
+
+    def test_excluded_nodes_absent(self):
+        graph = nx.path_graph(5)
+        dist, next_hop = static_routes(graph, target=0, excluded=[2])
+        assert math.isinf(dist[3])
+        assert next_hop[3] is None
+
+    def test_excluded_target_all_infinite(self):
+        graph = nx.path_graph(3)
+        dist, _ = static_routes(graph, target=0, excluded=[0])
+        assert all(math.isinf(v) for v in dist.values())
+
+    def test_agrees_with_networkx(self):
+        graph = grid_graph(5)
+        dist, _ = static_routes(graph, target=(2, 2))
+        truth = nx.single_source_shortest_path_length(graph, (2, 2))
+        for node, value in dist.items():
+            assert value == truth[node]
+
+
+class TestDistanceVectorRouter:
+    def test_stabilizes_on_grid(self):
+        router = DistanceVectorRouter(grid_graph(5), target=(0, 0))
+        rounds = router.run_to_fixpoint()
+        assert router.is_correct()
+        assert rounds <= 9  # eccentricity of the corner is 8, +1 quiescent
+
+    def test_stabilization_bound_is_eccentricity(self):
+        """Lemma 6 generalized: h rounds for a node at distance h."""
+        router = DistanceVectorRouter(nx.path_graph(6), target=0)
+        for expected in range(1, 6):
+            router.step()
+            assert router.dist[expected] == float(expected)
+
+    def test_route_from_follows_next_hops(self):
+        router = DistanceVectorRouter(grid_graph(4), target=(3, 3))
+        router.run_to_fixpoint()
+        path = router.route_from((0, 0))
+        assert path[0] == (0, 0) and path[-1] == (3, 3)
+        assert len(path) == 7  # 6 hops
+
+    def test_route_from_unroutable(self):
+        router = DistanceVectorRouter(nx.path_graph(3), target=0)
+        router.crash(1)
+        router.run_to_fixpoint()
+        with pytest.raises(ValueError):
+            router.route_from(2)
+
+    def test_crash_reroutes(self):
+        router = DistanceVectorRouter(grid_graph(3), target=(0, 0))
+        router.run_to_fixpoint()
+        router.crash((1, 0))
+        router.run_to_fixpoint()
+        assert router.is_correct()
+        assert router.dist[(2, 0)] == 4.0
+
+    def test_crash_unknown_node(self):
+        router = DistanceVectorRouter(nx.path_graph(3), target=0)
+        with pytest.raises(ValueError):
+            router.crash(99)
+
+    def test_recover_rejoins(self):
+        router = DistanceVectorRouter(grid_graph(3), target=(0, 0))
+        router.crash((1, 0))
+        router.run_to_fixpoint()
+        router.recover((1, 0))
+        router.run_to_fixpoint()
+        assert router.is_correct()
+        assert router.dist[(2, 0)] == 2.0
+
+    def test_target_crash_counts_to_infinity(self):
+        router = DistanceVectorRouter(nx.path_graph(3), target=0)
+        router.run_to_fixpoint()
+        router.crash(0)
+        with pytest.raises(RuntimeError):
+            router.run_to_fixpoint(max_rounds=20)
+
+    def test_matches_static_routes(self):
+        graph = grid_graph(4)
+        router = DistanceVectorRouter(graph, target=(1, 2))
+        router.run_to_fixpoint()
+        static_dist, _ = static_routes(graph, target=(1, 2))
+        assert router.dist == static_dist
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=20),
+    extra_edge_seed=st.integers(min_value=0, max_value=10_000),
+    crash_fraction=st.floats(min_value=0.0, max_value=0.4),
+)
+def test_distance_vector_correct_on_random_graphs(n, extra_edge_seed, crash_fraction):
+    """Property: on any connected random graph with crashed nodes, the
+    distance-vector fixpoint equals ground-truth BFS (Lemma 6 / Cor. 7)."""
+    import random as stdlib_random
+
+    rng = stdlib_random.Random(extra_edge_seed)
+    graph = nx.path_graph(n)  # connected spine
+    for _ in range(n // 2):
+        a, b = rng.randrange(n), rng.randrange(n)
+        if a != b:
+            graph.add_edge(a, b)
+    router = DistanceVectorRouter(graph, target=0)
+    crash_count = int(crash_fraction * (n - 1))
+    for node in rng.sample(range(1, n), crash_count):
+        router.crash(node)
+    router.run_to_fixpoint()
+    assert router.is_correct()

@@ -1,0 +1,113 @@
+"""Unit tests for simulation configuration."""
+
+import pytest
+
+from repro.core.params import Parameters
+from repro.sim.config import FaultSpec, SimulationConfig, _parse_source_policy
+
+PARAMS = Parameters(l=0.25, rs=0.05, v=0.2)
+PATH = ((1, 0), (1, 1), (1, 2))
+
+
+def corridor_config(**overrides) -> SimulationConfig:
+    base = dict(grid_width=4, params=PARAMS, rounds=100, path=PATH)
+    base.update(overrides)
+    return SimulationConfig(**base)
+
+
+class TestValidation:
+    def test_valid_corridor(self):
+        config = corridor_config()
+        assert config.path == PATH
+
+    def test_valid_explicit_target(self):
+        config = SimulationConfig(
+            grid_width=4, params=PARAMS, rounds=100, tid=(3, 3), sources=((0, 0),)
+        )
+        assert config.tid == (3, 3)
+
+    def test_rounds_positive(self):
+        with pytest.raises(ValueError):
+            corridor_config(rounds=0)
+
+    def test_warmup_bounds(self):
+        with pytest.raises(ValueError):
+            corridor_config(warmup=100)
+        with pytest.raises(ValueError):
+            corridor_config(warmup=-1)
+        corridor_config(warmup=99)
+
+    def test_needs_path_or_tid(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(grid_width=4, params=PARAMS, rounds=100)
+
+    def test_path_and_tid_exclusive(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(
+                grid_width=4, params=PARAMS, rounds=100, path=PATH, tid=(3, 3)
+            )
+
+    def test_short_path_rejected(self):
+        with pytest.raises(ValueError):
+            corridor_config(path=((0, 0),))
+
+    def test_faults_incompatible_with_failed_complement(self):
+        with pytest.raises(ValueError, match="complement"):
+            corridor_config(fault=FaultSpec(pf=0.01, pr=0.1))
+
+    def test_faults_ok_with_alive_complement(self):
+        config = corridor_config(
+            fault=FaultSpec(pf=0.01, pr=0.1), fail_complement=False
+        )
+        assert config.fault.enabled
+
+    def test_bad_source_policy_rejected(self):
+        with pytest.raises(ValueError):
+            corridor_config(source_policy="flood")
+        with pytest.raises(ValueError):
+            corridor_config(source_policy="bernoulli:2.0")
+        with pytest.raises(ValueError):
+            corridor_config(source_policy="capped:-3")
+
+
+class TestSourcePolicyParsing:
+    def test_plain_policies(self):
+        assert _parse_source_policy("eager") == ("eager", None)
+        assert _parse_source_policy("silent") == ("silent", None)
+
+    def test_parameterized(self):
+        assert _parse_source_policy("bernoulli:0.25") == ("bernoulli", 0.25)
+        assert _parse_source_policy("capped:7") == ("capped", 7.0)
+
+
+class TestSerialization:
+    def test_roundtrip_corridor(self):
+        config = corridor_config(seed=42, warmup=10)
+        restored = SimulationConfig.from_dict(config.to_dict())
+        assert restored == config
+
+    def test_roundtrip_explicit(self):
+        config = SimulationConfig(
+            grid_width=5,
+            grid_height=3,
+            params=PARAMS,
+            rounds=50,
+            tid=(4, 2),
+            sources=((0, 0), (0, 1)),
+            fault=FaultSpec(pf=0.02, pr=0.1, protect_target=True),
+            source_policy="bernoulli:0.5",
+        )
+        restored = SimulationConfig.from_dict(config.to_dict())
+        assert restored == config
+
+    def test_dict_has_plain_params(self):
+        data = corridor_config().to_dict()
+        assert data["params"] == {"l": 0.25, "rs": 0.05, "v": 0.2}
+
+
+class TestFaultSpec:
+    def test_disabled_by_default(self):
+        assert not FaultSpec().enabled
+
+    def test_enabled_with_pf(self):
+        assert FaultSpec(pf=0.01, pr=0.1).enabled

@@ -1,0 +1,121 @@
+"""Hypothesis stateful testing: random operation interleavings.
+
+A rule-based state machine drives a ``System`` through arbitrary
+sequences of environment operations — updates, crashes, recoveries, and
+(safely placed) entity injections — checking the paper's state
+invariants after every step. This explores interleavings no scripted
+test would think of, e.g. recover-then-immediately-crash between rounds,
+or seeding a cell the instant it recovers.
+"""
+
+import math
+import random
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.core.params import Parameters
+from repro.core.sources import EagerSource
+from repro.core.system import System
+from repro.geometry.separation import fits_among
+from repro.geometry.point import Point
+from repro.grid.topology import Grid
+from repro.monitors.invariants import check_containment, check_disjoint_membership
+from repro.monitors.safety import check_safe
+
+N = 4
+PARAMS = Parameters(l=0.25, rs=0.05, v=0.2)
+CELLS = [(i, j) for i in range(N) for j in range(N)]
+TID = (3, 3)
+#: Lattice of safely placeable offsets within a cell (spacing 0.3 >= d).
+OFFSETS = [0.2, 0.5, 0.8]
+
+
+class CellularFlowMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self) -> None:
+        self.system = System(
+            grid=Grid(N),
+            params=PARAMS,
+            tid=TID,
+            sources={(0, 0): EagerSource()},
+            rng=random.Random(0),
+        )
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    @rule()
+    def update(self) -> None:
+        self.system.update()
+
+    @rule(steps=st.integers(min_value=2, max_value=5))
+    def update_many(self, steps: int) -> None:
+        for _ in range(steps):
+            self.system.update()
+
+    @rule(cell=st.sampled_from([c for c in CELLS if c != TID]))
+    def crash(self, cell) -> None:
+        self.system.fail(cell)
+
+    @rule(cell=st.sampled_from(CELLS))
+    def recover(self, cell) -> None:
+        self.system.recover(cell)
+
+    @rule(
+        cell=st.sampled_from([c for c in CELLS if c != TID]),
+        ox=st.sampled_from(OFFSETS),
+        oy=st.sampled_from(OFFSETS),
+    )
+    def inject_entity(self, cell, ox, oy) -> None:
+        """Place an entity at a lattice offset, only when that keeps the
+        cell safe (mirroring the source specification)."""
+        candidate = Point(cell[0] + ox, cell[1] + oy)
+        state = self.system.cells[cell]
+        centers = [e.center for e in state.members.values()]
+        if fits_among(candidate, centers, PARAMS.d):
+            self.system.seed_entity(cell, candidate.x, candidate.y)
+
+    # ------------------------------------------------------------------
+    # Invariants (checked after every rule)
+    # ------------------------------------------------------------------
+
+    @invariant()
+    def safe(self) -> None:
+        assert check_safe(self.system) == []
+
+    @invariant()
+    def contained(self) -> None:
+        assert check_containment(self.system) == []
+
+    @invariant()
+    def disjoint(self) -> None:
+        assert check_disjoint_membership(self.system) == []
+
+    @invariant()
+    def conservation(self) -> None:
+        system = self.system
+        assert (
+            system.total_produced
+            == system.total_consumed + system.entity_count()
+        )
+
+    @invariant()
+    def failed_cells_masked(self) -> None:
+        for state in self.system.cells.values():
+            if state.failed:
+                assert math.isinf(state.dist)
+                assert state.next_id is None
+
+
+CellularFlowMachine.TestCase.settings = settings(
+    max_examples=30, stateful_step_count=30, deadline=None
+)
+TestCellularFlowMachine = CellularFlowMachine.TestCase

@@ -1,0 +1,95 @@
+"""Metamorphic symmetry tests.
+
+The protocol has no preferred direction: rotating or reflecting the
+whole configuration must produce the rotated/reflected behavior. These
+tests run geometrically equivalent workloads in different orientations
+and require identical consumption sequences — a strong whole-protocol
+check that catches axis-specific typos (exactly the class of bug the
+scanned paper's Signal function contains, see DESIGN.md).
+"""
+
+import random
+from typing import List
+
+import pytest
+
+from repro.core.params import Parameters
+from repro.core.sources import EagerSource
+from repro.core.system import System
+from repro.grid.paths import Path, straight_path, turns_path
+from repro.grid.topology import Direction, Grid
+
+PARAMS = Parameters(l=0.25, rs=0.05, v=0.2)
+N = 8
+
+
+def run_corridor(path: Path, rounds: int) -> List[int]:
+    """Consumption sequence of a corridor workload."""
+    system = System(
+        grid=Grid(N),
+        params=PARAMS,
+        tid=path.target,
+        sources={path.source: EagerSource()},
+        rng=random.Random(0),
+    )
+    for cid in Grid(N).cells():
+        if cid not in path:
+            system.fail(cid)
+    return [system.update().consumed_count for _ in range(rounds)]
+
+
+def rotate_cell(cell, n=N):
+    """Rotate a cell id 90 degrees counterclockwise within an n x n grid."""
+    i, j = cell
+    return (n - 1 - j, i)
+
+
+class TestStraightCorridorSymmetry:
+    def test_four_directions_identical(self):
+        """North/south/east/west corridors consume in lockstep."""
+        runs = {
+            "north": run_corridor(straight_path((1, 0), Direction.NORTH, 8), 400),
+            "south": run_corridor(straight_path((1, 7), Direction.SOUTH, 8), 400),
+            "east": run_corridor(straight_path((0, 1), Direction.EAST, 8), 400),
+            "west": run_corridor(straight_path((7, 1), Direction.WEST, 8), 400),
+        }
+        reference = runs["north"]
+        for direction, sequence in runs.items():
+            assert sequence == reference, f"{direction} diverged"
+
+    def test_translation_invariance(self):
+        """The same corridor in a different column behaves identically."""
+        a = run_corridor(straight_path((1, 0), Direction.NORTH, 8), 400)
+        b = run_corridor(straight_path((6, 0), Direction.NORTH, 8), 400)
+        assert a == b
+
+
+class TestTurningPathSymmetry:
+    def test_rotated_staircase_identical(self):
+        """A 2-turn staircase and its 90-degree rotation consume alike."""
+        original = turns_path((0, 0), 8, 2)  # north/east staircase
+        rotated = Path.from_cells([rotate_cell(c) for c in original.cells])
+        assert rotated.turns == original.turns
+        a = run_corridor(original, 600)
+        b = run_corridor(rotated, 600)
+        assert a == b
+
+    def test_mirrored_staircase_identical(self):
+        """Reflection across the vertical axis preserves behavior."""
+        original = turns_path((0, 0), 8, 3, first=Direction.NORTH, second=Direction.EAST)
+        mirrored_cells = [(N - 1 - i, j) for i, j in original.cells]
+        mirrored = Path.from_cells(mirrored_cells)
+        assert mirrored.turns == original.turns
+        a = run_corridor(original, 600)
+        b = run_corridor(mirrored, 600)
+        assert a == b
+
+    @pytest.mark.parametrize("turns", [1, 4, 6])
+    def test_all_rotations_of_turning_paths(self, turns):
+        original = turns_path((0, 0), 8, turns)
+        sequences = [run_corridor(original, 400)]
+        cells = list(original.cells)
+        for _ in range(3):
+            cells = [rotate_cell(c) for c in cells]
+            sequences.append(run_corridor(Path.from_cells(cells), 400))
+        assert all(seq == sequences[0] for seq in sequences[1:])

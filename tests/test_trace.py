@@ -1,0 +1,123 @@
+"""Tests for trace recording and offline verification."""
+
+import json
+
+import pytest
+
+from repro.core.params import Parameters
+from repro.core.system import build_corridor_system
+from repro.grid.paths import straight_path
+from repro.grid.topology import Direction, Grid
+from repro.sim.trace import (
+    TraceRecorder,
+    iter_entity_positions,
+    load_trace,
+    replay_throughput,
+    verify_trace,
+)
+
+PARAMS = Parameters(l=0.25, rs=0.05, v=0.2)
+
+
+@pytest.fixture
+def recorded_trace(tmp_path):
+    grid = Grid(8)
+    path = straight_path((1, 0), Direction.NORTH, 8)
+    system = build_corridor_system(grid, PARAMS, path.cells)
+    recorder = TraceRecorder.for_system(system)
+    for _ in range(200):
+        report = system.update()
+        recorder.observe(system, report)
+    trace_path = recorder.save(tmp_path / "run.jsonl")
+    return trace_path, system
+
+
+class TestRecording:
+    def test_header_and_records(self, recorded_trace):
+        trace_path, _system = recorded_trace
+        header, records = load_trace(trace_path)
+        assert header["l"] == 0.25 and header["grid"] == [8, 8]
+        assert len(records) == 200
+        assert records[0]["round"] == 0
+        assert records[-1]["round"] == 199
+
+    def test_jsonl_format(self, recorded_trace):
+        trace_path, _ = recorded_trace
+        for line in trace_path.read_text().splitlines():
+            json.loads(line)
+
+    def test_empty_file_rejected(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(ValueError):
+            load_trace(empty)
+
+
+class TestOfflineVerification:
+    def test_clean_run_verifies(self, recorded_trace):
+        trace_path, _ = recorded_trace
+        assert verify_trace(trace_path) == []
+
+    def test_tampered_trace_fails_safety(self, recorded_trace, tmp_path):
+        """Corrupting a position in the trace is detected offline."""
+        trace_path, _ = recorded_trace
+        lines = trace_path.read_text().splitlines()
+        record = json.loads(lines[150])
+        # Find a cell with an entity and clone the entity on top of itself.
+        for cell in record["state"].values():
+            if cell["members"]:
+                clone = dict(cell["members"][0])
+                clone["uid"] = 999_999
+                clone["x"] += 0.01
+                cell["members"].append(clone)
+                break
+        lines[150] = json.dumps(record)
+        tampered = tmp_path / "tampered.jsonl"
+        tampered.write_text("\n".join(lines) + "\n")
+        violations = verify_trace(tampered)
+        assert any(v.property_name == "Safe" for v in violations)
+
+    def test_duplicated_uid_fails_invariant_2(self, recorded_trace, tmp_path):
+        trace_path, _ = recorded_trace
+        lines = trace_path.read_text().splitlines()
+        record = json.loads(lines[150])
+        donor = None
+        for cell in record["state"].values():
+            if cell["members"]:
+                donor = dict(cell["members"][0])
+                break
+        assert donor is not None
+        for key, cell in record["state"].items():
+            if not cell["members"]:
+                moved = dict(donor)
+                i, j = (int(part) for part in key.split(","))
+                moved["x"], moved["y"] = i + 0.5, j + 0.5
+                cell["members"].append(moved)
+                break
+        lines[150] = json.dumps(record)
+        tampered = tmp_path / "dup.jsonl"
+        tampered.write_text("\n".join(lines) + "\n")
+        violations = verify_trace(tampered)
+        assert any(v.property_name == "Invariant 2" for v in violations)
+
+
+class TestReplay:
+    def test_throughput_matches_live(self, recorded_trace):
+        trace_path, system = recorded_trace
+        assert replay_throughput(trace_path) == pytest.approx(
+            system.total_consumed / 200
+        )
+
+    def test_warmup(self, recorded_trace):
+        trace_path, _ = recorded_trace
+        assert replay_throughput(trace_path, warmup=50) >= replay_throughput(
+            trace_path
+        )
+
+    def test_entity_positions_monotone_north(self, recorded_trace):
+        """Entities in the northbound corridor never move south."""
+        trace_path, _ = recorded_trace
+        positions = list(iter_entity_positions(trace_path, uid=0))
+        assert positions, "entity 0 should appear in the trace"
+        ys = [y for _, _, y in positions]
+        assert all(b >= a - 1e-9 for a, b in zip(ys, ys[1:]))

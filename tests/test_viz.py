@@ -1,0 +1,67 @@
+"""Unit tests for the ASCII renderers."""
+
+import random
+
+from repro.core.params import Parameters
+from repro.core.sources import EagerSource
+from repro.core.system import System
+from repro.grid.topology import Grid
+from repro.viz.render import render_grid, render_routes
+
+PARAMS = Parameters(l=0.25, rs=0.05, v=0.2)
+
+
+def make_system() -> System:
+    return System(
+        grid=Grid(3),
+        params=PARAMS,
+        tid=(2, 2),
+        sources={(0, 0): EagerSource()},
+        rng=random.Random(0),
+    )
+
+
+class TestRenderGrid:
+    def test_marks_target_and_source(self):
+        text = render_grid(make_system())
+        assert "TT" in text
+        assert "S0" in text
+
+    def test_marks_failures(self):
+        system = make_system()
+        system.fail((1, 1))
+        assert "XX" in render_grid(system)
+
+    def test_entity_counts(self):
+        system = make_system()
+        system.seed_entity((1, 1), 1.5, 1.5)
+        system.seed_entity((1, 1), 1.5, 1.1)
+        text = render_grid(system)
+        assert " 2" in text
+
+    def test_row_orientation_north_up(self):
+        """Row for j=2 (with the target) appears above the j=0 row."""
+        text = render_grid(make_system())
+        lines = text.splitlines()
+        target_line = next(i for i, line in enumerate(lines) if "TT" in line)
+        source_line = next(i for i, line in enumerate(lines) if "S0" in line)
+        assert target_line < source_line
+
+
+class TestRenderRoutes:
+    def test_unrouted_state(self):
+        text = render_routes(make_system())
+        assert "T" in text
+        assert "." in text
+
+    def test_arrows_after_convergence(self):
+        system = make_system()
+        for _ in range(6):
+            system.update()
+        text = render_routes(system)
+        assert ">" in text or "^" in text
+
+    def test_failed_marker(self):
+        system = make_system()
+        system.fail((1, 1))
+        assert "X" in render_routes(system)

@@ -1,0 +1,64 @@
+"""Tests for the SVG renderer."""
+
+import random
+
+from repro.core.params import Parameters
+from repro.core.sources import EagerSource
+from repro.core.system import System
+from repro.grid.topology import Grid
+from repro.viz.svg import render_svg, save_svg
+
+PARAMS = Parameters(l=0.25, rs=0.05, v=0.2)
+
+
+def make_system() -> System:
+    system = System(
+        grid=Grid(3),
+        params=PARAMS,
+        tid=(2, 2),
+        sources={(0, 0): EagerSource()},
+        rng=random.Random(0),
+    )
+    system.seed_entity((1, 1), 1.5, 1.5)
+    return system
+
+
+class TestRenderSvg:
+    def test_is_wellformed_xml(self):
+        import xml.etree.ElementTree as ET
+
+        ET.fromstring(render_svg(make_system(), title="state"))
+
+    def test_cells_drawn(self):
+        svg = render_svg(make_system())
+        # 9 cell rects at least (plus background/entity/safety rects).
+        assert svg.count("<rect") >= 9 + 1
+
+    def test_entity_and_safety_margin(self):
+        svg = render_svg(make_system())
+        assert "stroke-dasharray" in svg  # safety outline present
+
+    def test_safety_margin_optional(self):
+        svg = render_svg(make_system(), show_safety_margin=False)
+        assert "stroke-dasharray" not in svg
+
+    def test_routes_drawn_after_convergence(self):
+        system = make_system()
+        for _ in range(6):
+            system.update()
+        svg = render_svg(system)
+        assert "<line" in svg
+
+    def test_routes_optional(self):
+        system = make_system()
+        for _ in range(6):
+            system.update()
+        assert "<line" not in render_svg(system, show_routes=False)
+
+    def test_title_rendered(self):
+        assert "round 42" in render_svg(make_system(), title="round 42")
+
+    def test_save(self, tmp_path):
+        path = save_svg(make_system(), tmp_path / "out" / "state.svg")
+        assert path.exists()
+        assert path.read_text().startswith("<svg")
