@@ -10,6 +10,11 @@ Horizons: the paper uses K = 2500 (Figures 7-8) and K = 20000 (Figure
 9). By default the benchmarks run scaled-down horizons so the whole
 harness finishes in minutes; set ``REPRO_FULL=1`` for the paper's exact
 horizons, or ``REPRO_BENCH_ROUNDS=<k>`` to pick one explicitly.
+
+Parallelism: set ``REPRO_WORKERS=<n>`` (or ``0`` for one worker per CPU)
+to fan each figure sweep out over a process pool — results are identical
+to serial execution (the sweeps are deterministic per point), only the
+wall clock changes.
 """
 
 from __future__ import annotations
@@ -34,6 +39,11 @@ def horizon(default: int, paper: int) -> Optional[int]:
     if override:
         return int(override)
     return default
+
+
+def workers() -> int:
+    """Process count for sweep execution (``REPRO_WORKERS``, default 1)."""
+    return int(os.environ.get("REPRO_WORKERS", "1"))
 
 
 @pytest.fixture

@@ -101,8 +101,19 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     print(f"# {experiment.name}: {experiment.description}")
     effective = rounds if rounds is not None else experiment.paper_rounds
     print(f"# horizon: {effective} rounds per point")
+    checkpoint = Path(args.checkpoint) if args.checkpoint else None
+    if args.resume and checkpoint is None:
+        # Resuming without an explicit file: use the conventional location
+        # (written by the previous run if it passed --resume/--checkpoint).
+        checkpoint = Path(args.out or ".") / f"{experiment.name}.checkpoint.jsonl"
+    if args.workers != 1:
+        print(f"# workers: {args.workers}", file=sys.stderr)
     result = experiment.run(
-        rounds=rounds, progress=lambda message: print(message, file=sys.stderr)
+        rounds=rounds,
+        progress=lambda message: print(message, file=sys.stderr),
+        workers=args.workers,
+        checkpoint=checkpoint,
+        resume=args.resume,
     )
     curves = experiment.series(result)
     x_label = {
@@ -236,6 +247,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the per-point horizon (default: the paper's K)",
     )
     experiment_parser.add_argument("--out", help="directory for JSON/CSV artifacts")
+    experiment_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="run sweep points over N processes (0 = one per CPU; default 1)",
+    )
+    experiment_parser.add_argument(
+        "--checkpoint",
+        help="JSON-lines file recording each completed sweep point "
+        "(default: <out>/<name>.checkpoint.jsonl when --resume is given)",
+    )
+    experiment_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip sweep points already recorded in the checkpoint file",
+    )
     experiment_parser.set_defaults(handler=_cmd_experiment)
 
     ablation_parser = subparsers.add_parser(

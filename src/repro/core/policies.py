@@ -26,6 +26,15 @@ from repro.grid.topology import CellId
 class TokenPolicy:
     """Interface: how a cell picks and rotates its token over ``NEPrev``."""
 
+    def clone(self) -> "TokenPolicy":
+        """An independent copy for ``System.clone()``.
+
+        Stateless policies share themselves; policies holding an RNG (or
+        other mutable state) must override so a cloned system's token
+        choices never advance the original's stream.
+        """
+        return self
+
     def initial(self, ne_prev: Iterable[CellId]) -> Optional[CellId]:
         """Pick a token holder when the current token is bottom."""
         raise NotImplementedError
@@ -70,6 +79,11 @@ class RandomTokenPolicy(TokenPolicy):
 
     def __init__(self, rng: random.Random):
         self._rng = rng
+
+    def clone(self) -> "RandomTokenPolicy":
+        rng = random.Random()
+        rng.setstate(self._rng.getstate())
+        return RandomTokenPolicy(rng)
 
     def initial(self, ne_prev: Iterable[CellId]) -> Optional[CellId]:
         candidates = _sorted(ne_prev)

@@ -56,6 +56,15 @@ def entry_wall_center(
 class SourcePolicy:
     """Interface: propose (at most) one insertion point per round."""
 
+    def clone(self) -> "SourcePolicy":
+        """An independent copy for ``System.clone()``.
+
+        Stateless policies share themselves; any policy with mutable
+        state (counters, RNGs) must override and deep-copy it, or a
+        cloned system's production would corrupt the original's.
+        """
+        return self
+
     def place(
         self,
         state: CellState,
@@ -137,6 +146,11 @@ class CappedSource(SourcePolicy):
         self.inner = inner
         self.limit = limit
         self.produced = 0
+
+    def clone(self) -> "CappedSource":
+        other = CappedSource(self.inner.clone(), self.limit)
+        other.produced = self.produced
+        return other
 
     def place(
         self,

@@ -262,13 +262,19 @@ class System:
         Uses ``type(self)`` so protocol variants (e.g. the greedy
         baseline) clone as themselves; subclasses with extra constructor
         state must override and extend this.
+
+        Stateful policies are cloned through their ``clone()`` protocol
+        method: sharing a ``CappedSource`` counter or a
+        ``RandomTokenPolicy`` RNG between clone and original would let a
+        what-if probe corrupt the real system's production cap and
+        random stream.
         """
         other = type(self)(
             grid=self.grid,
             params=self.params,
             tid=self.tid,
-            sources=self.sources,
-            token_policy=self.token_policy,
+            sources={cid: policy.clone() for cid, policy in self.sources.items()},
+            token_policy=self.token_policy.clone(),
             rng=random.Random(),
         )
         other.rng.setstate(self.rng.getstate())

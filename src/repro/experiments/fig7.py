@@ -65,15 +65,18 @@ def run(
     seed: int = 7,
     monitors: bool = True,
     progress=lambda message: None,
+    workers: int = 1,
+    checkpoint=None,
+    resume: bool = False,
 ) -> SweepResult:
-    """Execute the Figure 7 sweep."""
+    """Execute the Figure 7 sweep (optionally over ``workers`` processes)."""
     return build_sweep(
         rounds=rounds,
         velocities=velocities,
         spacings=spacings,
         seed=seed,
         monitors=monitors,
-    ).run(progress)
+    ).run(progress, workers=workers, checkpoint=checkpoint, resume=resume)
 
 
 def series(result: SweepResult) -> Dict[float, List[Tuple[float, float]]]:

@@ -74,15 +74,18 @@ def run(
     seed: int = 8,
     monitors: bool = True,
     progress=lambda message: None,
+    workers: int = 1,
+    checkpoint=None,
+    resume: bool = False,
 ) -> SweepResult:
-    """Execute the Figure 8 sweep."""
+    """Execute the Figure 8 sweep (optionally over ``workers`` processes)."""
     return build_sweep(
         rounds=rounds,
         combos=combos,
         turn_counts=turn_counts,
         seed=seed,
         monitors=monitors,
-    ).run(progress)
+    ).run(progress, workers=workers, checkpoint=checkpoint, resume=resume)
 
 
 def series(

@@ -70,15 +70,18 @@ def run(
     seed: int = 9,
     monitors: bool = True,
     progress=lambda message: None,
+    workers: int = 1,
+    checkpoint=None,
+    resume: bool = False,
 ) -> SweepResult:
-    """Execute the Figure 9 sweep."""
+    """Execute the Figure 9 sweep (optionally over ``workers`` processes)."""
     return build_sweep(
         rounds=rounds,
         fail_probs=fail_probs,
         recover_probs=recover_probs,
         seed=seed,
         monitors=monitors,
-    ).run(progress)
+    ).run(progress, workers=workers, checkpoint=checkpoint, resume=resume)
 
 
 def series(result: SweepResult) -> Dict[float, List[Tuple[float, float]]]:

@@ -53,9 +53,14 @@ def run(
     lengths: Sequence[int] = LENGTHS,
     seed: int = 15,
     progress=lambda message: None,
+    workers: int = 1,
+    checkpoint=None,
+    resume: bool = False,
 ) -> SweepResult:
-    """Execute the path-length sweep."""
-    return build_sweep(rounds=rounds, lengths=lengths, seed=seed).run(progress)
+    """Execute the path-length sweep (optionally over ``workers`` processes)."""
+    return build_sweep(rounds=rounds, lengths=lengths, seed=seed).run(
+        progress, workers=workers, checkpoint=checkpoint, resume=resume
+    )
 
 
 def series(result: SweepResult) -> Dict[str, List[Tuple[int, float]]]:

@@ -21,6 +21,9 @@ class Experiment:
     description: str
     paper_rounds: int
     run: Callable[..., SweepResult]
+    """Executes the sweep. Every registered runner accepts ``rounds``,
+    ``progress``, and the parallel-engine keywords ``workers`` /
+    ``checkpoint`` / ``resume`` (see :mod:`repro.sim.parallel`)."""
     series: Callable[[SweepResult], dict]
     shape_checks: Callable[[SweepResult], Dict[str, bool]]
 

@@ -6,7 +6,7 @@ limit, the average throughput. Latency and occupancy are secondary
 metrics the reproduction adds for diagnosis.
 """
 
-from repro.metrics.latency import LatencyStats, latency_stats
+from repro.metrics.latency import LatencyStats, latency_stats, percentile
 from repro.metrics.occupancy import OccupancyProbe, blocked_cell_count
 from repro.metrics.series import RollingMean, TimeSeries
 from repro.metrics.throughput import ThroughputMeter
@@ -19,4 +19,5 @@ __all__ = [
     "TimeSeries",
     "blocked_cell_count",
     "latency_stats",
+    "percentile",
 ]

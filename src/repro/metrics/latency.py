@@ -26,8 +26,14 @@ class LatencyStats:
     maximum: float
 
 
-def _percentile(ordered: Sequence[float], fraction: float) -> float:
-    """Linear-interpolated percentile of pre-sorted data."""
+def percentile(ordered: Sequence[float], fraction: float) -> float:
+    """Linear-interpolated percentile of pre-sorted data.
+
+    This is the single percentile definition used everywhere results are
+    summarized (:func:`latency_stats` and
+    :meth:`repro.sim.simulator.Simulator.summarize`), so the same run can
+    never report two different p95 values.
+    """
     if not ordered:
         raise ValueError("no data")
     if len(ordered) == 1:
@@ -52,7 +58,7 @@ def latency_stats(latencies: Sequence[int]) -> LatencyStats:
         mean=mean,
         stdev=math.sqrt(variance),
         minimum=ordered[0],
-        median=_percentile(ordered, 0.5),
-        p95=_percentile(ordered, 0.95),
+        median=percentile(ordered, 0.5),
+        p95=percentile(ordered, 0.95),
         maximum=ordered[-1],
     )

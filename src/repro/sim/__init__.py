@@ -6,6 +6,8 @@ measurement (:mod:`repro.metrics`) into reproducible experiments.
 """
 
 from repro.sim.config import FaultSpec, SimulationConfig
+from repro.sim.parallel import ParallelSweepRunner
+from repro.sim.profiling import PhaseProfiler, PhaseTimings
 from repro.sim.results import SimulationResult, SweepResult
 from repro.sim.runner import run_config, run_replications
 from repro.sim.seeding import derive_seed
@@ -14,6 +16,9 @@ from repro.sim.sweep import Sweep, sweep_grid
 
 __all__ = [
     "FaultSpec",
+    "ParallelSweepRunner",
+    "PhaseProfiler",
+    "PhaseTimings",
     "SimulationConfig",
     "SimulationResult",
     "Simulator",

@@ -1,0 +1,198 @@
+"""Parallel sweep execution with checkpoint/resume.
+
+The figure sweeps are embarrassingly parallel: every point is an
+independent ``(label, config, extras)`` triple whose randomness is fully
+determined by ``config.seed`` (all streams derive from it via
+:mod:`repro.sim.seeding`), so fanning points out over a process pool
+cannot change any result — only the wall clock. :class:`ParallelSweepRunner`
+provides that fan-out with three guarantees:
+
+* **Determinism** — each worker runs the exact same
+  :func:`repro.sim.runner.run_config` call the serial loop would, with
+  the config's own seed; per-point RNG streams come from
+  :func:`repro.sim.seeding.derive_rng` inside ``build_simulation`` and
+  never depend on scheduling.
+* **Order** — results are reassembled by point index, so the returned
+  :class:`~repro.sim.results.SweepResult` is identical (modulo the
+  measured ``phase_timings``) to serial execution, whatever order
+  workers finish in.
+* **Resumability** — every completed point is appended to a JSON-lines
+  checkpoint as soon as it finishes; a rerun with ``resume=True`` skips
+  those points and only executes the remainder.
+
+Entry points: :meth:`ParallelSweepRunner.run_points` (generic) and
+:meth:`Sweep.run(workers=N) <repro.sim.sweep.Sweep.run>` /
+``run_replications(workers=N)`` which delegate here.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.config import SimulationConfig
+from repro.sim.results import SimulationResult, SweepResult
+from repro.sim.runner import run_config
+
+#: One unit of work: (index, label, config, extras-to-annotate).
+PointPayload = Tuple[int, str, SimulationConfig, Dict]
+
+
+def _execute_point(payload: PointPayload) -> Tuple[int, SimulationResult]:
+    """Worker entry point: run one sweep point (module-level: picklable)."""
+    index, _label, config, extras = payload
+    return index, run_config(config, **extras)
+
+
+class CheckpointMismatch(RuntimeError):
+    """A checkpoint file does not correspond to the sweep being run."""
+
+
+class ParallelSweepRunner:
+    """Executes labeled simulation points over a ``multiprocessing`` pool.
+
+    Parameters
+    ----------
+    workers:
+        Process count. ``1`` (or ``None``) runs in-process — still useful
+        for checkpointed serial runs. ``0``/negative means ``os.cpu_count()``.
+    checkpoint:
+        Optional JSON-lines path recording each completed point. Written
+        incrementally (one flushed line per point) so an interrupted run
+        loses at most the in-flight points.
+    resume:
+        When True and the checkpoint exists, completed points are loaded
+        from it and skipped. When False an existing checkpoint is
+        truncated — a fresh run never silently mixes stale results.
+    progress:
+        Callback receiving one human-readable line per point event.
+    mp_context:
+        Optional ``multiprocessing`` context name (``"fork"``/``"spawn"``).
+        The default context of the platform is used when omitted; CI runs
+        the smoke test under ``spawn`` to catch pickling regressions.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        checkpoint: Optional[Path] = None,
+        resume: bool = False,
+        progress: Callable[[str], None] = lambda message: None,
+        mp_context: Optional[str] = None,
+    ):
+        if workers is None:
+            workers = 1
+        if workers <= 0:
+            workers = os.cpu_count() or 1
+        self.workers = workers
+        self.checkpoint = Path(checkpoint) if checkpoint is not None else None
+        self.resume = resume
+        self.progress = progress
+        self.mp_context = mp_context
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def _load_checkpoint(
+        self, name: str, points: Sequence[Tuple[str, SimulationConfig, Dict]]
+    ) -> Dict[int, SimulationResult]:
+        """Completed results keyed by point index, validated against labels."""
+        if self.checkpoint is None or not self.checkpoint.exists():
+            return {}
+        if not self.resume:
+            self.checkpoint.unlink()
+            return {}
+        completed: Dict[int, SimulationResult] = {}
+        for line_number, line in enumerate(
+            self.checkpoint.read_text().splitlines(), start=1
+        ):
+            if not line.strip():
+                continue
+            record = json.loads(line)
+            index = record["index"]
+            if record.get("sweep") != name:
+                raise CheckpointMismatch(
+                    f"{self.checkpoint}:{line_number} belongs to sweep "
+                    f"{record.get('sweep')!r}, not {name!r}"
+                )
+            if index >= len(points) or record["label"] != points[index][0]:
+                raise CheckpointMismatch(
+                    f"{self.checkpoint}:{line_number} records point "
+                    f"{index} = {record['label']!r}, which does not match "
+                    f"the sweep being resumed"
+                )
+            completed[index] = SimulationResult.from_dict(record["result"])
+        return completed
+
+    def _append_checkpoint(
+        self, name: str, index: int, label: str, result: SimulationResult
+    ) -> None:
+        if self.checkpoint is None:
+            return
+        self.checkpoint.parent.mkdir(parents=True, exist_ok=True)
+        record = {
+            "sweep": name,
+            "index": index,
+            "label": label,
+            "result": result.to_dict(),
+        }
+        with self.checkpoint.open("a") as handle:
+            handle.write(json.dumps(record) + "\n")
+            handle.flush()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run_points(
+        self, name: str, points: Sequence[Tuple[str, SimulationConfig, Dict]]
+    ) -> List[SimulationResult]:
+        """Execute ``(label, config, extras)`` points; return them in order."""
+        results = self._load_checkpoint(name, points)
+        for index in results:
+            self.progress(f"[{name}] resumed {points[index][0]} from checkpoint")
+        payloads: List[PointPayload] = [
+            (index, label, config, extras)
+            for index, (label, config, extras) in enumerate(points)
+            if index not in results
+        ]
+        for index, result in self._execute(payloads):
+            label = points[index][0]
+            self._append_checkpoint(name, index, label, result)
+            self.progress(f"[{name}] finished {label}")
+            results[index] = result
+        return [results[index] for index in range(len(points))]
+
+    def _execute(self, payloads: List[PointPayload]):
+        """Yield (index, result) pairs as points complete."""
+        if not payloads:
+            return
+        if self.workers == 1:
+            for payload in payloads:
+                yield _execute_point(payload)
+            return
+        context = (
+            multiprocessing.get_context(self.mp_context)
+            if self.mp_context
+            else multiprocessing.get_context()
+        )
+        # Never spin up more processes than there is work.
+        processes = min(self.workers, len(payloads))
+        with context.Pool(processes=processes) as pool:
+            # Unordered: checkpoint lines land as soon as any point is
+            # done; run_points reassembles by index afterwards.
+            for index, result in pool.imap_unordered(_execute_point, payloads):
+                yield index, result
+
+    def run_sweep(
+        self, name: str, points: Sequence[Tuple[str, SimulationConfig, Dict]]
+    ) -> SweepResult:
+        """Like :meth:`run_points`, bundled into a :class:`SweepResult`."""
+        result = SweepResult(name=name)
+        for run in self.run_points(name, points):
+            result.add(run)
+        return result

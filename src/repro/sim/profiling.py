@@ -1,0 +1,135 @@
+"""Per-phase wall-time instrumentation.
+
+Every ``System.update()`` fires the ``phase_observer`` hook after each of
+its four sub-phases (Route, Signal, Move, produce). :class:`PhaseProfiler`
+installs itself on that hook and accumulates the wall time spent inside
+each sub-phase, plus everything the round loop does *around* the update
+(fault injection, monitors, metrics — the ``overhead`` bucket). The
+resulting :class:`PhaseTimings` ride along in
+``SimulationResult.phase_timings`` so performance work has a measured
+baseline for every run ever recorded.
+
+Timing uses ``time.perf_counter``; the cost is four clock reads per round,
+negligible next to a single Route sweep. The chained observer (monitors
+also use ``phase_observer``) is timed *outside* the phase buckets, so
+verification cost never pollutes the protocol-phase numbers.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+#: The sub-phases of one ``update`` transition, in execution order.
+PHASES = ("route", "signal", "move", "produce")
+
+
+@dataclass
+class PhaseTimings:
+    """Accumulated wall time per ``update`` sub-phase.
+
+    ``overhead`` is everything in the round loop that is not a protocol
+    phase: fault injection, monitor checks, metric observation, and the
+    chained phase observers. ``wall_time`` is the total across rounds, so
+    ``wall_time >= route + signal + move + produce``.
+    """
+
+    route: float = 0.0
+    signal: float = 0.0
+    move: float = 0.0
+    produce: float = 0.0
+    overhead: float = 0.0
+    rounds: int = 0
+    wall_time: float = 0.0
+
+    def add(self, phase: str, elapsed: float) -> None:
+        """Accumulate ``elapsed`` seconds into one phase bucket."""
+        setattr(self, phase, getattr(self, phase) + elapsed)
+
+    @property
+    def rounds_per_second(self) -> Optional[float]:
+        """Observed simulation rate, or None before any round completed."""
+        if self.rounds == 0 or self.wall_time <= 0.0:
+            return None
+        return self.rounds / self.wall_time
+
+    def to_dict(self) -> Dict:
+        """Plain-dict form (JSON-serializable)."""
+        return {
+            "route": self.route,
+            "signal": self.signal,
+            "move": self.move,
+            "produce": self.produce,
+            "overhead": self.overhead,
+            "rounds": self.rounds,
+            "wall_time": self.wall_time,
+            "rounds_per_second": self.rounds_per_second,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "PhaseTimings":
+        payload = dict(data)
+        payload.pop("rounds_per_second", None)  # derived, not stored state
+        return cls(**payload)
+
+
+@dataclass
+class PhaseProfiler:
+    """Measures phase wall times through ``System.phase_observer``.
+
+    Usage (what :class:`~repro.sim.simulator.Simulator` does)::
+
+        profiler = PhaseProfiler()
+        profiler.install(system)          # chains any existing observer
+        for _ in range(rounds):
+            profiler.begin_round()
+            ...                           # inject faults
+            profiler.mark_overhead()      # injector time -> overhead
+            system.update()               # phases timed via the hook
+            ...                           # monitors, metrics
+            profiler.end_round()          # trailing time -> overhead
+    """
+
+    timings: PhaseTimings = field(default_factory=PhaseTimings)
+    _chained: Optional[Callable] = None
+    _mark: float = 0.0
+    _round_start: Optional[float] = None
+
+    def install(self, system) -> "PhaseProfiler":
+        """Install on ``system.phase_observer``, chaining any prior hook."""
+        self._chained = system.phase_observer
+        system.phase_observer = self._on_phase
+        return self
+
+    def begin_round(self) -> None:
+        """Mark the start of one round-loop iteration."""
+        self._round_start = time.perf_counter()
+        self._mark = self._round_start
+
+    def mark_overhead(self) -> None:
+        """Attribute the time since the last mark to the overhead bucket."""
+        now = time.perf_counter()
+        self.timings.overhead += now - self._mark
+        self._mark = now
+
+    def _on_phase(self, name: str, system) -> None:
+        now = time.perf_counter()
+        if name in PHASES:
+            self.timings.add(name, now - self._mark)
+        if self._chained is not None:
+            self._chained(name, system)
+        # Re-mark *after* the chained observer so monitor time lands in
+        # the overhead bucket, not the next phase's.
+        self._mark = time.perf_counter()
+        self.timings.overhead += self._mark - now
+
+    def end_round(self) -> None:
+        """Close out one iteration: attribute total and overhead time."""
+        if self._round_start is None:
+            return
+        now = time.perf_counter()
+        self.timings.wall_time += now - self._round_start
+        self.timings.overhead += now - self._mark  # work after last phase
+        self.timings.rounds += 1
+        self._round_start = None

@@ -22,19 +22,33 @@ def run_replications(
     config: SimulationConfig,
     replications: int,
     master_seed: Optional[int] = None,
+    workers: int = 1,
     **extras,
 ) -> List[SimulationResult]:
     """Run ``replications`` independent copies with derived seeds.
 
     Seeds are derived from ``master_seed`` (default: the config's seed) and
     the replication index, so adding replications never perturbs existing
-    ones.
+    ones. ``workers > 1`` fans the replications out over a process pool;
+    results come back in replication order either way.
     """
     if replications <= 0:
         raise ValueError(f"replications must be positive, got {replications}")
     base = config.seed if master_seed is None else master_seed
-    results: List[SimulationResult] = []
-    for index in range(replications):
-        seeded = replace(config, seed=derive_seed(base, f"rep{index}"))
-        results.append(run_config(seeded, replication=index, **extras))
-    return results
+    seeded_points = [
+        (
+            f"rep{index}",
+            replace(config, seed=derive_seed(base, f"rep{index}")),
+            {"replication": index, **extras},
+        )
+        for index in range(replications)
+    ]
+    if workers != 1:
+        from repro.sim.parallel import ParallelSweepRunner
+
+        runner = ParallelSweepRunner(workers=workers)
+        return runner.run_points("replications", seeded_points)
+    return [
+        run_config(seeded, **point_extras)
+        for _label, seeded, point_extras in seeded_points
+    ]

@@ -30,7 +30,9 @@ from repro.metrics.occupancy import OccupancyProbe
 from repro.metrics.throughput import ThroughputMeter
 from repro.monitors.progress import EntityTracker
 from repro.monitors.recorder import MonitorSuite
+from repro.metrics.latency import percentile
 from repro.sim.config import SimulationConfig, _parse_source_policy
+from repro.sim.profiling import PhaseProfiler
 from repro.sim.results import SimulationResult
 from repro.sim.seeding import derive_rng
 
@@ -62,16 +64,22 @@ class Simulator:
         self.meter = ThroughputMeter()
         self.occupancy = OccupancyProbe()
         self.tracker = EntityTracker()
+        # Install after monitors.attach so their observer is chained (its
+        # cost lands in the overhead bucket, not the phase buckets).
+        self.profiler = PhaseProfiler().install(system)
 
     def step(self) -> None:
         """One loop iteration: faults, update, monitors, metrics."""
+        self.profiler.begin_round()
         self.injector.apply(self.system)
+        self.profiler.mark_overhead()
         report = self.system.update()
         if self.monitors is not None:
             self.monitors.after_round(self.system, report)
         self.meter.observe(report.consumed_count)
         self.occupancy.observe(self.system, report)
         self.tracker.observe(report, self.system)
+        self.profiler.end_round()
 
     def run(self) -> SimulationResult:
         """Execute the full horizon and summarize."""
@@ -81,11 +89,11 @@ class Simulator:
 
     def summarize(self) -> SimulationResult:
         """Summarize the instrumentation into a result record."""
-        latencies = self.tracker.latencies()
+        latencies = self.tracker.latencies()  # already sorted ascending
         mean_latency = sum(latencies) / len(latencies) if latencies else None
-        p95_latency = None
-        if latencies:
-            p95_latency = latencies[min(len(latencies) - 1, int(0.95 * len(latencies)))]
+        # The same interpolated percentile as repro.metrics.latency, so a
+        # run reports one p95 no matter which code path computes it.
+        p95_latency = percentile(latencies, 0.95) if latencies else None
         return SimulationResult(
             config=self.config.to_dict() if self.config else {},
             rounds=self.meter.rounds,
@@ -102,6 +110,7 @@ class Simulator:
             monitor_violations=(
                 len(self.monitors.violations) if self.monitors else 0
             ),
+            phase_timings=self.profiler.timings.to_dict(),
         )
 
 

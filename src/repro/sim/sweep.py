@@ -9,7 +9,8 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.sim.config import SimulationConfig
 from repro.sim.results import SweepResult
@@ -31,9 +32,41 @@ class Sweep:
         return len(self.points)
 
     def run(
-        self, progress: Callable[[str], None] = lambda message: None
+        self,
+        progress: Callable[[str], None] = lambda message: None,
+        workers: int = 1,
+        checkpoint: Optional[Path] = None,
+        resume: bool = False,
     ) -> SweepResult:
-        """Execute every point in order; ``progress`` gets one call per point."""
+        """Execute every point; ``progress`` gets one call per point event.
+
+        ``workers > 1`` fans the points out over a process pool
+        (:class:`repro.sim.parallel.ParallelSweepRunner`); ``workers <= 0``
+        means one worker per CPU. Results are collected in point order, so
+        the returned :class:`SweepResult` is independent of the worker
+        count (``phase_timings`` excepted — it measures wall time).
+
+        ``checkpoint`` names a JSON-lines file recording each completed
+        point; with ``resume=True`` an interrupted sweep skips the points
+        already recorded there.
+        """
+        if workers != 1 or checkpoint is not None:
+            from repro.sim.parallel import ParallelSweepRunner
+
+            runner = ParallelSweepRunner(
+                workers=workers,
+                checkpoint=checkpoint,
+                resume=resume,
+                progress=progress,
+            )
+            # "point" first, matching the serial run_config(point=..., **extras)
+            # kwarg order, so extras dicts (and JSON/CSV output) are
+            # byte-identical between the two paths.
+            points = [
+                (label, config, {"point": label, **extras})
+                for label, config, extras in self.points
+            ]
+            return runner.run_sweep(self.name, points)
         result = SweepResult(name=self.name)
         for label, config, extras in self.points:
             progress(f"[{self.name}] running {label}")

@@ -7,6 +7,7 @@ import pytest
 
 from repro.core.cell import INFINITY
 from repro.core.params import Parameters
+from repro.core.policies import RandomTokenPolicy
 from repro.core.sources import CappedSource, EagerSource
 from repro.core.system import System, build_corridor_system
 from repro.grid.paths import straight_path, turns_path
@@ -210,4 +211,53 @@ class TestClone:
         copy = system.clone()
         a = sum(system.update().consumed_count for _ in range(100))
         b = sum(copy.update().consumed_count for _ in range(100))
+        assert a == b
+
+    def test_clone_does_not_share_capped_source_state(self):
+        # Regression: clone() used to alias the source policy objects, so
+        # a clone's production advanced the original's CappedSource
+        # counter (corrupting what-if probes and the DTS explorer).
+        grid = Grid(8)
+        path = straight_path((1, 0), Direction.NORTH, 8)
+        source = CappedSource(EagerSource(), limit=10)
+        system = build_corridor_system(grid, PARAMS, path.cells, source_policy=source)
+        system.run(12)  # routing needs ~7 rounds before the source produces
+        produced_before = source.produced
+        assert produced_before > 0
+
+        copy = system.clone()
+        assert copy.sources[path.cells[0]] is not source
+        copy.run(60)
+        # The clone's production never touches the original's counter...
+        assert source.produced == produced_before
+        # ...and the original can still produce up to its own cap.
+        system.run(60)
+        assert system.total_produced == 10
+        assert copy.total_produced == 10
+
+    def test_clone_does_not_share_random_token_rng(self):
+        # Regression: clone() aliased the token policy, so a clone's
+        # random token draws advanced the original's RNG stream.
+        def build(policy):
+            grid = Grid(8)
+            path = turns_path((0, 0), 8, 3)
+            return build_corridor_system(
+                grid, PARAMS, path.cells, token_policy=policy
+            )
+
+        policy = RandomTokenPolicy(random.Random(42))
+        system = build(policy)
+        system.run(20)
+        state_before = policy._rng.getstate()
+
+        copy = system.clone()
+        assert copy.token_policy is not policy
+        copy.run(50)
+        assert policy._rng.getstate() == state_before
+
+        # Original replays exactly like an undisturbed reference run.
+        reference = build(RandomTokenPolicy(random.Random(42)))
+        reference.run(20)
+        a = sum(system.update().consumed_count for _ in range(100))
+        b = sum(reference.update().consumed_count for _ in range(100))
         assert a == b

@@ -1,0 +1,175 @@
+"""Tests for the parallel sweep engine, checkpointing, and profiling.
+
+The load-bearing property is *scheduling independence*: a sweep's
+simulation outputs must be a pure function of its configs, never of the
+worker count, completion order, or a checkpoint round-trip. Only
+``phase_timings`` (a wall-clock measurement) may differ, which is exactly
+what ``SimulationResult.simulation_outputs()`` excludes.
+"""
+
+import json
+
+import pytest
+
+from repro.core.params import Parameters
+from repro.experiments import fig7
+from repro.metrics.latency import latency_stats, percentile
+from repro.sim.config import SimulationConfig
+from repro.sim.parallel import CheckpointMismatch, ParallelSweepRunner
+from repro.sim.profiling import PHASES, PhaseTimings
+from repro.sim.results import SimulationResult
+from repro.sim.runner import run_replications
+from repro.sim.simulator import build_simulation
+from repro.sim.sweep import Sweep
+
+PARAMS = Parameters(l=0.25, rs=0.05, v=0.2)
+PATH = tuple((1, j) for j in range(8))
+
+
+def corridor_config(**overrides) -> SimulationConfig:
+    base = dict(grid_width=8, params=PARAMS, rounds=150, path=PATH, seed=3)
+    base.update(overrides)
+    return SimulationConfig(**base)
+
+
+def fig7_slice(**kwargs):
+    """A small 8-point Figure 7 slice (2 velocities x 4 spacings)."""
+    return fig7.run(
+        rounds=120,
+        velocities=[0.1, 0.2],
+        spacings=[0.05, 0.15, 0.25, 0.35],
+        **kwargs,
+    )
+
+
+def outputs(result):
+    return [run.simulation_outputs() for run in result.runs]
+
+
+class TestParallelDeterminism:
+    def test_workers4_matches_serial_on_fig7_slice(self):
+        serial = fig7_slice()
+        parallel = fig7_slice(workers=4)
+        assert outputs(parallel) == outputs(serial)
+        # Same labels in the same order, too.
+        assert [r.extras["point"] for r in parallel.runs] == [
+            r.extras["point"] for r in serial.runs
+        ]
+
+    def test_workers_spawn_context_pickles(self):
+        # The CI smoke case: spawn re-imports everything in the child, so
+        # any unpicklable payload (configs, policies) surfaces here.
+        sweep = Sweep(name="spawn-smoke")
+        sweep.add("a", corridor_config(rounds=60), tag=1)
+        sweep.add("b", corridor_config(rounds=80), tag=2)
+        runner = ParallelSweepRunner(workers=2, mp_context="spawn")
+        points = [
+            (label, config, {"point": label, **extras})
+            for label, config, extras in sweep.points
+        ]
+        result = runner.run_sweep("spawn-smoke", points)
+        assert [r.rounds for r in result.runs] == [60, 80]
+
+    def test_replications_parallel_matches_serial(self):
+        config = corridor_config(rounds=100)
+        serial = run_replications(config, 3)
+        parallel = run_replications(config, 3, workers=2)
+        assert [r.simulation_outputs() for r in serial] == [
+            r.simulation_outputs() for r in parallel
+        ]
+        assert [r.extras["replication"] for r in parallel] == [0, 1, 2]
+
+    def test_workers_zero_means_cpu_count(self):
+        runner = ParallelSweepRunner(workers=0)
+        assert runner.workers >= 1
+
+
+class TestCheckpointing:
+    def test_checkpoint_written_per_point(self, tmp_path):
+        ckpt = tmp_path / "sweep.jsonl"
+        result = fig7_slice(checkpoint=ckpt, resume=True)
+        lines = [json.loads(line) for line in ckpt.read_text().splitlines()]
+        assert len(lines) == len(result.runs) == 8
+        assert {record["sweep"] for record in lines} == {"fig7"}
+        assert sorted(record["index"] for record in lines) == list(range(8))
+
+    def test_resume_skips_completed_points(self, tmp_path):
+        ckpt = tmp_path / "sweep.jsonl"
+        full = fig7_slice(checkpoint=ckpt, resume=True)
+        lines = ckpt.read_text().splitlines()
+
+        # Interrupt after 3 completed points; resume must only run the rest.
+        ckpt.write_text("\n".join(lines[:3]) + "\n")
+        events = []
+        resumed = fig7_slice(
+            checkpoint=ckpt, resume=True, workers=2, progress=events.append
+        )
+        assert outputs(resumed) == outputs(full)
+        assert sum("resumed" in event for event in events) == 3
+        assert sum("finished" in event for event in events) == 5
+        # The checkpoint is whole again after the resumed run.
+        assert len(ckpt.read_text().splitlines()) == 8
+
+    def test_fresh_run_truncates_stale_checkpoint(self, tmp_path):
+        ckpt = tmp_path / "sweep.jsonl"
+        fig7_slice(checkpoint=ckpt, resume=True)
+        fig7_slice(checkpoint=ckpt, resume=False)  # fresh: no stale mixing
+        assert len(ckpt.read_text().splitlines()) == 8
+
+    def test_mismatched_checkpoint_rejected(self, tmp_path):
+        ckpt = tmp_path / "sweep.jsonl"
+        fig7_slice(checkpoint=ckpt, resume=True)
+        sweep = Sweep(name="other")
+        sweep.add("a", corridor_config(rounds=60))
+        with pytest.raises(CheckpointMismatch):
+            sweep.run(checkpoint=ckpt, resume=True)
+
+
+class TestProfiling:
+    def test_phase_timings_reported(self):
+        result = build_simulation(corridor_config()).run()
+        timings = result.phase_timings
+        assert timings is not None
+        assert timings["rounds"] == 150
+        for phase in PHASES:
+            assert timings[phase] >= 0.0
+        assert timings["rounds_per_second"] > 0
+        phase_total = sum(timings[phase] for phase in PHASES)
+        assert phase_total <= timings["wall_time"] + 1e-6
+
+    def test_phase_timings_survive_json(self, tmp_path):
+        from repro.sim.results import SweepResult
+        from repro.sim.runner import run_config
+
+        sweep_result = SweepResult(name="demo")
+        sweep_result.add(run_config(corridor_config(rounds=60)))
+        path = sweep_result.save_json(tmp_path / "demo.json")
+        loaded = SweepResult.load_json(path)
+        assert loaded.runs[0].phase_timings == sweep_result.runs[0].phase_timings
+
+    def test_timings_roundtrip(self):
+        timings = PhaseTimings(route=1.0, signal=0.5, rounds=10, wall_time=2.0)
+        assert PhaseTimings.from_dict(timings.to_dict()) == timings
+        assert timings.rounds_per_second == pytest.approx(5.0)
+
+    def test_flat_row_has_rounds_per_second(self):
+        result = build_simulation(corridor_config(rounds=60)).run()
+        assert result.flat_row()["rounds_per_second"] > 0
+
+
+class TestP95Consistency:
+    def test_summarize_matches_latency_stats(self):
+        # Regression: summarize() used a raw-index p95 while
+        # metrics.latency interpolates — the same run reported two
+        # different values.
+        simulator = build_simulation(corridor_config(rounds=400))
+        result = simulator.run()
+        latencies = simulator.tracker.latencies()
+        assert len(latencies) > 1
+        assert result.p95_latency == latency_stats(latencies).p95
+
+    def test_percentile_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 0.5) == pytest.approx(2.5)
+        assert percentile([10.0], 0.95) == 10.0
+        with pytest.raises(ValueError):
+            percentile([], 0.95)
