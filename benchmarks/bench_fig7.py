@@ -7,7 +7,7 @@ Expected shape (asserted): throughput decreases in rs; faster cells win
 at mid-range rs; all curves saturate by rs ~ 0.55 (one entity per cell).
 """
 
-from conftest import horizon, run_once, workers
+from conftest import horizon, max_retries, point_timeout, run_once, workers
 
 from repro.analysis.ascii_plot import line_plot
 from repro.analysis.tables import format_series_table
@@ -19,7 +19,12 @@ DEFAULT_ROUNDS = 600
 def test_fig7_throughput_vs_safety_spacing(benchmark, results_dir):
     rounds = horizon(DEFAULT_ROUNDS, fig7.ROUNDS)
 
-    result = run_once(benchmark, lambda: fig7.run(rounds=rounds, workers=workers()))
+    result = run_once(benchmark, lambda: fig7.run(
+            rounds=rounds,
+            workers=workers(),
+            point_timeout=point_timeout(),
+            max_retries=max_retries(),
+        ))
 
     result.save_json(results_dir / "fig7.json")
     result.save_csv(results_dir / "fig7.csv")

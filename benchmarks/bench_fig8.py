@@ -8,7 +8,7 @@ the decrease saturates — the signaling at corners leaves roughly one
 entity per cell.
 """
 
-from conftest import horizon, run_once, workers
+from conftest import horizon, max_retries, point_timeout, run_once, workers
 
 from repro.analysis.ascii_plot import line_plot
 from repro.analysis.tables import format_series_table
@@ -20,7 +20,12 @@ DEFAULT_ROUNDS = 600
 def test_fig8_throughput_vs_turns(benchmark, results_dir):
     rounds = horizon(DEFAULT_ROUNDS, fig8.ROUNDS)
 
-    result = run_once(benchmark, lambda: fig8.run(rounds=rounds, workers=workers()))
+    result = run_once(benchmark, lambda: fig8.run(
+            rounds=rounds,
+            workers=workers(),
+            point_timeout=point_timeout(),
+            max_retries=max_retries(),
+        ))
 
     result.save_json(results_dir / "fig8.json")
     result.save_csv(results_dir / "fig8.csv")

@@ -9,7 +9,7 @@ Expected shape (asserted): throughput decreases in pf, increases in pr,
 with diminishing returns from successive pr increments.
 """
 
-from conftest import horizon, run_once, workers
+from conftest import horizon, max_retries, point_timeout, run_once, workers
 
 from repro.analysis.ascii_plot import line_plot
 from repro.analysis.tables import format_series_table
@@ -21,7 +21,12 @@ DEFAULT_ROUNDS = 3000
 def test_fig9_throughput_under_failures(benchmark, results_dir):
     rounds = horizon(DEFAULT_ROUNDS, fig9.ROUNDS)
 
-    result = run_once(benchmark, lambda: fig9.run(rounds=rounds, workers=workers()))
+    result = run_once(benchmark, lambda: fig9.run(
+            rounds=rounds,
+            workers=workers(),
+            point_timeout=point_timeout(),
+            max_retries=max_retries(),
+        ))
 
     result.save_json(results_dir / "fig9.json")
     result.save_csv(results_dir / "fig9.csv")

@@ -8,7 +8,7 @@ bound the simulation can measure. Each gets a regenerator here:
   measured values should sit far below the bound.
 """
 
-from conftest import horizon, run_once, workers
+from conftest import horizon, max_retries, point_timeout, run_once, workers
 
 from repro.analysis.tables import format_table
 from repro.experiments import pathlen, stabilization
@@ -16,7 +16,12 @@ from repro.experiments import pathlen, stabilization
 
 def test_throughput_independent_of_path_length(benchmark, results_dir):
     rounds = horizon(1200, pathlen.ROUNDS)
-    result = run_once(benchmark, lambda: pathlen.run(rounds=rounds, workers=workers()))
+    result = run_once(benchmark, lambda: pathlen.run(
+            rounds=rounds,
+            workers=workers(),
+            point_timeout=point_timeout(),
+            max_retries=max_retries(),
+        ))
     result.save_json(results_dir / "pathlen.json")
     print()
     print("Throughput vs straight-path length (paper: flat for large K)")

@@ -15,6 +15,13 @@ Parallelism: set ``REPRO_WORKERS=<n>`` (or ``0`` for one worker per CPU)
 to fan each figure sweep out over a process pool — results are identical
 to serial execution (the sweeps are deterministic per point), only the
 wall clock changes.
+
+Supervision: set ``REPRO_POINT_TIMEOUT=<seconds>`` to kill and retry
+sweep points that hang past a wall-clock budget, and
+``REPRO_MAX_RETRIES=<n>`` to change the per-point retry budget (default
+2). Retries re-run the identical seeded config, so supervised results
+stay identical to serial execution; an unattended overnight harness run
+cannot be stalled by a single wedged point.
 """
 
 from __future__ import annotations
@@ -44,6 +51,17 @@ def horizon(default: int, paper: int) -> Optional[int]:
 def workers() -> int:
     """Process count for sweep execution (``REPRO_WORKERS``, default 1)."""
     return int(os.environ.get("REPRO_WORKERS", "1"))
+
+
+def point_timeout() -> Optional[float]:
+    """Per-point wall-clock budget (``REPRO_POINT_TIMEOUT``, default off)."""
+    override = os.environ.get("REPRO_POINT_TIMEOUT")
+    return float(override) if override else None
+
+
+def max_retries() -> int:
+    """Per-point retry budget (``REPRO_MAX_RETRIES``, default 2)."""
+    return int(os.environ.get("REPRO_MAX_RETRIES", "2"))
 
 
 @pytest.fixture

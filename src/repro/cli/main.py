@@ -95,7 +95,14 @@ def _cmd_watch(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Exit code when sweep points failed structurally (supervision exhausted
+#: their retries) — distinct from 1, which means a shape check failed.
+EXIT_POINTS_FAILED = 3
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.sim.supervisor import PointFailureError
+
     experiment = get_experiment(args.name)
     rounds = args.rounds  # None = the paper's horizon
     print(f"# {experiment.name}: {experiment.description}")
@@ -108,13 +115,40 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         checkpoint = Path(args.out or ".") / f"{experiment.name}.checkpoint.jsonl"
     if args.workers != 1:
         print(f"# workers: {args.workers}", file=sys.stderr)
-    result = experiment.run(
-        rounds=rounds,
-        progress=lambda message: print(message, file=sys.stderr),
-        workers=args.workers,
-        checkpoint=checkpoint,
-        resume=args.resume,
-    )
+    try:
+        result = experiment.run(
+            rounds=rounds,
+            progress=lambda message: print(message, file=sys.stderr),
+            workers=args.workers,
+            checkpoint=checkpoint,
+            resume=args.resume,
+            point_timeout=args.point_timeout,
+            max_retries=args.max_retries,
+            strict=args.strict,
+        )
+    except PointFailureError as error:
+        print(f"strict mode abort: {error}", file=sys.stderr)
+        return EXIT_POINTS_FAILED
+    if result.failures:
+        for failure in result.failures:
+            print(
+                f"FAILED point {failure.label}: {failure.kind} after "
+                f"{failure.attempts} attempt(s) — {failure.error_type}: "
+                f"{failure.message}",
+                file=sys.stderr,
+            )
+        print(
+            f"# {len(result.failures)} of "
+            f"{len(result.runs) + len(result.failures)} points failed; "
+            f"tables and shape checks skipped",
+            file=sys.stderr,
+        )
+        if args.out:
+            out_dir = Path(args.out)
+            json_path = result.save_json(out_dir / f"{experiment.name}.json")
+            csv_path = result.save_csv(out_dir / f"{experiment.name}.csv")
+            print(f"saved {json_path} and {csv_path} (partial)")
+        return EXIT_POINTS_FAILED
     curves = experiment.series(result)
     x_label = {
         "fig7": "rs",
@@ -261,7 +295,31 @@ def build_parser() -> argparse.ArgumentParser:
     experiment_parser.add_argument(
         "--resume",
         action="store_true",
-        help="skip sweep points already recorded in the checkpoint file",
+        help="skip sweep points already recorded in the checkpoint file "
+        "(a torn final line is dropped and re-run; records whose config "
+        "fingerprint changed are rejected)",
+    )
+    experiment_parser.add_argument(
+        "--point-timeout",
+        type=float,
+        default=None,
+        help="wall-clock seconds per point attempt; a point that exceeds it "
+        "has its worker killed and the attempt counts as failed",
+    )
+    experiment_parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="re-runs per failing point before it is recorded as a "
+        "structured failure (default 2; retries are bit-identical re-runs "
+        "of the same seeded config)",
+    )
+    experiment_parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail fast: abort the sweep on the first point that exhausts "
+        "its retries instead of degrading gracefully (exit code 3 either way "
+        "when points fail)",
     )
     experiment_parser.set_defaults(handler=_cmd_experiment)
 

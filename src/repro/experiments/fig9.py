@@ -73,15 +73,31 @@ def run(
     workers: int = 1,
     checkpoint=None,
     resume: bool = False,
+    point_timeout: Optional[float] = None,
+    max_retries: int = 2,
+    strict: bool = False,
 ) -> SweepResult:
-    """Execute the Figure 9 sweep (optionally over ``workers`` processes)."""
+    """Execute the Figure 9 sweep (optionally over ``workers`` processes).
+
+    Execution is supervised (retries / per-point timeout / worker-death
+    recovery — see :mod:`repro.sim.supervisor`); exhausted points land
+    on ``SweepResult.failures`` unless ``strict`` restores fail-fast.
+    """
     return build_sweep(
         rounds=rounds,
         fail_probs=fail_probs,
         recover_probs=recover_probs,
         seed=seed,
         monitors=monitors,
-    ).run(progress, workers=workers, checkpoint=checkpoint, resume=resume)
+    ).run(
+        progress,
+        workers=workers,
+        checkpoint=checkpoint,
+        resume=resume,
+        point_timeout=point_timeout,
+        max_retries=max_retries,
+        strict=strict,
+    )
 
 
 def series(result: SweepResult) -> Dict[float, List[Tuple[float, float]]]:

@@ -22,8 +22,12 @@ class Experiment:
     paper_rounds: int
     run: Callable[..., SweepResult]
     """Executes the sweep. Every registered runner accepts ``rounds``,
-    ``progress``, and the parallel-engine keywords ``workers`` /
-    ``checkpoint`` / ``resume`` (see :mod:`repro.sim.parallel`)."""
+    ``progress``, the parallel-engine keywords ``workers`` /
+    ``checkpoint`` / ``resume`` (see :mod:`repro.sim.parallel`), and the
+    supervision keywords ``point_timeout`` / ``max_retries`` / ``strict``
+    (see :mod:`repro.sim.supervisor`). Unless ``strict``, a returned
+    :class:`SweepResult` may carry ``failures`` for points that exhausted
+    their retry budget."""
     series: Callable[[SweepResult], dict]
     shape_checks: Callable[[SweepResult], Dict[str, bool]]
 

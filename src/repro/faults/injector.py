@@ -3,30 +3,54 @@
 The injector owns its own rng stream (independent of the system's source
 rng) so that fault randomness and arrival randomness can be seeded and
 varied independently across experiment repetitions.
+
+The per-round decision history is bounded by default (a long soak run —
+Figure 9 uses K = 20000, and the ROADMAP points much further — must not
+grow memory linearly with rounds); pass ``history_limit=None`` to keep
+every decision. Aggregate counters (``total_failures`` /
+``total_recoveries``) and ``last_disruption_round`` are exact regardless
+of the cap.
 """
 
 from __future__ import annotations
 
 import random
-from typing import List, Optional
+from collections import deque
+from typing import Deque, Optional
 
 from repro.core.system import System
 from repro.faults.model import FaultDecision, FaultModel, NoFaults
 
+#: Default cap on retained per-round decisions. Mirrored by
+#: :class:`repro.netsim.network.NetworkStats` for its per-delivery
+#: history, so both soak-sensitive ring buffers share one convention.
+DEFAULT_HISTORY_LIMIT = 10_000
+
 
 class FaultInjector:
-    """Per-round driver: consult the model, apply fail/recover to the system."""
+    """Per-round driver: consult the model, apply fail/recover to the system.
+
+    ``history`` keeps the most recent ``history_limit`` decisions
+    (``None`` = unbounded, the pre-cap behavior).
+    """
 
     def __init__(
         self,
         model: Optional[FaultModel] = None,
         rng: Optional[random.Random] = None,
+        history_limit: Optional[int] = DEFAULT_HISTORY_LIMIT,
     ):
+        if history_limit is not None and history_limit <= 0:
+            raise ValueError(
+                f"history_limit must be positive or None, got {history_limit}"
+            )
         self.model = model or NoFaults()
         self.rng = rng or random.Random(0)
-        self.history: List[FaultDecision] = []
+        self.history: Deque[FaultDecision] = deque(maxlen=history_limit)
         self.total_failures = 0
         self.total_recoveries = 0
+        self.rounds_applied = 0
+        self._last_disruption: Optional[int] = None
 
     def apply(self, system: System) -> FaultDecision:
         """Decide and apply this round's fault events (before ``update``)."""
@@ -38,14 +62,18 @@ class FaultInjector:
         for cid in sorted(decision.recover):
             system.recover(cid)
         self.history.append(decision)
+        if not decision.is_quiet:
+            self._last_disruption = self.rounds_applied
+        self.rounds_applied += 1
         self.total_failures += len(decision.fail)
         self.total_recoveries += len(decision.recover)
         return decision
 
     @property
     def last_disruption_round(self) -> Optional[int]:
-        """Index of the most recent round with any fault activity."""
-        for index in range(len(self.history) - 1, -1, -1):
-            if not self.history[index].is_quiet:
-                return index
-        return None
+        """Index of the most recent round with any fault activity.
+
+        Tracked incrementally, so it stays exact even after older
+        decisions have been evicted from the bounded ``history``.
+        """
+        return self._last_disruption

@@ -13,25 +13,52 @@ communication cost measurable (messages per round, per cell).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Set, Type
+from typing import Deque, Dict, Iterable, List, Optional, Set, Type
 
 from repro.grid.topology import CellId
 from repro.netsim.message import Message
 
+#: Default cap on the retained per-delivery history — the same
+#: convention as ``repro.faults.injector.DEFAULT_HISTORY_LIMIT``, so a
+#: long soak run cannot grow memory linearly with rounds. ``None`` opts
+#: out (unbounded).
+DEFAULT_HISTORY_LIMIT = 10_000
+
 
 @dataclass
 class NetworkStats:
-    """Cumulative message accounting."""
+    """Cumulative message accounting.
+
+    The aggregate counters are exact for the whole run;
+    ``delivered_history`` (messages handed over per ``deliver`` call,
+    i.e. per sub-round) is a bounded ring buffer keeping the most recent
+    ``history_limit`` samples.
+    """
 
     sent_by_type: Dict[str, int] = field(default_factory=dict)
     suppressed_from_crashed: int = 0
     delivered: int = 0
+    history_limit: Optional[int] = DEFAULT_HISTORY_LIMIT
+    delivered_history: Deque[int] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.history_limit is not None and self.history_limit <= 0:
+            raise ValueError(
+                f"history_limit must be positive or None, got {self.history_limit}"
+            )
+        self.delivered_history = deque(maxlen=self.history_limit)
 
     def record_sent(self, message: Message) -> None:
         """Count one sent message by its type name."""
         name = type(message).__name__
         self.sent_by_type[name] = self.sent_by_type.get(name, 0) + 1
+
+    def record_delivery(self, count: int) -> None:
+        """Record one ``deliver`` batch (bounded per-sub-round history)."""
+        self.delivered += count
+        self.delivered_history.append(count)
 
     @property
     def total_sent(self) -> int:
@@ -41,11 +68,11 @@ class NetworkStats:
 class SynchronousNetwork:
     """Per-sub-round mailboxes over a fixed neighbor topology."""
 
-    def __init__(self, grid):
+    def __init__(self, grid, history_limit: Optional[int] = DEFAULT_HISTORY_LIMIT):
         self.grid = grid
         self._outbox: List[Message] = []
         self._crashed: Set[CellId] = set()
-        self.stats = NetworkStats()
+        self.stats = NetworkStats(history_limit=history_limit)
 
     # ------------------------------------------------------------------
 
@@ -87,7 +114,7 @@ class SynchronousNetwork:
             self._outbox, key=lambda m: (m.src, type(m).__name__)
         ):
             inboxes.setdefault(message.dst, []).append(message)
-            self.stats.delivered += 1
+        self.stats.record_delivery(len(self._outbox))
         self._outbox = []
         return inboxes
 

@@ -6,24 +6,30 @@ measurement (:mod:`repro.metrics`) into reproducible experiments.
 """
 
 from repro.sim.config import FaultSpec, SimulationConfig
-from repro.sim.parallel import ParallelSweepRunner
+from repro.sim.parallel import CheckpointMismatch, ParallelSweepRunner
 from repro.sim.profiling import PhaseProfiler, PhaseTimings
-from repro.sim.results import SimulationResult, SweepResult
+from repro.sim.results import PointFailure, SimulationResult, SweepResult
 from repro.sim.runner import run_config, run_replications
 from repro.sim.seeding import derive_seed
 from repro.sim.simulator import Simulator, build_simulation
+from repro.sim.supervisor import PointFailureError, RetryPolicy, SweepSupervisor
 from repro.sim.sweep import Sweep, sweep_grid
 
 __all__ = [
+    "CheckpointMismatch",
     "FaultSpec",
     "ParallelSweepRunner",
     "PhaseProfiler",
     "PhaseTimings",
+    "PointFailure",
+    "PointFailureError",
+    "RetryPolicy",
     "SimulationConfig",
     "SimulationResult",
     "Simulator",
     "Sweep",
     "SweepResult",
+    "SweepSupervisor",
     "build_simulation",
     "derive_seed",
     "run_config",

@@ -9,6 +9,8 @@ can embed them.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import asdict, dataclass, field
 from typing import Dict, Optional, Tuple
 
@@ -88,6 +90,19 @@ class SimulationConfig:
         data = asdict(self)
         data["params"] = {"l": self.params.l, "rs": self.params.rs, "v": self.params.v}
         return data
+
+    def fingerprint(self) -> str:
+        """Stable 16-hex-digit digest of the full config.
+
+        Checkpoint records carry this so that resuming a sweep after
+        *any* parameter change (seed, horizon, fault model, ...) rejects
+        the stale results instead of silently replaying them. Computed
+        over the canonical JSON of :meth:`to_dict` (sorted keys, tuples
+        normalized to lists), so a config survives a dict round-trip
+        with its fingerprint intact.
+        """
+        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
     @classmethod
     def from_dict(cls, data: Dict) -> "SimulationConfig":

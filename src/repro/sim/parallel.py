@@ -1,44 +1,74 @@
-"""Parallel sweep execution with checkpoint/resume.
+"""Parallel sweep execution with supervision and crash-safe checkpoints.
 
 The figure sweeps are embarrassingly parallel: every point is an
 independent ``(label, config, extras)`` triple whose randomness is fully
 determined by ``config.seed`` (all streams derive from it via
-:mod:`repro.sim.seeding`), so fanning points out over a process pool
+:mod:`repro.sim.seeding`), so fanning points out over worker processes
 cannot change any result — only the wall clock. :class:`ParallelSweepRunner`
-provides that fan-out with three guarantees:
+provides that fan-out with four guarantees:
 
 * **Determinism** — each worker runs the exact same
   :func:`repro.sim.runner.run_config` call the serial loop would, with
   the config's own seed; per-point RNG streams come from
   :func:`repro.sim.seeding.derive_rng` inside ``build_simulation`` and
-  never depend on scheduling.
+  never depend on scheduling. Retries re-run the identical seeded
+  config, so a point that succeeds on attempt 3 is bit-identical to one
+  that succeeded on attempt 1.
 * **Order** — results are reassembled by point index, so the returned
   :class:`~repro.sim.results.SweepResult` is identical (modulo the
   measured ``phase_timings``) to serial execution, whatever order
   workers finish in.
 * **Resumability** — every completed point is appended to a JSON-lines
-  checkpoint as soon as it finishes; a rerun with ``resume=True`` skips
-  those points and only executes the remainder.
+  checkpoint (one fsynced ``write`` per record) as soon as it finishes;
+  a rerun with ``resume=True`` skips those points and only executes the
+  remainder. Records carry a schema version and a config fingerprint:
+  resuming after a parameter change is *rejected* instead of silently
+  replaying stale results, and a torn final line (process killed
+  mid-append) is dropped with a warning and that point re-run.
+* **Graceful degradation** — execution is supervised
+  (:class:`~repro.sim.supervisor.SweepSupervisor`): points that raise
+  are retried with exponential backoff, hung points are killed after
+  ``point_timeout`` seconds, and a worker that vanishes (OOM kill,
+  segfault) is reaped, replaced, and its in-flight point rescheduled.
+  A sweep always terminates; exhausted points surface as structured
+  :class:`~repro.sim.results.PointFailure` records on the
+  ``SweepResult`` — unless ``strict=True``, which restores fail-fast by
+  raising :class:`~repro.sim.supervisor.PointFailureError`.
 
 Entry points: :meth:`ParallelSweepRunner.run_points` (generic) and
 :meth:`Sweep.run(workers=N) <repro.sim.sweep.Sweep.run>` /
-``run_replications(workers=N)`` which delegate here.
+``run_replications(workers=N)`` which delegate here. The failure
+taxonomy and retry semantics are documented in ``docs/resilience.md``.
 """
 
 from __future__ import annotations
 
 import json
-import multiprocessing
 import os
+import warnings
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.sim.config import SimulationConfig
-from repro.sim.results import SimulationResult, SweepResult
+from repro.sim.results import PointFailure, SimulationResult, SweepResult
 from repro.sim.runner import run_config
+from repro.sim.supervisor import (
+    PointFailureError,
+    RetryPolicy,
+    SweepSupervisor,
+    WorkFunction,
+)
 
 #: One unit of work: (index, label, config, extras-to-annotate).
 PointPayload = Tuple[int, str, SimulationConfig, Dict]
+
+#: What :meth:`ParallelSweepRunner.run_points` returns per point.
+PointResult = Union[SimulationResult, PointFailure]
+
+#: Version stamp written into every checkpoint record. Bump when the
+#: record shape changes; loading rejects records from a *newer* schema
+#: and accepts older ones (schema 1 predates config fingerprints).
+CHECKPOINT_SCHEMA = 2
 
 
 def _execute_point(payload: PointPayload) -> Tuple[int, SimulationResult]:
@@ -52,27 +82,47 @@ class CheckpointMismatch(RuntimeError):
 
 
 class ParallelSweepRunner:
-    """Executes labeled simulation points over a ``multiprocessing`` pool.
+    """Executes labeled simulation points under a supervised worker pool.
 
     Parameters
     ----------
     workers:
         Process count. ``1`` (or ``None``) runs in-process — still useful
-        for checkpointed serial runs. ``0``/negative means ``os.cpu_count()``.
+        for checkpointed serial runs — unless ``point_timeout`` is set,
+        which forces process isolation. ``0``/negative means
+        ``os.cpu_count()``.
     checkpoint:
         Optional JSON-lines path recording each completed point. Written
-        incrementally (one flushed line per point) so an interrupted run
-        loses at most the in-flight points.
+        incrementally (one fsynced append per point) so an interrupted
+        run loses at most the in-flight points.
     resume:
         When True and the checkpoint exists, completed points are loaded
-        from it and skipped. When False an existing checkpoint is
-        truncated — a fresh run never silently mixes stale results.
+        from it and skipped; a torn final line is dropped (warning) and
+        its point re-run, and records whose config fingerprint no longer
+        matches the sweep raise :class:`CheckpointMismatch`. When False
+        an existing checkpoint is truncated — a fresh run never silently
+        mixes stale results.
     progress:
         Callback receiving one human-readable line per point event.
     mp_context:
         Optional ``multiprocessing`` context name (``"fork"``/``"spawn"``).
         The default context of the platform is used when omitted; CI runs
         the smoke test under ``spawn`` to catch pickling regressions.
+    point_timeout:
+        Optional wall-clock seconds per attempt; a point that exceeds it
+        has its worker killed and the attempt counts as failed.
+    max_retries / backoff_base / retry:
+        Retry budget per point (see
+        :class:`~repro.sim.supervisor.RetryPolicy`); ``retry`` overrides
+        the two scalars when given.
+    strict:
+        Restore fail-fast: raise
+        :class:`~repro.sim.supervisor.PointFailureError` as soon as any
+        point exhausts its budget, instead of recording a
+        :class:`~repro.sim.results.PointFailure` and carrying on.
+    work:
+        The work function (module-level, picklable). Overridable for the
+        chaos tests; production uses :func:`_execute_point`.
     """
 
     def __init__(
@@ -82,6 +132,12 @@ class ParallelSweepRunner:
         resume: bool = False,
         progress: Callable[[str], None] = lambda message: None,
         mp_context: Optional[str] = None,
+        point_timeout: Optional[float] = None,
+        max_retries: int = 2,
+        backoff_base: float = 0.25,
+        retry: Optional[RetryPolicy] = None,
+        strict: bool = False,
+        work: WorkFunction = _execute_point,
     ):
         if workers is None:
             workers = 1
@@ -92,6 +148,12 @@ class ParallelSweepRunner:
         self.resume = resume
         self.progress = progress
         self.mp_context = mp_context
+        self.retry = retry or RetryPolicy(
+            max_retries=max_retries, backoff_base=backoff_base
+        )
+        self.point_timeout = point_timeout
+        self.strict = strict
+        self.work = work
 
     # ------------------------------------------------------------------
     # Checkpointing
@@ -100,49 +162,139 @@ class ParallelSweepRunner:
     def _load_checkpoint(
         self, name: str, points: Sequence[Tuple[str, SimulationConfig, Dict]]
     ) -> Dict[int, SimulationResult]:
-        """Completed results keyed by point index, validated against labels."""
+        """Completed results keyed by point index, fully validated.
+
+        Tolerates exactly one torn *final* line (the signature of a
+        process killed mid-append): it is dropped with a warning, the
+        file repaired, and that point re-run. Corruption anywhere else,
+        a schema from the future, a foreign sweep, or a config
+        fingerprint mismatch raise :class:`CheckpointMismatch`.
+        """
         if self.checkpoint is None or not self.checkpoint.exists():
             return {}
         if not self.resume:
             self.checkpoint.unlink()
             return {}
+        text = self.checkpoint.read_text()
+        content = [
+            (number, line)
+            for number, line in enumerate(text.split("\n"), start=1)
+            if line.strip()
+        ]
         completed: Dict[int, SimulationResult] = {}
-        for line_number, line in enumerate(
-            self.checkpoint.read_text().splitlines(), start=1
-        ):
-            if not line.strip():
-                continue
-            record = json.loads(line)
-            index = record["index"]
-            if record.get("sweep") != name:
+        good_lines: List[str] = []
+        torn = False
+        for position, (line_number, line) in enumerate(content):
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                if position == len(content) - 1:
+                    torn = True
+                    message = (
+                        f"{self.checkpoint}:{line_number} is a torn final "
+                        f"line (interrupted mid-append); dropping it — that "
+                        f"point will be re-run"
+                    )
+                    warnings.warn(message, RuntimeWarning, stacklevel=2)
+                    self.progress(f"[{name}] {message}")
+                    break
                 raise CheckpointMismatch(
-                    f"{self.checkpoint}:{line_number} belongs to sweep "
-                    f"{record.get('sweep')!r}, not {name!r}"
-                )
-            if index >= len(points) or record["label"] != points[index][0]:
-                raise CheckpointMismatch(
-                    f"{self.checkpoint}:{line_number} records point "
-                    f"{index} = {record['label']!r}, which does not match "
-                    f"the sweep being resumed"
-                )
-            completed[index] = SimulationResult.from_dict(record["result"])
+                    f"{self.checkpoint}:{line_number} is corrupt mid-file "
+                    f"({error}); refusing to resume from a damaged checkpoint"
+                ) from error
+            completed.update(self._validate_record(name, points, line_number, record))
+            good_lines.append(line)
+        # Repair the file so future appends start on a fresh line: drop a
+        # torn tail and restore a missing trailing newline, atomically.
+        if torn or (good_lines and not text.endswith("\n")):
+            self._rewrite_checkpoint(good_lines)
         return completed
 
+    def _validate_record(
+        self,
+        name: str,
+        points: Sequence[Tuple[str, SimulationConfig, Dict]],
+        line_number: int,
+        record: Dict,
+    ) -> Dict[int, SimulationResult]:
+        schema = record.get("schema", 1)
+        if not isinstance(schema, int) or schema > CHECKPOINT_SCHEMA:
+            raise CheckpointMismatch(
+                f"{self.checkpoint}:{line_number} uses checkpoint schema "
+                f"{schema!r}; this build reads schemas up to {CHECKPOINT_SCHEMA}"
+            )
+        if record.get("sweep") != name:
+            raise CheckpointMismatch(
+                f"{self.checkpoint}:{line_number} belongs to sweep "
+                f"{record.get('sweep')!r}, not {name!r}"
+            )
+        index = record.get("index")
+        if (
+            not isinstance(index, int)
+            or index >= len(points)
+            or record.get("label") != points[index][0]
+        ):
+            raise CheckpointMismatch(
+                f"{self.checkpoint}:{line_number} records point "
+                f"{index} = {record.get('label')!r}, which does not match "
+                f"the sweep being resumed"
+            )
+        if "result" not in record:
+            raise CheckpointMismatch(
+                f"{self.checkpoint}:{line_number} has no result payload"
+            )
+        if schema >= 2:
+            expected = points[index][1].fingerprint()
+            recorded = record.get("config_fingerprint")
+            if recorded != expected:
+                raise CheckpointMismatch(
+                    f"{self.checkpoint}:{line_number} records point "
+                    f"{record['label']!r} under config fingerprint "
+                    f"{recorded}, but the sweep now builds {expected} — "
+                    f"parameters changed since the checkpoint was written; "
+                    f"refusing stale results (delete the checkpoint or run "
+                    f"without resume)"
+                )
+        else:
+            self.progress(
+                f"[{name}] {self.checkpoint}:{line_number} predates config "
+                f"fingerprints (schema 1); accepted on label match only"
+            )
+        return {index: SimulationResult.from_dict(record["result"])}
+
+    def _rewrite_checkpoint(self, lines: List[str]) -> None:
+        """Atomically replace the checkpoint with the validated lines."""
+        assert self.checkpoint is not None
+        repair = self.checkpoint.with_suffix(self.checkpoint.suffix + ".repair")
+        repair.write_text("".join(line + "\n" for line in lines))
+        os.replace(repair, self.checkpoint)
+
     def _append_checkpoint(
-        self, name: str, index: int, label: str, result: SimulationResult
+        self,
+        name: str,
+        index: int,
+        label: str,
+        config: SimulationConfig,
+        result: SimulationResult,
     ) -> None:
         if self.checkpoint is None:
             return
         self.checkpoint.parent.mkdir(parents=True, exist_ok=True)
         record = {
+            "schema": CHECKPOINT_SCHEMA,
             "sweep": name,
             "index": index,
             "label": label,
+            "config_fingerprint": config.fingerprint(),
             "result": result.to_dict(),
         }
-        with self.checkpoint.open("a") as handle:
-            handle.write(json.dumps(record) + "\n")
+        # One write + fsync per record: a crash can tear at most the final
+        # line, which _load_checkpoint detects and drops on resume.
+        data = (json.dumps(record) + "\n").encode("utf-8")
+        with self.checkpoint.open("ab") as handle:
+            handle.write(data)
             handle.flush()
+            os.fsync(handle.fileno())
 
     # ------------------------------------------------------------------
     # Execution
@@ -150,49 +302,57 @@ class ParallelSweepRunner:
 
     def run_points(
         self, name: str, points: Sequence[Tuple[str, SimulationConfig, Dict]]
-    ) -> List[SimulationResult]:
-        """Execute ``(label, config, extras)`` points; return them in order."""
-        results = self._load_checkpoint(name, points)
-        for index in results:
+    ) -> List[PointResult]:
+        """Execute ``(label, config, extras)`` points; return them in order.
+
+        Each entry is a :class:`SimulationResult`, or a
+        :class:`~repro.sim.results.PointFailure` for a point that
+        exhausted its retry budget (never raised unless ``strict``).
+        """
+        outcomes: Dict[int, PointResult] = dict(
+            self._load_checkpoint(name, points)
+        )
+        for index in outcomes:
             self.progress(f"[{name}] resumed {points[index][0]} from checkpoint")
         payloads: List[PointPayload] = [
             (index, label, config, extras)
             for index, (label, config, extras) in enumerate(points)
-            if index not in results
+            if index not in outcomes
         ]
-        for index, result in self._execute(payloads):
-            label = points[index][0]
-            self._append_checkpoint(name, index, label, result)
-            self.progress(f"[{name}] finished {label}")
-            results[index] = result
-        return [results[index] for index in range(len(points))]
-
-    def _execute(self, payloads: List[PointPayload]):
-        """Yield (index, result) pairs as points complete."""
-        if not payloads:
-            return
-        if self.workers == 1:
-            for payload in payloads:
-                yield _execute_point(payload)
-            return
-        context = (
-            multiprocessing.get_context(self.mp_context)
-            if self.mp_context
-            else multiprocessing.get_context()
+        supervisor = SweepSupervisor(
+            work=self.work,
+            workers=self.workers,
+            retry=self.retry,
+            point_timeout=self.point_timeout,
+            mp_context=self.mp_context,
+            progress=self.progress,
         )
-        # Never spin up more processes than there is work.
-        processes = min(self.workers, len(payloads))
-        with context.Pool(processes=processes) as pool:
-            # Unordered: checkpoint lines land as soon as any point is
-            # done; run_points reassembles by index afterwards.
-            for index, result in pool.imap_unordered(_execute_point, payloads):
-                yield index, result
+        for index, outcome in supervisor.run(name, payloads):
+            label = points[index][0]
+            if isinstance(outcome, PointFailure):
+                if self.strict:
+                    raise PointFailureError(outcome)
+                outcomes[index] = outcome
+            else:
+                self._append_checkpoint(
+                    name, index, label, points[index][1], outcome
+                )
+                self.progress(f"[{name}] finished {label}")
+                outcomes[index] = outcome
+        return [outcomes[index] for index in range(len(points))]
 
     def run_sweep(
         self, name: str, points: Sequence[Tuple[str, SimulationConfig, Dict]]
     ) -> SweepResult:
-        """Like :meth:`run_points`, bundled into a :class:`SweepResult`."""
+        """Like :meth:`run_points`, bundled into a :class:`SweepResult`.
+
+        Successful points land in ``result.runs`` (in point order);
+        exhausted points in ``result.failures``.
+        """
         result = SweepResult(name=name)
-        for run in self.run_points(name, points):
-            result.add(run)
+        for outcome in self.run_points(name, points):
+            if isinstance(outcome, PointFailure):
+                result.add_failure(outcome)
+            else:
+                result.add(outcome)
         return result

@@ -23,14 +23,25 @@ def run_replications(
     replications: int,
     master_seed: Optional[int] = None,
     workers: int = 1,
+    point_timeout: Optional[float] = None,
+    max_retries: int = 2,
+    strict: bool = True,
     **extras,
 ) -> List[SimulationResult]:
     """Run ``replications`` independent copies with derived seeds.
 
     Seeds are derived from ``master_seed`` (default: the config's seed) and
     the replication index, so adding replications never perturbs existing
-    ones. ``workers > 1`` fans the replications out over a process pool;
-    results come back in replication order either way.
+    ones. ``workers > 1`` fans the replications out over a supervised
+    process pool; results come back in replication order either way.
+
+    Execution is supervised (retries, ``point_timeout``, worker-death
+    recovery — see :mod:`repro.sim.supervisor`). Because callers consume
+    the returned list positionally, ``strict`` defaults to **True** here:
+    a replication that exhausts its retry budget raises
+    :class:`~repro.sim.supervisor.PointFailureError` rather than leaving
+    a :class:`~repro.sim.results.PointFailure` hole in the list. Pass
+    ``strict=False`` to receive the mixed outcome list instead.
     """
     if replications <= 0:
         raise ValueError(f"replications must be positive, got {replications}")
@@ -43,12 +54,12 @@ def run_replications(
         )
         for index in range(replications)
     ]
-    if workers != 1:
-        from repro.sim.parallel import ParallelSweepRunner
+    from repro.sim.parallel import ParallelSweepRunner
 
-        runner = ParallelSweepRunner(workers=workers)
-        return runner.run_points("replications", seeded_points)
-    return [
-        run_config(seeded, **point_extras)
-        for _label, seeded, point_extras in seeded_points
-    ]
+    runner = ParallelSweepRunner(
+        workers=workers,
+        point_timeout=point_timeout,
+        max_retries=max_retries,
+        strict=strict,
+    )
+    return runner.run_points("replications", seeded_points)

@@ -1,0 +1,574 @@
+"""Supervised execution of sweep points: retries, timeouts, crash recovery.
+
+The parallel engine of :mod:`repro.sim.parallel` originally assumed a
+friendly world: every point returns, no worker process dies, nothing
+hangs. This module drops that assumption, in the spirit of the paper's
+own observation model — a silent neighbor is indistinguishable from a
+crashed one, so the only robust harness treats a missing answer as a
+failure — and layers three guarantees on top of the runner's
+determinism/order/resume contract:
+
+* **Bounded retries** — a point that raises (or whose worker dies, or
+  that exceeds the per-point wall-clock timeout) is re-run up to
+  :attr:`RetryPolicy.max_retries` times with exponential backoff. A
+  retry re-executes the *identical* seeded config, so a successful retry
+  is bit-identical to a first-try success.
+* **Worker-crash recovery** — each worker process is watched over its
+  own duplex pipe; a vanished worker (OOM kill, SIGKILL, segfault) is
+  detected as EOF on that pipe, reaped, replaced, and its in-flight
+  point rescheduled.
+* **Graceful degradation** — a sweep always terminates. A point that
+  exhausts its budget yields a structured
+  :class:`~repro.sim.results.PointFailure` (kind, exception type,
+  message, traceback, attempts, elapsed) instead of tearing down the
+  whole run.
+
+The supervisor is transport-generic: ``work`` is any module-level
+callable mapping one payload ``(index, label, config, extras)`` to
+``(index, result)``. Production passes
+``repro.sim.parallel._execute_point``; the chaos tests inject functions
+that raise, hang, or SIGKILL their own process to prove each guarantee.
+
+Scheduling notes: with ``workers == 1`` and no timeout the supervisor
+runs points in-process (preserving the checkpointed-serial fast path);
+any timeout forces process isolation, because a hung in-process point
+cannot be interrupted. Backoff in pool mode is non-blocking — a waiting
+retry never idles a worker that has other points to run.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import traceback as traceback_module
+from dataclasses import dataclass
+from multiprocessing.connection import wait as _connection_wait
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.sim.results import PointFailure
+
+#: One unit of work: (index, label, config, extras-to-annotate).
+PointPayload = Tuple[int, str, object, Dict]
+
+#: ``work``: payload -> (index, result). Must be picklable (module-level).
+WorkFunction = Callable[[PointPayload], Tuple[int, object]]
+
+#: What :meth:`SweepSupervisor.run` yields per point.
+PointOutcome = Tuple[int, object]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff.
+
+    ``max_retries`` counts *re*-runs: a point is attempted at most
+    ``max_retries + 1`` times. The delay before retry ``k`` (1-based)
+    is ``min(backoff_cap, backoff_base * backoff_factor ** (k - 1))``;
+    a ``backoff_base`` of 0 disables the delay entirely (tests).
+    The schedule is deterministic — no jitter — so supervised runs stay
+    reproducible.
+    """
+
+    max_retries: int = 2
+    backoff_base: float = 0.25
+    backoff_factor: float = 2.0
+    backoff_cap: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_base < 0:
+            raise ValueError(f"backoff_base must be >= 0, got {self.backoff_base}")
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.backoff_cap < 0:
+            raise ValueError(f"backoff_cap must be >= 0, got {self.backoff_cap}")
+
+    @property
+    def max_attempts(self) -> int:
+        return self.max_retries + 1
+
+    def backoff(self, failed_attempts: int) -> float:
+        """Seconds to wait before the try after ``failed_attempts`` failures."""
+        if self.backoff_base == 0.0:
+            return 0.0
+        return min(
+            self.backoff_cap,
+            self.backoff_base * self.backoff_factor ** (failed_attempts - 1),
+        )
+
+
+class PointFailureError(RuntimeError):
+    """Strict mode: a point exhausted its retry budget (fail-fast)."""
+
+    def __init__(self, failure: PointFailure):
+        super().__init__(
+            f"sweep point {failure.label!r} failed after {failure.attempts} "
+            f"attempt(s) [{failure.kind}]: {failure.error_type}: {failure.message}"
+        )
+        self.failure = failure
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+
+def _supervised_worker(conn, work: WorkFunction) -> None:
+    """Child main loop: recv a payload, run it, send the outcome; repeat.
+
+    Every exception — including a result that fails to pickle on the way
+    back — is turned into an ``("error", ...)`` message; the worker
+    itself only exits on the ``None`` sentinel or a closed pipe.
+    """
+    while True:
+        try:
+            payload = conn.recv()
+        except (EOFError, OSError):
+            return
+        if payload is None:
+            return
+        try:
+            index, result = work(payload)
+            conn.send(("ok", index, result))
+        except Exception as error:  # noqa: BLE001 — failures become data
+            conn.send(
+                (
+                    "error",
+                    payload[0],
+                    type(error).__name__,
+                    str(error),
+                    traceback_module.format_exc(),
+                )
+            )
+
+
+# ----------------------------------------------------------------------
+# Supervisor side
+# ----------------------------------------------------------------------
+
+
+class _PointState:
+    """Mutable per-point supervision record (attempts, backoff, last error)."""
+
+    __slots__ = (
+        "payload",
+        "attempts",
+        "eligible_at",
+        "first_started",
+        "attempt_started",
+        "last_kind",
+        "last_error",
+    )
+
+    def __init__(self, payload: PointPayload):
+        self.payload = payload
+        self.attempts = 0
+        self.eligible_at = 0.0
+        self.first_started: Optional[float] = None
+        self.attempt_started = 0.0
+        self.last_kind = "error"
+        self.last_error = ("", "", "")  # (type name, message, traceback)
+
+    @property
+    def index(self) -> int:
+        return self.payload[0]
+
+    @property
+    def label(self) -> str:
+        return self.payload[1]
+
+
+class _WorkerHandle:
+    """One supervised worker process and its command/result pipe."""
+
+    __slots__ = ("process", "conn", "state", "deadline")
+
+    def __init__(self, context, work: WorkFunction):
+        parent_conn, child_conn = context.Pipe(duplex=True)
+        self.process = context.Process(
+            target=_supervised_worker, args=(child_conn, work), daemon=True
+        )
+        self.process.start()
+        child_conn.close()
+        self.conn = parent_conn
+        self.state: Optional[_PointState] = None
+        self.deadline: Optional[float] = None
+
+    def reap(self) -> None:
+        """Close the pipe and make sure the process is gone (kill if needed)."""
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(1.0)
+            if self.process.is_alive():
+                self.process.kill()
+                self.process.join(1.0)
+        else:
+            self.process.join(0.1)
+        self.state = None
+        self.deadline = None
+
+    def shutdown(self) -> None:
+        """Graceful exit for an idle worker; hard reap for a busy one."""
+        if self.state is not None:
+            self.reap()
+            return
+        try:
+            self.conn.send(None)
+        except (OSError, ValueError):
+            pass
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        self.process.join(1.0)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(1.0)
+            if self.process.is_alive():
+                self.process.kill()
+                self.process.join(1.0)
+
+
+class SweepSupervisor:
+    """Run payloads under supervision; yield an outcome for every point.
+
+    Parameters
+    ----------
+    work:
+        Module-level callable ``payload -> (index, result)``.
+    workers:
+        Process count. ``1`` runs in-process unless ``point_timeout`` is
+        set (a hung in-process point cannot be interrupted, so any
+        timeout forces process isolation). ``0``/negative means one per
+        CPU.
+    retry:
+        The :class:`RetryPolicy`; defaults to 2 retries with 0.25 s
+        exponential backoff.
+    point_timeout:
+        Optional wall-clock seconds per attempt. An attempt that exceeds
+        it has its worker killed and counts as a failed try.
+    mp_context:
+        Optional ``multiprocessing`` context name (``"fork"``/``"spawn"``).
+    progress:
+        Callback receiving one human-readable line per point event.
+    """
+
+    def __init__(
+        self,
+        work: WorkFunction,
+        workers: int = 1,
+        retry: Optional[RetryPolicy] = None,
+        point_timeout: Optional[float] = None,
+        mp_context: Optional[str] = None,
+        progress: Callable[[str], None] = lambda message: None,
+    ):
+        if workers is None:
+            workers = 1
+        if workers <= 0:
+            workers = os.cpu_count() or 1
+        if point_timeout is not None and point_timeout <= 0:
+            raise ValueError(f"point_timeout must be positive, got {point_timeout}")
+        self.work = work
+        self.workers = workers
+        self.retry = retry or RetryPolicy()
+        self.point_timeout = point_timeout
+        self.mp_context = mp_context
+        self.progress = progress
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self, name: str, payloads: Sequence[PointPayload]
+    ) -> Iterator[PointOutcome]:
+        """Yield ``(index, result-or-PointFailure)`` as points complete.
+
+        Completion order is scheduling-dependent; callers reassemble by
+        index. Exactly one outcome is yielded per payload — the sweep
+        always terminates.
+        """
+        if not payloads:
+            return
+        if self.workers == 1 and self.point_timeout is None:
+            yield from self._run_inprocess(name, payloads)
+        else:
+            yield from self._run_pool(name, payloads)
+
+    # ------------------------------------------------------------------
+    # In-process path (serial, no timeout enforcement needed)
+    # ------------------------------------------------------------------
+
+    def _run_inprocess(
+        self, name: str, payloads: Sequence[PointPayload]
+    ) -> Iterator[PointOutcome]:
+        for payload in payloads:
+            index, label = payload[0], payload[1]
+            first_started = time.monotonic()
+            last_error = ("", "", "")
+            outcome: Optional[PointOutcome] = None
+            for attempt in range(1, self.retry.max_attempts + 1):
+                self._announce(name, label, attempt)
+                try:
+                    outcome = self.work(payload)
+                    break
+                except Exception as error:  # noqa: BLE001
+                    last_error = (
+                        type(error).__name__,
+                        str(error),
+                        traceback_module.format_exc(),
+                    )
+                    self.progress(
+                        f"[{name}] {label} raised {last_error[0]}: {last_error[1]} "
+                        f"(attempt {attempt}/{self.retry.max_attempts})"
+                    )
+                    if attempt < self.retry.max_attempts:
+                        time.sleep(self.retry.backoff(attempt))
+            if outcome is not None:
+                yield outcome
+                continue
+            self.progress(
+                f"[{name}] giving up on {label} after "
+                f"{self.retry.max_attempts} attempt(s)"
+            )
+            yield index, PointFailure(
+                index=index,
+                label=label,
+                kind="error",
+                error_type=last_error[0],
+                message=last_error[1],
+                traceback=last_error[2],
+                attempts=self.retry.max_attempts,
+                elapsed=time.monotonic() - first_started,
+            )
+
+    # ------------------------------------------------------------------
+    # Pool path (worker processes, death detection, timeouts)
+    # ------------------------------------------------------------------
+
+    def _run_pool(
+        self, name: str, payloads: Sequence[PointPayload]
+    ) -> Iterator[PointOutcome]:
+        context = (
+            multiprocessing.get_context(self.mp_context)
+            if self.mp_context
+            else multiprocessing.get_context()
+        )
+        count = max(1, min(self.workers, len(payloads)))
+        workers = [_WorkerHandle(context, self.work) for _ in range(count)]
+        pending = [_PointState(payload) for payload in payloads]
+        try:
+            while pending or any(w.state is not None for w in workers):
+                now = time.monotonic()
+                self._assign(name, workers, pending, now, context)
+                busy = [w for w in workers if w.state is not None]
+                if not busy:
+                    # Everything in flight is actually waiting on backoff.
+                    wake = min(state.eligible_at for state in pending)
+                    time.sleep(min(max(0.0, wake - now), 1.0))
+                    continue
+                timeout = self._wait_timeout(workers, busy, pending, now)
+                ready = _connection_wait(
+                    [w.conn for w in busy], timeout=timeout
+                )
+                now = time.monotonic()
+                for conn in ready:
+                    worker = next(w for w in busy if w.conn is conn)
+                    outcome = self._collect(
+                        name, workers, worker, pending, context, now
+                    )
+                    if outcome is not None:
+                        yield outcome
+                for worker in list(workers):
+                    if (
+                        worker.state is not None
+                        and worker.deadline is not None
+                        and now >= worker.deadline
+                    ):
+                        outcome = self._expire(
+                            name, workers, worker, pending, context, now
+                        )
+                        if outcome is not None:
+                            yield outcome
+        finally:
+            for worker in workers:
+                worker.shutdown()
+
+    def _assign(
+        self,
+        name: str,
+        workers: List[_WorkerHandle],
+        pending: List[_PointState],
+        now: float,
+        context,
+    ) -> None:
+        """Hand eligible pending points to idle workers."""
+        for slot in range(len(workers)):
+            worker = workers[slot]
+            if worker.state is not None:
+                continue
+            state = self._next_eligible(pending, now)
+            if state is None:
+                return
+            state.attempts += 1
+            if state.first_started is None:
+                state.first_started = now
+            state.attempt_started = now
+            try:
+                worker.conn.send(state.payload)
+            except (OSError, ValueError):
+                # The idle worker died between tasks: replace and re-send.
+                worker.reap()
+                workers[slot] = _WorkerHandle(context, self.work)
+                worker = workers[slot]
+                worker.conn.send(state.payload)
+            worker.state = state
+            worker.deadline = (
+                now + self.point_timeout if self.point_timeout else None
+            )
+            self._announce(name, state.label, state.attempts)
+
+    @staticmethod
+    def _next_eligible(
+        pending: List[_PointState], now: float
+    ) -> Optional[_PointState]:
+        for position, state in enumerate(pending):
+            if state.eligible_at <= now:
+                return pending.pop(position)
+        return None
+
+    def _wait_timeout(
+        self,
+        workers: List[_WorkerHandle],
+        busy: List[_WorkerHandle],
+        pending: List[_PointState],
+        now: float,
+    ) -> Optional[float]:
+        """How long ``wait`` may block before a deadline or backoff expires."""
+        candidates = [w.deadline for w in busy if w.deadline is not None]
+        if pending and any(w.state is None for w in workers):
+            candidates.append(min(state.eligible_at for state in pending))
+        if not candidates:
+            return None
+        return max(0.0, min(candidates) - now)
+
+    def _collect(
+        self,
+        name: str,
+        workers: List[_WorkerHandle],
+        worker: _WorkerHandle,
+        pending: List[_PointState],
+        context,
+        now: float,
+    ) -> Optional[PointOutcome]:
+        """Handle a readable worker pipe: a result, an error, or EOF (death)."""
+        state = worker.state
+        assert state is not None
+        try:
+            message = worker.conn.recv()
+        except (EOFError, OSError):
+            exitcode = worker.process.exitcode
+            worker.reap()
+            workers[workers.index(worker)] = _WorkerHandle(context, self.work)
+            state.last_kind = "worker-death"
+            state.last_error = (
+                "WorkerDeath",
+                f"worker process died (exit code {exitcode}) while running "
+                f"{state.label!r}",
+                "",
+            )
+            return self._retry_or_fail(
+                name, state, pending, now,
+                note=f"worker died (exit code {exitcode})",
+            )
+        worker.state = None
+        worker.deadline = None
+        if message[0] == "ok":
+            _, index, result = message
+            return index, result
+        _, _index, error_type, error_message, error_traceback = message
+        state.last_kind = "error"
+        state.last_error = (error_type, error_message, error_traceback)
+        return self._retry_or_fail(
+            name, state, pending, now,
+            note=f"raised {error_type}: {error_message}",
+        )
+
+    def _expire(
+        self,
+        name: str,
+        workers: List[_WorkerHandle],
+        worker: _WorkerHandle,
+        pending: List[_PointState],
+        context,
+        now: float,
+    ) -> Optional[PointOutcome]:
+        """Kill a worker whose point exceeded the wall-clock timeout."""
+        state = worker.state
+        assert state is not None
+        elapsed = now - state.attempt_started
+        worker.reap()
+        workers[workers.index(worker)] = _WorkerHandle(context, self.work)
+        state.last_kind = "timeout"
+        state.last_error = (
+            "PointTimeout",
+            f"exceeded the per-point timeout of {self.point_timeout}s "
+            f"(ran {elapsed:.1f}s)",
+            "",
+        )
+        return self._retry_or_fail(
+            name, state, pending, now, note=f"timed out after {elapsed:.1f}s"
+        )
+
+    def _retry_or_fail(
+        self,
+        name: str,
+        state: _PointState,
+        pending: List[_PointState],
+        now: float,
+        note: str,
+    ) -> Optional[PointOutcome]:
+        """Requeue with backoff, or exhaust into a structured failure."""
+        if state.attempts < self.retry.max_attempts:
+            delay = self.retry.backoff(state.attempts)
+            state.eligible_at = now + delay
+            pending.append(state)
+            suffix = f" in {delay:.2f}s" if delay else ""
+            self.progress(
+                f"[{name}] {state.label} {note}; retry "
+                f"{state.attempts + 1}/{self.retry.max_attempts}{suffix}"
+            )
+            return None
+        error_type, message, error_traceback = state.last_error
+        self.progress(
+            f"[{name}] {state.label} {note}; giving up after "
+            f"{state.attempts} attempt(s)"
+        )
+        assert state.first_started is not None
+        return state.index, PointFailure(
+            index=state.index,
+            label=state.label,
+            kind=state.last_kind,
+            error_type=error_type,
+            message=message,
+            traceback=error_traceback,
+            attempts=state.attempts,
+            elapsed=now - state.first_started,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _announce(self, name: str, label: str, attempt: int) -> None:
+        if attempt == 1:
+            self.progress(f"[{name}] running {label}")
+        else:
+            self.progress(
+                f"[{name}] retrying {label} "
+                f"(attempt {attempt}/{self.retry.max_attempts})"
+            )

@@ -14,7 +14,6 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.sim.config import SimulationConfig
 from repro.sim.results import SweepResult
-from repro.sim.runner import run_config
 
 
 @dataclass
@@ -37,41 +36,55 @@ class Sweep:
         workers: int = 1,
         checkpoint: Optional[Path] = None,
         resume: bool = False,
+        point_timeout: Optional[float] = None,
+        max_retries: int = 2,
+        strict: bool = False,
+        mp_context: Optional[str] = None,
     ) -> SweepResult:
         """Execute every point; ``progress`` gets one call per point event.
 
-        ``workers > 1`` fans the points out over a process pool
-        (:class:`repro.sim.parallel.ParallelSweepRunner`); ``workers <= 0``
-        means one worker per CPU. Results are collected in point order, so
-        the returned :class:`SweepResult` is independent of the worker
-        count (``phase_timings`` excepted — it measures wall time).
+        ``workers > 1`` fans the points out over a supervised process
+        pool (:class:`repro.sim.parallel.ParallelSweepRunner`);
+        ``workers <= 0`` means one worker per CPU. Results are collected
+        in point order, so the returned :class:`SweepResult` is
+        independent of the worker count (``phase_timings`` excepted — it
+        measures wall time).
 
         ``checkpoint`` names a JSON-lines file recording each completed
         point; with ``resume=True`` an interrupted sweep skips the points
         already recorded there.
-        """
-        if workers != 1 or checkpoint is not None:
-            from repro.sim.parallel import ParallelSweepRunner
 
-            runner = ParallelSweepRunner(
-                workers=workers,
-                checkpoint=checkpoint,
-                resume=resume,
-                progress=progress,
-            )
-            # "point" first, matching the serial run_config(point=..., **extras)
-            # kwarg order, so extras dicts (and JSON/CSV output) are
-            # byte-identical between the two paths.
-            points = [
-                (label, config, {"point": label, **extras})
-                for label, config, extras in self.points
-            ]
-            return runner.run_sweep(self.name, points)
-        result = SweepResult(name=self.name)
-        for label, config, extras in self.points:
-            progress(f"[{self.name}] running {label}")
-            result.add(run_config(config, point=label, **extras))
-        return result
+        Execution is supervised: a point that raises is retried up to
+        ``max_retries`` times (identical seeded config — a successful
+        retry is bit-identical to a first-try success), a point running
+        longer than ``point_timeout`` seconds has its worker killed, and
+        a worker that dies is replaced with its point rescheduled. Points
+        that exhaust the budget land on ``SweepResult.failures`` as
+        structured :class:`~repro.sim.results.PointFailure` records; the
+        sweep itself always terminates. ``strict=True`` restores
+        fail-fast (:class:`~repro.sim.supervisor.PointFailureError` on
+        the first exhausted point).
+        """
+        from repro.sim.parallel import ParallelSweepRunner
+
+        runner = ParallelSweepRunner(
+            workers=workers,
+            checkpoint=checkpoint,
+            resume=resume,
+            progress=progress,
+            mp_context=mp_context,
+            point_timeout=point_timeout,
+            max_retries=max_retries,
+            strict=strict,
+        )
+        # "point" first, matching the historical serial
+        # run_config(point=..., **extras) kwarg order, so extras dicts
+        # (and JSON/CSV output) are byte-identical across engine versions.
+        points = [
+            (label, config, {"point": label, **extras})
+            for label, config, extras in self.points
+        ]
+        return runner.run_sweep(self.name, points)
 
 
 def sweep_grid(

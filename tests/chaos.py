@@ -1,0 +1,104 @@
+"""Chaos helpers: failure-injecting work functions for supervised sweeps.
+
+The supervisor (:mod:`repro.sim.supervisor`) is transport-generic: its
+``work`` callable maps one payload ``(index, label, config, extras)`` to
+``(index, result)``. These helpers wrap the production work function
+(:func:`repro.sim.parallel._execute_point`) with misbehavior driven by a
+``"chaos"`` dict planted in the point's extras:
+
+``{"raise_times": n, "counter": path}``
+    raise ``RuntimeError`` on the first ``n`` attempts, succeed after.
+``{"raise_always": True}``
+    raise on every attempt (exhausts the retry budget).
+``{"kill": True, "kill_times": n, "counter": path}``
+    SIGKILL the worker process on the first ``n`` attempts (default 1) —
+    the supervisor must notice the vanished worker and reschedule.
+``{"hang": seconds, "hang_times": n, "counter": path}``
+    sleep for ``seconds`` on the first ``n`` attempts (default: always)
+    — exercised against ``point_timeout``.
+
+Attempt counting is cross-process: each try appends one byte to the
+``counter`` file (attempts of one point never run concurrently, so a
+plain append is race-free). The ``chaos`` key is stripped from the
+extras before delegating, so a surviving point's result is bit-identical
+to the same point run without chaos — the property the worker-kill and
+transient-error tests assert.
+
+Everything here is module-level so payload/work pickling works under
+both ``fork`` and ``spawn`` contexts.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from pathlib import Path
+from typing import Dict, Tuple
+
+from repro.core.params import Parameters
+from repro.sim.config import SimulationConfig
+from repro.sim.parallel import PointPayload, _execute_point
+from repro.sim.results import SimulationResult
+
+PARAMS = Parameters(l=0.25, rs=0.05, v=0.2)
+PATH = tuple((1, j) for j in range(8))
+
+
+def tiny_config(seed: int = 0, **overrides) -> SimulationConfig:
+    """A fast corridor config for chaos sweeps (~tens of ms per run)."""
+    base = dict(grid_width=8, params=PARAMS, rounds=40, path=PATH, seed=seed)
+    base.update(overrides)
+    return SimulationConfig(**base)
+
+
+def make_points(count: int = 6):
+    """``count`` distinct-seed points shaped like ``Sweep.run`` payloads."""
+    return [
+        (f"p{index}", tiny_config(seed=index), {"point": f"p{index}"})
+        for index in range(count)
+    ]
+
+
+def with_chaos(points, index: int, chaos: Dict):
+    """Copy ``points`` with a chaos spec planted on one point's extras."""
+    mutated = list(points)
+    label, config, extras = mutated[index]
+    mutated[index] = (label, config, {**extras, "chaos": chaos})
+    return mutated
+
+
+def bump_counter(path: str) -> int:
+    """Append one byte; return the attempt number this call represents."""
+    with open(path, "a") as handle:
+        handle.write("x")
+    return Path(path).stat().st_size
+
+
+def chaos_execute(payload: PointPayload) -> Tuple[int, SimulationResult]:
+    """Work function interpreting the ``chaos`` extras spec (see module doc)."""
+    index, label, config, extras = payload
+    spec = extras.get("chaos") or {}
+    attempt = bump_counter(spec["counter"]) if spec.get("counter") else None
+    if spec.get("kill") and (
+        attempt is None or attempt <= spec.get("kill_times", 1)
+    ):
+        os.kill(os.getpid(), signal.SIGKILL)
+    if spec.get("raise_always"):
+        raise RuntimeError(f"chaos: unconditional failure at {label}")
+    if spec.get("raise_times") and attempt is not None and attempt <= spec["raise_times"]:
+        raise RuntimeError(f"chaos: injected failure #{attempt} at {label}")
+    if spec.get("hang") and (
+        attempt is None or attempt <= spec.get("hang_times", 10**9)
+    ):
+        time.sleep(spec["hang"])
+    clean = {key: value for key, value in extras.items() if key != "chaos"}
+    return _execute_point((index, label, config, clean))
+
+
+def serial_outputs(points):
+    """Reference outputs: every point run serially with the plain work fn."""
+    return [
+        _execute_point((index, label, config, extras))[1].simulation_outputs()
+        for index, (label, config, extras) in enumerate(points)
+    ]

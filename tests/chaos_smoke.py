@@ -1,0 +1,72 @@
+"""CI chaos smoke: a 4-worker sweep with a crashing point must degrade.
+
+Run as ``PYTHONPATH=src python -m tests.chaos_smoke``. Builds a 6-point
+sweep where one point raises on every attempt, runs it over 4 supervised
+workers, and verifies the graceful-degradation contract end to end:
+
+* the sweep terminates and returns a ``SweepResult``;
+* the crashing point surfaces as a structured ``PointFailure`` with the
+  full retry accounting;
+* every other point completes, bit-identical to a serial run.
+
+Exit codes mirror the CLI convention: **3** (``EXIT_POINTS_FAILED``)
+when the run degraded exactly as specified — the CI job asserts this
+code — and **1** when any guarantee was violated.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.cli.main import EXIT_POINTS_FAILED
+from repro.sim.parallel import ParallelSweepRunner
+
+from tests.chaos import chaos_execute, make_points, serial_outputs, with_chaos
+
+
+def main() -> int:
+    clean = make_points(6)
+    points = with_chaos(clean, 2, {"raise_always": True})
+    runner = ParallelSweepRunner(
+        workers=4,
+        max_retries=1,
+        backoff_base=0.0,
+        work=chaos_execute,
+        progress=lambda message: print(message, file=sys.stderr),
+    )
+    result = runner.run_sweep("chaos-smoke", points)
+
+    problems = []
+    if len(result.failures) != 1:
+        problems.append(f"expected 1 failure, got {len(result.failures)}")
+    else:
+        failure = result.failures[0]
+        if failure.label != "p2" or failure.kind != "error":
+            problems.append(f"wrong failure: {failure}")
+        if failure.error_type != "RuntimeError" or failure.attempts != 2:
+            problems.append(f"wrong accounting: {failure}")
+    if len(result.runs) != 5:
+        problems.append(f"expected 5 successes, got {len(result.runs)}")
+    expected = [
+        outputs
+        for index, outputs in enumerate(serial_outputs(clean))
+        if index != 2
+    ]
+    actual = [run.simulation_outputs() for run in result.runs]
+    if actual != expected:
+        problems.append("surviving results are not bit-identical to serial")
+
+    if problems:
+        for problem in problems:
+            print(f"chaos smoke FAILED: {problem}", file=sys.stderr)
+        return 1
+    print(
+        "chaos smoke OK: sweep degraded gracefully "
+        f"({len(result.runs)} ok, {len(result.failures)} structured failure)",
+        file=sys.stderr,
+    )
+    return EXIT_POINTS_FAILED
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,310 @@
+"""Chaos tests: every supervision guarantee, proven by injected failure.
+
+The acceptance contract (ISSUE 2): with ``workers=4``,
+
+(a) a point that raises is retried up to ``max_retries`` then recorded
+    as a structured ``PointFailure`` while all other points complete and
+    a ``SweepResult`` is still returned;
+(b) a SIGKILLed worker's point is rescheduled and the sweep's successful
+    results are bit-identical to a serial run;
+(c) a point exceeding ``point_timeout`` is terminated and reported, and
+    the sweep still terminates;
+(d) resume from a checkpoint with a torn final line re-runs the torn
+    point, and resume after a config change rejects the stale records.
+
+These tests use the default (fork on Linux) multiprocessing context so
+the chaos work function and its counter files need no import gymnastics;
+the spawn-context pickling path is covered by ``tests/test_parallel.py``.
+"""
+
+import json
+
+import pytest
+
+from repro.sim.parallel import (
+    CheckpointMismatch,
+    ParallelSweepRunner,
+    _execute_point,
+)
+from repro.sim.results import PointFailure, SweepResult
+from repro.sim.supervisor import PointFailureError, RetryPolicy, SweepSupervisor
+
+from tests.chaos import (
+    chaos_execute,
+    make_points,
+    serial_outputs,
+    tiny_config,
+    with_chaos,
+)
+
+
+def outputs(results):
+    return [
+        result.simulation_outputs()
+        for result in results
+        if not isinstance(result, PointFailure)
+    ]
+
+
+class TestRaisingPoints:
+    def test_exhausted_point_becomes_structured_failure(self):
+        # (a): one point raises on every attempt; the sweep degrades
+        # gracefully and everything else completes.
+        points = with_chaos(make_points(6), 2, {"raise_always": True})
+        runner = ParallelSweepRunner(
+            workers=4, max_retries=2, backoff_base=0.0, work=chaos_execute
+        )
+        result = runner.run_sweep("chaos-raise", points)
+        assert isinstance(result, SweepResult)
+        assert len(result.failures) == 1 and len(result.runs) == 5
+        failure = result.failures[0]
+        assert failure.kind == "error"
+        assert failure.error_type == "RuntimeError"
+        assert "chaos" in failure.message
+        assert failure.attempts == 3  # 1 try + 2 retries
+        assert failure.index == 2 and failure.label == "p2"
+        assert failure.elapsed >= 0.0
+        assert not result.ok
+
+    def test_transient_error_recovers_bit_identical(self, tmp_path):
+        # A point that fails once then succeeds must equal a clean run:
+        # retries re-execute the identical seeded config.
+        clean = make_points(6)
+        points = with_chaos(
+            clean, 3, {"raise_times": 1, "counter": str(tmp_path / "attempts")}
+        )
+        runner = ParallelSweepRunner(
+            workers=4, max_retries=2, backoff_base=0.0, work=chaos_execute
+        )
+        result = runner.run_sweep("chaos-transient", points)
+        assert result.ok
+        assert outputs(result.runs) == serial_outputs(clean)
+
+    def test_progress_reports_retry_and_giveup(self):
+        events = []
+        points = with_chaos(make_points(2), 0, {"raise_always": True})
+        runner = ParallelSweepRunner(
+            workers=2,
+            max_retries=1,
+            backoff_base=0.0,
+            work=chaos_execute,
+            progress=events.append,
+        )
+        runner.run_sweep("chaos-progress", points)
+        assert any("retry" in event for event in events)
+        assert any("giving up" in event for event in events)
+
+    def test_strict_restores_fail_fast(self):
+        points = with_chaos(make_points(4), 1, {"raise_always": True})
+        runner = ParallelSweepRunner(
+            workers=2,
+            max_retries=0,
+            backoff_base=0.0,
+            strict=True,
+            work=chaos_execute,
+        )
+        with pytest.raises(PointFailureError) as excinfo:
+            runner.run_sweep("chaos-strict", points)
+        assert excinfo.value.failure.label == "p1"
+
+    def test_inprocess_supervision_matches_pool_semantics(self):
+        # workers=1 runs in-process but must still retry and degrade.
+        points = with_chaos(make_points(3), 0, {"raise_always": True})
+        runner = ParallelSweepRunner(
+            workers=1, max_retries=1, backoff_base=0.0, work=chaos_execute
+        )
+        result = runner.run_sweep("chaos-serial", points)
+        assert len(result.failures) == 1 and result.failures[0].attempts == 2
+        assert len(result.runs) == 2
+
+
+class TestWorkerDeath:
+    def test_sigkilled_worker_point_rescheduled_bit_identical(self, tmp_path):
+        # (b): the worker running p1 SIGKILLs itself on the first attempt.
+        # The supervisor must reap it, respawn, reschedule — and the final
+        # results must be bit-identical to a serial run without chaos.
+        clean = make_points(6)
+        points = with_chaos(
+            clean, 1, {"kill": True, "counter": str(tmp_path / "kills")}
+        )
+        runner = ParallelSweepRunner(
+            workers=4, max_retries=2, backoff_base=0.0, work=chaos_execute
+        )
+        result = runner.run_sweep("chaos-kill", points)
+        assert result.ok
+        assert outputs(result.runs) == serial_outputs(clean)
+
+    def test_repeated_death_exhausts_into_worker_death_failure(self, tmp_path):
+        points = with_chaos(
+            make_points(4),
+            0,
+            {"kill": True, "kill_times": 99, "counter": str(tmp_path / "kills")},
+        )
+        runner = ParallelSweepRunner(
+            workers=2, max_retries=1, backoff_base=0.0, work=chaos_execute
+        )
+        result = runner.run_sweep("chaos-kill-loop", points)
+        assert len(result.failures) == 1
+        failure = result.failures[0]
+        assert failure.kind == "worker-death"
+        assert failure.error_type == "WorkerDeath"
+        assert failure.attempts == 2
+        assert len(result.runs) == 3
+
+
+class TestTimeouts:
+    def test_hung_point_terminated_and_reported(self):
+        # (c): p0 hangs forever; the sweep must terminate anyway, with a
+        # structured timeout failure and every other point completed.
+        points = with_chaos(make_points(5), 0, {"hang": 120})
+        runner = ParallelSweepRunner(
+            workers=4,
+            max_retries=0,
+            point_timeout=1.0,
+            work=chaos_execute,
+        )
+        result = runner.run_sweep("chaos-hang", points)
+        assert len(result.failures) == 1
+        failure = result.failures[0]
+        assert failure.kind == "timeout"
+        assert failure.error_type == "PointTimeout"
+        assert len(result.runs) == 4
+
+    def test_hang_once_recovers_on_retry(self, tmp_path):
+        clean = make_points(4)
+        points = with_chaos(
+            clean,
+            2,
+            {"hang": 60, "hang_times": 1, "counter": str(tmp_path / "hangs")},
+        )
+        runner = ParallelSweepRunner(
+            workers=2,
+            max_retries=1,
+            backoff_base=0.0,
+            point_timeout=1.5,
+            work=chaos_execute,
+        )
+        result = runner.run_sweep("chaos-hang-once", points)
+        assert result.ok
+        assert outputs(result.runs) == serial_outputs(clean)
+
+    def test_point_timeout_validation(self):
+        with pytest.raises(ValueError):
+            SweepSupervisor(work=_execute_point, point_timeout=0.0)
+
+
+class TestCheckpointChaos:
+    def run_checkpointed(self, points, ckpt, **kwargs):
+        runner = ParallelSweepRunner(
+            checkpoint=ckpt, resume=True, work=_execute_point, **kwargs
+        )
+        return runner.run_sweep("chaos-ckpt", points)
+
+    def test_torn_final_line_dropped_and_rerun(self, tmp_path):
+        # (d, first half): kill-mid-append leaves a torn trailing line.
+        # Resume must warn, drop it, re-run exactly that point, and end
+        # with a whole checkpoint and full results.
+        ckpt = tmp_path / "sweep.jsonl"
+        points = make_points(5)
+        full = self.run_checkpointed(points, ckpt)
+        raw = ckpt.read_text()
+        lines = raw.splitlines()
+        torn = "\n".join(lines[:-1]) + "\n" + lines[-1][: len(lines[-1]) // 2]
+        ckpt.write_text(torn)
+
+        events = []
+        with pytest.warns(RuntimeWarning, match="torn final line"):
+            resumed = self.run_checkpointed(
+                points, ckpt, progress=events.append
+            )
+        assert outputs(resumed.runs) == outputs(full.runs)
+        assert sum("resumed" in event for event in events) == 4
+        assert sum("finished" in event for event in events) == 1
+        # The checkpoint is whole and parseable again.
+        restored = [json.loads(line) for line in ckpt.read_text().splitlines()]
+        assert sorted(record["index"] for record in restored) == list(range(5))
+
+    def test_interior_corruption_refuses_resume(self, tmp_path):
+        ckpt = tmp_path / "sweep.jsonl"
+        points = make_points(3)
+        self.run_checkpointed(points, ckpt)
+        lines = ckpt.read_text().splitlines()
+        lines[0] = lines[0][:20]  # corrupt a non-final record
+        ckpt.write_text("\n".join(lines) + "\n")
+        with pytest.raises(CheckpointMismatch, match="corrupt mid-file"):
+            self.run_checkpointed(points, ckpt)
+
+    def test_changed_config_rejected_by_fingerprint(self, tmp_path):
+        # (d, second half): same sweep name and labels, different
+        # parameters — the fingerprint must refuse the stale records.
+        ckpt = tmp_path / "sweep.jsonl"
+        self.run_checkpointed(make_points(3), ckpt)
+        changed = [
+            (label, tiny_config(seed=index, rounds=80), extras)
+            for index, (label, config, extras) in enumerate(make_points(3))
+        ]
+        with pytest.raises(CheckpointMismatch, match="fingerprint"):
+            self.run_checkpointed(changed, ckpt)
+
+    def test_missing_trailing_newline_repaired(self, tmp_path):
+        ckpt = tmp_path / "sweep.jsonl"
+        points = make_points(3)
+        self.run_checkpointed(points, ckpt)
+        ckpt.write_text(ckpt.read_text().rstrip("\n"))  # complete but unterminated
+        resumed = self.run_checkpointed(points, ckpt)
+        assert len(resumed.runs) == 3
+        assert ckpt.read_text().endswith("\n")
+        restored = [json.loads(line) for line in ckpt.read_text().splitlines()]
+        assert len(restored) == 3
+
+    def test_failed_points_not_checkpointed(self, tmp_path):
+        # A failure must not be recorded as done: the next resume retries it.
+        ckpt = tmp_path / "sweep.jsonl"
+        points = with_chaos(make_points(3), 1, {"raise_always": True})
+        runner = ParallelSweepRunner(
+            checkpoint=ckpt,
+            resume=True,
+            max_retries=0,
+            backoff_base=0.0,
+            work=chaos_execute,
+        )
+        result = runner.run_sweep("chaos-ckpt-fail", points)
+        assert len(result.failures) == 1
+        recorded = {
+            json.loads(line)["index"] for line in ckpt.read_text().splitlines()
+        }
+        assert recorded == {0, 2}
+
+        clean = make_points(3)
+        resumed = ParallelSweepRunner(
+            checkpoint=ckpt, resume=True, work=_execute_point
+        ).run_sweep("chaos-ckpt-fail", clean)
+        assert resumed.ok and len(resumed.runs) == 3
+
+
+class TestFailureSerialization:
+    def test_sweep_result_with_failures_roundtrips_json(self, tmp_path):
+        points = with_chaos(make_points(3), 0, {"raise_always": True})
+        runner = ParallelSweepRunner(
+            workers=2, max_retries=1, backoff_base=0.0, work=chaos_execute
+        )
+        result = runner.run_sweep("chaos-json", points)
+        path = result.save_json(tmp_path / "result.json")
+        loaded = SweepResult.load_json(path)
+        assert loaded.failures == result.failures
+        assert [run.to_dict() for run in loaded.runs] == [
+            run.to_dict() for run in result.runs
+        ]
+        assert not loaded.ok
+
+    def test_retry_policy_validation_and_backoff(self):
+        policy = RetryPolicy(max_retries=3, backoff_base=0.5, backoff_cap=2.0)
+        assert policy.max_attempts == 4
+        assert policy.backoff(1) == 0.5
+        assert policy.backoff(2) == 1.0
+        assert policy.backoff(5) == 2.0  # capped
+        assert RetryPolicy(backoff_base=0.0).backoff(3) == 0.0
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)

@@ -1,0 +1,110 @@
+"""Crash-recovery soak: scripted fail→recover on a unique route.
+
+A corridor system (every off-path cell pre-failed) has exactly one
+feasible route, so failing an on-path cell severs it completely — the
+harshest disruption the routing layer can face. This soak scripts two
+such fail→recover cycles over a ~450-round horizon and checks the
+stabilization story end to end:
+
+* the safety monitors stay clean throughout (zero violations);
+* routing re-stabilizes after each recovery — every path cell's ``dist``
+  returns to its exact hop count to the target;
+* throughput stops while the route is severed and resumes after
+  recovery;
+* the injector's aggregate accounting is exact while its per-round
+  ``history`` stays bounded by ``history_limit``.
+"""
+
+from repro.core.params import Parameters
+from repro.core.system import build_corridor_system
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import FaultEvent, ScriptedFaultModel
+from repro.grid.topology import Grid
+from repro.monitors.recorder import MonitorSuite
+from repro.sim.simulator import Simulator
+
+PARAMS = Parameters(l=0.25, rs=0.05, v=0.2)
+PATH = [(1, j) for j in range(8)]  # (1,0) source .. (1,7) target
+ROUNDS = 450
+
+# Two fail→recover cycles on distinct on-path cells, far enough apart
+# that the system fully re-stabilizes between them.
+EVENTS = [
+    FaultEvent(60, (1, 3), "fail"),
+    FaultEvent(160, (1, 3), "recover"),
+    FaultEvent(240, (1, 5), "fail"),
+    FaultEvent(300, (1, 5), "recover"),
+]
+
+
+def build_soak(history_limit=64):
+    grid = Grid(8, 8)
+    system = build_corridor_system(grid, PARAMS, PATH)
+    injector = FaultInjector(
+        ScriptedFaultModel(EVENTS), history_limit=history_limit
+    )
+    return Simulator(
+        system=system,
+        rounds=ROUNDS,
+        injector=injector,
+        monitors=MonitorSuite(),
+    )
+
+
+def path_dists(system):
+    return {cid: system.cells[cid].dist for cid in PATH}
+
+
+class TestCrashRecoverySoak:
+    def test_soak_survives_with_clean_monitors_and_restabilized_routing(self):
+        sim = build_soak()
+        consumed_at = {}
+        for round_index in range(ROUNDS):
+            sim.step()
+            if round_index in (59, 159, 239, 299, ROUNDS - 1):
+                consumed_at[round_index] = sim.system.total_consumed
+
+        result = sim.summarize()
+
+        # Strict monitors would have raised mid-run; the summary agrees.
+        assert result.monitor_violations == 0
+        assert sim.monitors.clean
+
+        # Exact fault accounting despite the bounded history.
+        assert result.total_failures == 2
+        assert result.total_recoveries == 2
+
+        # Routing re-stabilized: every path cell's dist is its hop count
+        # to the target, exactly as before any disruption.
+        assert path_dists(sim.system) == {(1, j): float(7 - j) for j in range(8)}
+        assert sim.system.failed_cells() == {
+            cid for cid in Grid(8, 8).cells() if cid not in set(PATH)
+        }
+
+        # Throughput stopped while the unique route was severed...
+        severed_first = consumed_at[159] - consumed_at[59]
+        severed_second = consumed_at[299] - consumed_at[239]
+        assert severed_first <= 4  # at most the entities already past the cut
+        assert severed_second <= 4
+        # ...and resumed after the final recovery.
+        resumed = consumed_at[ROUNDS - 1] - consumed_at[299]
+        assert resumed > 10
+        assert result.consumed == consumed_at[ROUNDS - 1]
+
+    def test_injector_history_bounded_but_accounting_exact(self):
+        sim = build_soak(history_limit=64)
+        for _ in range(ROUNDS):
+            sim.step()
+        injector = sim.injector
+        assert len(injector.history) == 64
+        assert injector.rounds_applied == ROUNDS
+        # The tracked value survives eviction of the decision itself.
+        assert injector.last_disruption_round == 300
+        assert injector.total_failures == 2
+        assert injector.total_recoveries == 2
+
+    def test_unbounded_history_opt_out(self):
+        sim = build_soak(history_limit=None)
+        for _ in range(ROUNDS):
+            sim.step()
+        assert len(sim.injector.history) == ROUNDS

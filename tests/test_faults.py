@@ -173,3 +173,40 @@ class TestInjector:
         injector = FaultInjector(NoFaults())
         injector.apply(system)
         assert injector.last_disruption_round is None
+
+    def test_history_bounded_by_limit(self):
+        system = self.make_system()
+        injector = FaultInjector(NoFaults(), history_limit=5)
+        for _ in range(20):
+            injector.apply(system)
+            system.update()
+        assert len(injector.history) == 5
+        assert injector.rounds_applied == 20
+
+    def test_history_limit_none_unbounded(self):
+        system = self.make_system()
+        injector = FaultInjector(NoFaults(), history_limit=None)
+        for _ in range(20):
+            injector.apply(system)
+            system.update()
+        assert len(injector.history) == 20
+
+    def test_last_disruption_survives_eviction(self):
+        # The disrupting decision is long gone from the bounded history,
+        # but the tracked round index must still be exact.
+        system = self.make_system()
+        injector = FaultInjector(
+            ScriptedFaultModel.fail_at([(2, (0, 0))]), history_limit=3
+        )
+        for _ in range(30):
+            injector.apply(system)
+            system.update()
+        assert len(injector.history) == 3
+        assert all(d.is_quiet for d in injector.history)
+        assert injector.last_disruption_round == 2
+
+    def test_history_limit_validation(self):
+        with pytest.raises(ValueError):
+            FaultInjector(NoFaults(), history_limit=0)
+        with pytest.raises(ValueError):
+            FaultInjector(NoFaults(), history_limit=-4)

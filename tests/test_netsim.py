@@ -118,6 +118,24 @@ class TestNetworkSubstrate:
         }
         assert network.stats.total_sent == 2
 
+    def test_delivered_history_bounded(self):
+        network = SynchronousNetwork(Grid(4), history_limit=5)
+        for _ in range(12):
+            network.send(RouteAdvert(src=(0, 0), dst=(0, 1), dist=1.0))
+            network.deliver()
+        assert len(network.stats.delivered_history) == 5
+        assert network.stats.delivered == 12  # aggregate stays exact
+
+    def test_delivered_history_opt_out(self):
+        network = SynchronousNetwork(Grid(4), history_limit=None)
+        for _ in range(12):
+            network.deliver()
+        assert len(network.stats.delivered_history) == 12
+
+    def test_history_limit_validation(self):
+        with pytest.raises(ValueError):
+            SynchronousNetwork(Grid(4), history_limit=0)
+
 
 class TestMessagePassingBasics:
     def test_corridor_delivers(self):

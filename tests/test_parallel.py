@@ -124,6 +124,52 @@ class TestCheckpointing:
         with pytest.raises(CheckpointMismatch):
             sweep.run(checkpoint=ckpt, resume=True)
 
+    def test_records_carry_schema_and_fingerprint(self, tmp_path):
+        ckpt = tmp_path / "sweep.jsonl"
+        sweep = Sweep(name="schema")
+        config = corridor_config(rounds=60)
+        sweep.add("a", config)
+        sweep.run(checkpoint=ckpt, resume=True)
+        (record,) = [
+            json.loads(line) for line in ckpt.read_text().splitlines()
+        ]
+        assert record["schema"] == 2
+        assert record["config_fingerprint"] == config.fingerprint()
+
+    def test_legacy_schema1_records_accepted(self, tmp_path):
+        # Pre-supervision checkpoints have neither a schema nor a
+        # fingerprint field; resume must accept them (with a note) rather
+        # than force a re-run of completed work.
+        ckpt = tmp_path / "sweep.jsonl"
+        sweep = Sweep(name="legacy")
+        sweep.add("a", corridor_config(rounds=60))
+        sweep.add("b", corridor_config(rounds=80))
+        full = sweep.run(checkpoint=ckpt, resume=True)
+        legacy = []
+        for line in ckpt.read_text().splitlines():
+            record = json.loads(line)
+            record.pop("schema")
+            record.pop("config_fingerprint")
+            legacy.append(json.dumps(record))
+        ckpt.write_text("\n".join(legacy) + "\n")
+
+        events = []
+        resumed = sweep.run(checkpoint=ckpt, resume=True, progress=events.append)
+        assert outputs(resumed) == outputs(full)
+        assert sum("resumed" in event for event in events) == 2
+        assert any("schema 1" in event for event in events)
+
+    def test_newer_schema_rejected(self, tmp_path):
+        ckpt = tmp_path / "sweep.jsonl"
+        sweep = Sweep(name="future")
+        sweep.add("a", corridor_config(rounds=60))
+        sweep.run(checkpoint=ckpt, resume=True)
+        record = json.loads(ckpt.read_text())
+        record["schema"] = 99
+        ckpt.write_text(json.dumps(record) + "\n")
+        with pytest.raises(CheckpointMismatch, match="schema"):
+            sweep.run(checkpoint=ckpt, resume=True)
+
 
 class TestProfiling:
     def test_phase_timings_reported(self):
