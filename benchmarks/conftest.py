@@ -22,6 +22,14 @@ sweep points that hang past a wall-clock budget, and
 2). Retries re-run the identical seeded config, so supervised results
 stay identical to serial execution; an unattended overnight harness run
 cannot be stalled by a single wedged point.
+
+Observability: ``REPRO_METRICS=1`` collects protocol metrics into every
+``SimulationResult`` and ``REPRO_TRACE=<dir>`` streams per-run protocol
+events as JSONL (one ``trace-<fingerprint>.jsonl`` per point) — see
+``docs/observability.md``. Leave both unset when *measuring*: tracing
+serializes every protocol event and perturbs timings by design. The
+timing figures quoted in observability.md's overhead table were taken
+with this harness's default (observability off) as the 1.00x baseline.
 """
 
 from __future__ import annotations

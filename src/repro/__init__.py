@@ -37,6 +37,7 @@ from repro.core import (
     build_corridor_system,
 )
 from repro.monitors import MonitorSuite
+from repro.obs import MetricsRegistry, ObservabilityConfig
 from repro.sim import (
     FaultSpec,
     SimulationConfig,
@@ -54,7 +55,9 @@ __all__ = [
     "EagerSource",
     "Entity",
     "FaultSpec",
+    "MetricsRegistry",
     "MonitorSuite",
+    "ObservabilityConfig",
     "Parameters",
     "RoundReport",
     "SilentSource",

@@ -8,8 +8,14 @@ Subcommands
 ``experiment``  reproduce a figure (fig7 / fig8 / fig9): table, plot, checks
 ``ablation``    run one of the design-choice ablations
 ``trace``       record a run to JSON-lines and re-verify it offline
+                (``--events`` additionally records protocol events)
+``report``      summarize a protocol-event trace (text / JSON / CSV)
 ``svg``         render a run's final state to an SVG file
 ``list``        list registered experiments
+
+Observability toggles (see ``docs/observability.md``): set
+``REPRO_METRICS=1`` to collect protocol metrics into every result, and
+``REPRO_TRACE=<path>`` to stream protocol events as JSONL.
 """
 
 from __future__ import annotations
@@ -78,6 +84,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"mean blocked cells: {result.mean_blocked_cells:.2f}")
     print(f"failures/recovs:    {result.total_failures}/{result.total_recoveries}")
     print(f"monitor violations: {result.monitor_violations}")
+    if result.metrics is not None:
+        counters = result.metrics.get("counters", {})
+        print("metrics (REPRO_METRICS):")
+        for name, value in counters.items():
+            if "{" in name:
+                continue  # labeled series: use trace --events + report
+            print(f"  {name}: {value}")
     return 0
 
 
@@ -211,23 +224,65 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.instrument import ObservabilityConfig
     from repro.sim.trace import TraceRecorder, replay_throughput, verify_trace
 
-    simulator = build_simulation(_build_config(args))
+    observability = None
+    if args.events:
+        # Protocol-event tracing rides along with the state trace; metrics
+        # come too so the event counts can be printed at the end.
+        observability = ObservabilityConfig(metrics=True, trace_path=args.events)
+    simulator = build_simulation(_build_config(args), observability=observability)
     recorder = TraceRecorder.for_system(simulator.system)
     for _ in range(args.rounds):
-        simulator.injector.apply(simulator.system)
-        report = simulator.system.update()
-        if simulator.monitors is not None:
-            simulator.monitors.after_round(simulator.system, report)
-        simulator.meter.observe(report.consumed_count)
+        report = simulator.step()
         recorder.observe(simulator.system, report)
     trace_path = recorder.save(args.out)
     print(f"trace written: {trace_path} ({args.rounds} rounds)")
+    if simulator.obs is not None and simulator.obs.tracer is not None:
+        simulator.obs.finalize()
+        events_path = simulator.obs.tracer.sink.path
+        print(
+            f"events written: {events_path} "
+            f"({simulator.obs.tracer.total_events} events; "
+            f"summarize with `cellularflows report {events_path}`)"
+        )
     violations = verify_trace(trace_path)
     print(f"offline verification: {len(violations)} violations")
     print(f"replayed throughput:  {replay_throughput(trace_path):.4f}")
     return 0 if not violations else 1
+
+
+#: Exit code for an unreadable/mismatched trace file (``report``) —
+#: distinct from 1, which means the file was read but is empty.
+EXIT_BAD_TRACE = 2
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs.exporters import (
+        TraceSchemaError,
+        load_events,
+        render_report,
+        save_summary_csv,
+        save_summary_json,
+        summarize_events,
+    )
+
+    try:
+        header, events = load_events(args.trace)
+    except FileNotFoundError:
+        print(f"report: no such trace file: {args.trace}", file=sys.stderr)
+        return EXIT_BAD_TRACE
+    except TraceSchemaError as error:
+        print(f"report: {error}", file=sys.stderr)
+        return EXIT_BAD_TRACE
+    summary = summarize_events(header, events)
+    print(render_report(summary))
+    if args.json:
+        print(f"summary written: {save_summary_json(summary, args.json)}")
+    if args.csv:
+        print(f"summary written: {save_summary_csv(summary, args.csv)}")
+    return 0 if summary["events_total"] else 1
 
 
 def _cmd_svg(args: argparse.Namespace) -> int:
@@ -337,7 +392,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_run_arguments(trace_parser)
     trace_parser.add_argument("--out", default="trace.jsonl", help="output file")
+    trace_parser.add_argument(
+        "--events",
+        default=None,
+        help="also record protocol events (RouteChanged, SignalGranted, ...) "
+        "to this JSONL file; summarize it with the `report` subcommand",
+    )
     trace_parser.set_defaults(handler=_cmd_trace)
+
+    report_parser = subparsers.add_parser(
+        "report", help="summarize a protocol-event trace"
+    )
+    report_parser.add_argument(
+        "trace", help="protocol-event JSONL file written by `trace --events` "
+        "or REPRO_TRACE",
+    )
+    report_parser.add_argument("--json", help="also save the summary as JSON")
+    report_parser.add_argument("--csv", help="also save the summary as CSV")
+    report_parser.set_defaults(handler=_cmd_report)
 
     svg_parser = subparsers.add_parser(
         "svg", help="render a run's final state to SVG"

@@ -24,7 +24,7 @@ edge lands at distance >= d from every resident entity (Theorem 5).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.cell import CellState, effective_next, effective_nonempty
 from repro.core.params import Parameters
@@ -42,6 +42,11 @@ class SignalPhaseReport:
 
     blocked: List[CellId] = field(default_factory=list)
     """Cells that held a token but lacked the gap (signal forced to bot)."""
+
+    rotated: List[Tuple[CellId, CellId, CellId]] = field(default_factory=list)
+    """``(cell, previous holder, new holder)`` for each post-grant token
+    rotation — the fairness steps of Lemma 9, recorded so the
+    observability layer (:mod:`repro.obs`) can count and trace them."""
 
 
 def gap_clear(
@@ -134,6 +139,8 @@ def _signal_step(
         state.signal = state.token
         report.granted[state.cell_id] = state.token
         state.token = policy.rotate(ne_prev, state.token)
+        if state.token != state.signal:
+            report.rotated.append((state.cell_id, state.signal, state.token))
     else:
         # Blocked: deny everyone this round but keep the token parked on
         # the same neighbor, so it gets the next opportunity (fairness).

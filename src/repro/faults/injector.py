@@ -39,6 +39,7 @@ class FaultInjector:
         model: Optional[FaultModel] = None,
         rng: Optional[random.Random] = None,
         history_limit: Optional[int] = DEFAULT_HISTORY_LIMIT,
+        metrics=None,
     ):
         if history_limit is not None and history_limit <= 0:
             raise ValueError(
@@ -46,6 +47,11 @@ class FaultInjector:
             )
         self.model = model or NoFaults()
         self.rng = rng or random.Random(0)
+        #: Optional :class:`repro.obs.metrics.MetricsRegistry`; when set,
+        #: ``faults.failed`` / ``faults.recovered`` counters track every
+        #: applied transition. Assignable after construction (the
+        #: simulator binds it when observability is enabled).
+        self.metrics = metrics
         self.history: Deque[FaultDecision] = deque(maxlen=history_limit)
         self.total_failures = 0
         self.total_recoveries = 0
@@ -67,6 +73,11 @@ class FaultInjector:
         self.rounds_applied += 1
         self.total_failures += len(decision.fail)
         self.total_recoveries += len(decision.recover)
+        if self.metrics is not None and not decision.is_quiet:
+            if decision.fail:
+                self.metrics.counter("faults.failed").inc(len(decision.fail))
+            if decision.recover:
+                self.metrics.counter("faults.recovered").inc(len(decision.recover))
         return decision
 
     @property

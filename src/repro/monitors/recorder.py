@@ -61,6 +61,11 @@ class MonitorSuite:
     check_lemma_4: bool = True
     strict: bool = True
     violations: List[Violation] = field(default_factory=list)
+    metrics: Optional[object] = None
+    """Optional :class:`repro.obs.metrics.MetricsRegistry`; when set,
+    every recorded violation also increments ``monitors.violations``
+    (counted *before* a strict-mode raise, so the tally survives)."""
+
     _signal_pairs: List[tuple] = field(default_factory=list)
 
     def attach(self, system: System) -> "MonitorSuite":
@@ -110,6 +115,8 @@ class MonitorSuite:
     def _record(self, round_index: int, name: str, detail: str) -> None:
         violation = Violation(round_index=round_index, property_name=name, detail=detail)
         self.violations.append(violation)
+        if self.metrics is not None:
+            self.metrics.counter("monitors.violations").inc()
         if self.strict:
             raise MonitorViolation(violation)
 

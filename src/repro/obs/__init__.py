@@ -1,0 +1,64 @@
+"""Observability: structured protocol-event tracing + metrics registry.
+
+The runtime monitors (:mod:`repro.monitors`) *assert* the paper's
+properties; this package makes runs *inspectable* — which cell blocked
+whom and why on each round, how long routing took to re-stabilize after
+a fault, how many retries a sweep burned. Three layers:
+
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry`: counters,
+  gauges, and bounded histograms, pure stdlib, deterministic, near-zero
+  overhead when disabled.
+* :mod:`repro.obs.events` / :mod:`repro.obs.tracer` — the schema-versioned
+  protocol-event taxonomy and the JSONL tracer (streaming file or
+  bounded ring buffer) that emits it.
+* :mod:`repro.obs.exporters` — trace loading, summaries, and the
+  JSON/CSV exporters behind ``cellularflows report``.
+
+Wiring lives in :mod:`repro.obs.instrument`; enable with the
+``REPRO_METRICS`` / ``REPRO_TRACE`` environment toggles or by passing an
+:class:`ObservabilityConfig` to
+:func:`repro.sim.simulator.build_simulation`. The full event taxonomy,
+metrics catalog, and overhead numbers are documented in
+``docs/observability.md``.
+"""
+
+from repro.obs.events import BLOCK_REASONS, EVENT_TYPES, TRACE_SCHEMA, EventType, make_event
+from repro.obs.exporters import (
+    TraceSchemaError,
+    load_events,
+    render_report,
+    save_summary_csv,
+    save_summary_json,
+    summarize_events,
+)
+from repro.obs.instrument import (
+    METRIC_NAMES,
+    ObservabilityConfig,
+    SimulationInstrumentation,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracer import JsonlSink, ProtocolTracer, RingBufferSink
+
+__all__ = [
+    "BLOCK_REASONS",
+    "Counter",
+    "EVENT_TYPES",
+    "EventType",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "METRIC_NAMES",
+    "MetricsRegistry",
+    "ObservabilityConfig",
+    "ProtocolTracer",
+    "RingBufferSink",
+    "SimulationInstrumentation",
+    "TRACE_SCHEMA",
+    "TraceSchemaError",
+    "load_events",
+    "make_event",
+    "render_report",
+    "save_summary_csv",
+    "save_summary_json",
+    "summarize_events",
+]

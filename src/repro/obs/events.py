@@ -1,0 +1,118 @@
+"""The protocol-event taxonomy and its schema registry.
+
+Every observable protocol transition has one structured event type, with
+a fixed field set, emitted as one JSON object per line by
+:class:`repro.obs.tracer.ProtocolTracer`. The registry below is the
+single source of truth for the schema: the tracer validates emissions
+against it, ``cellularflows report`` summarizes by it, and the docs test
+(``tests/test_docs.py``) diffs the event table of
+``docs/observability.md`` against it — the documentation cannot drift
+from the code without failing CI.
+
+Schema evolution: bump :data:`TRACE_SCHEMA` whenever an event's field
+set changes meaning or shape. Readers reject traces from a *newer*
+schema with a clear error (see
+:class:`repro.obs.exporters.TraceSchemaError`) instead of misreading
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+#: Version stamp written into every trace header. Readers accept
+#: schemas up to this value and refuse newer ones.
+TRACE_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class EventType:
+    """One entry of the event taxonomy: name, field set, meaning."""
+
+    name: str
+    fields: Tuple[str, ...]
+    description: str
+
+
+#: Reasons a Signal phase can force ``signal := bot`` while holding a
+#: token. ``gap`` is currently the only cause in the paper's protocol
+#: (Figure 5 lines 4-7); the field exists so extensions (multi-flow
+#: type exclusion, lossy adverts) can add theirs without a schema bump.
+BLOCK_REASONS: Dict[str, str] = {
+    "gap": "the depth-d strip on the edge facing the token holder is occupied",
+}
+
+#: The complete event taxonomy, keyed by event-type name. Field order
+#: here is documentation order; on the wire, every record is a JSON
+#: object with canonically sorted keys.
+EVENT_TYPES: Dict[str, EventType] = {
+    event.name: event
+    for event in (
+        EventType(
+            "RouteChanged",
+            ("cell", "dist", "next"),
+            "a cell's Route output changed this round (new dist/next; "
+            "dist is null while unreachable)",
+        ),
+        EventType(
+            "TokenRotated",
+            ("cell", "from", "to"),
+            "after a grant, the cell's fairness token moved to a "
+            "different member of NEPrev (Lemma 9's rotation)",
+        ),
+        EventType(
+            "SignalGranted",
+            ("cell", "to"),
+            "the cell granted its signal to the token-holding neighbor "
+            "(the depth-d gap was clear)",
+        ),
+        EventType(
+            "SignalBlocked",
+            ("cell", "holder", "reason"),
+            "the cell held a token but set signal := bot; the token "
+            "stays parked on `holder` (see the reason table)",
+        ),
+        EventType(
+            "EntityTransferred",
+            ("uid", "src", "dst"),
+            "an entity crossed a cell boundary and was snapped onto the "
+            "entry edge of dst",
+        ),
+        EventType(
+            "EntityConsumed",
+            ("uid", "src"),
+            "an entity crossed into the target cell and left the system",
+        ),
+        EventType(
+            "CellFailed",
+            ("cell",),
+            "the environment crashed the cell before this round's update",
+        ),
+        EventType(
+            "CellRecovered",
+            ("cell",),
+            "the environment recovered the cell before this round's update",
+        ),
+    )
+}
+
+
+def make_event(name: str, round_index: int, fields: Dict) -> Dict:
+    """Build one validated event record (a plain JSON-ready dict).
+
+    Raises ``ValueError`` for an unregistered type or a field set that
+    does not match the registry exactly — emission bugs fail loudly at
+    the source rather than producing unparseable traces.
+    """
+    event_type = EVENT_TYPES.get(name)
+    if event_type is None:
+        raise ValueError(f"unregistered event type: {name!r}")
+    if set(fields) != set(event_type.fields):
+        raise ValueError(
+            f"{name} takes fields {sorted(event_type.fields)}, "
+            f"got {sorted(fields)}"
+        )
+    record = {"round": round_index, "type": name}
+    record.update(fields)
+    return record

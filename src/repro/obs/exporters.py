@@ -1,0 +1,195 @@
+"""Reading, summarizing, and exporting protocol-event traces.
+
+The reader half of :mod:`repro.obs.tracer`: load a schema-versioned
+event JSONL, fold it into a summary (event tallies, per-cell grant/block
+pressure, transfer/consumption counts, fault activity), render that
+summary as text for ``cellularflows report``, and export it as JSON or
+CSV for downstream tooling.
+
+Schema handling is strict but helpful: a trace written by a *newer*
+schema, or a file that is not an event trace at all (e.g. the state
+snapshots of :mod:`repro.sim.trace`), raises
+:class:`TraceSchemaError` with a message that says what was found and
+what this build reads — never a bare ``KeyError``.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.obs.events import EVENT_TYPES, TRACE_SCHEMA
+
+
+class TraceSchemaError(ValueError):
+    """An event trace cannot be read: wrong kind, schema, or shape."""
+
+
+def load_events(path) -> Tuple[Dict, List[Dict]]:
+    """Read an event trace; returns ``(header, events)``.
+
+    Validates the header line (kind, schema version) before touching any
+    event, so schema mismatches fail fast with a clear message.
+    """
+    lines = Path(path).read_text().splitlines()
+    if not lines:
+        raise TraceSchemaError(f"{path}: empty file, not an event trace")
+    try:
+        first = json.loads(lines[0])
+    except json.JSONDecodeError as error:
+        raise TraceSchemaError(
+            f"{path}:1 is not JSON ({error}); not an event trace"
+        ) from error
+    header = first.get("header") if isinstance(first, dict) else None
+    if not isinstance(header, dict):
+        raise TraceSchemaError(
+            f"{path}:1 has no header record; not an event trace"
+        )
+    if header.get("kind") != "protocol-events":
+        kind = header.get("kind")
+        raise TraceSchemaError(
+            f"{path} is a {kind or 'state-snapshot'} trace, not a "
+            f"protocol-event trace; `cellularflows report` reads traces "
+            f"written with --events / REPRO_TRACE"
+        )
+    schema = header.get("schema")
+    if not isinstance(schema, int) or schema < 1:
+        raise TraceSchemaError(
+            f"{path} declares no valid schema version (got {schema!r}); "
+            f"this build reads protocol-event schemas 1..{TRACE_SCHEMA}"
+        )
+    if schema > TRACE_SCHEMA:
+        raise TraceSchemaError(
+            f"{path} uses protocol-event schema {schema}, but this build "
+            f"reads schemas up to {TRACE_SCHEMA}; upgrade the toolkit or "
+            f"re-record the trace"
+        )
+    events: List[Dict] = []
+    for number, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError as error:
+            raise TraceSchemaError(
+                f"{path}:{number} is corrupt ({error})"
+            ) from error
+    return header, events
+
+
+def _cell_key(value) -> str:
+    """``[i, j]`` -> ``"i,j"`` (summary dict keys)."""
+    return ",".join(str(part) for part in value)
+
+
+def summarize_events(header: Dict, events: List[Dict]) -> Dict:
+    """Fold an event stream into a JSON-ready summary dict."""
+    by_type: Dict[str, int] = {}
+    grants_by_cell: Dict[str, int] = {}
+    blocks_by_cell: Dict[str, int] = {}
+    blocks_by_reason: Dict[str, int] = {}
+    rounds = set()
+    unknown: Dict[str, int] = {}
+    for event in events:
+        name = event.get("type", "<untyped>")
+        if name not in EVENT_TYPES:
+            unknown[name] = unknown.get(name, 0) + 1
+            continue
+        by_type[name] = by_type.get(name, 0) + 1
+        rounds.add(event.get("round", -1))
+        if name == "SignalGranted":
+            key = _cell_key(event["cell"])
+            grants_by_cell[key] = grants_by_cell.get(key, 0) + 1
+        elif name == "SignalBlocked":
+            key = _cell_key(event["cell"])
+            blocks_by_cell[key] = blocks_by_cell.get(key, 0) + 1
+            reason = event.get("reason", "<none>")
+            blocks_by_reason[reason] = blocks_by_reason.get(reason, 0) + 1
+    summary = {
+        "schema": header.get("schema"),
+        "config_fingerprint": header.get("config_fingerprint"),
+        "events_total": sum(by_type.values()),
+        "rounds_covered": len(rounds),
+        "first_round": min(rounds) if rounds else None,
+        "last_round": max(rounds) if rounds else None,
+        "by_type": {name: by_type.get(name, 0) for name in sorted(EVENT_TYPES)},
+        "grants_by_cell": dict(sorted(grants_by_cell.items())),
+        "blocks_by_cell": dict(sorted(blocks_by_cell.items())),
+        "blocks_by_reason": dict(sorted(blocks_by_reason.items())),
+    }
+    if unknown:
+        summary["unknown_types"] = dict(sorted(unknown.items()))
+    return summary
+
+
+def render_report(summary: Dict) -> str:
+    """Human-readable rendering of :func:`summarize_events`' output."""
+    lines = [
+        f"protocol-event trace (schema {summary['schema']})",
+    ]
+    if summary.get("config_fingerprint"):
+        lines.append(f"config fingerprint: {summary['config_fingerprint']}")
+    lines.append(
+        f"{summary['events_total']} events over "
+        f"{summary['rounds_covered']} active rounds "
+        f"(rounds {summary['first_round']}..{summary['last_round']})"
+    )
+    lines.append("")
+    lines.append("events by type:")
+    width = max(len(name) for name in summary["by_type"])
+    for name, count in summary["by_type"].items():
+        lines.append(f"  {name:<{width}}  {count}")
+    if summary.get("unknown_types"):
+        for name, count in summary["unknown_types"].items():
+            lines.append(f"  {name:<{width}}  {count}  (unknown type, skipped)")
+    contention = _contention_lines(summary)
+    if contention:
+        lines.append("")
+        lines.extend(contention)
+    return "\n".join(lines)
+
+
+def _contention_lines(summary: Dict, top: int = 5) -> List[str]:
+    """The grant/block pressure table (cells ranked by blocks)."""
+    blocks = summary.get("blocks_by_cell", {})
+    if not blocks:
+        return []
+    grants = summary.get("grants_by_cell", {})
+    ranked = sorted(blocks.items(), key=lambda item: (-item[1], item[0]))[:top]
+    lines = [f"most-blocked cells (top {len(ranked)}):"]
+    lines.append("  cell        blocks  grants")
+    for cell, count in ranked:
+        lines.append(f"  {cell:<10}  {count:<6}  {grants.get(cell, 0)}")
+    return lines
+
+
+def save_summary_json(summary: Dict, path) -> Path:
+    """Write the summary as indented JSON; returns the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+    return target
+
+
+def save_summary_csv(summary: Dict, path) -> Path:
+    """Write the summary as flat ``section,name,value`` CSV rows."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["section", "name", "value"])
+        for key in (
+            "schema",
+            "config_fingerprint",
+            "events_total",
+            "rounds_covered",
+            "first_round",
+            "last_round",
+        ):
+            writer.writerow(["summary", key, summary.get(key)])
+        for section in ("by_type", "grants_by_cell", "blocks_by_cell", "blocks_by_reason"):
+            for name, value in summary.get(section, {}).items():
+                writer.writerow([section, name, value])
+    return target

@@ -1,0 +1,232 @@
+"""The metrics registry: counters, gauges, and bounded histograms.
+
+Pure-stdlib, allocation-light instruments for counting protocol events
+(signal grants, ``bot`` blocks, transfers, token rotations, retries...)
+without perturbing the simulation. Everything here is deterministic:
+two identical seeded runs produce *equal* registry contents, whatever
+process or worker they executed in, so metric dictionaries ride along in
+:class:`repro.sim.results.SimulationResult` and survive byte-exact
+comparisons between serial and parallel sweeps.
+
+Design rules:
+
+* **Near-zero overhead when disabled.** Nothing in this module is
+  global or import-time stateful; a simulation that does not opt in
+  (``REPRO_METRICS`` unset) never constructs a registry and pays only
+  one ``is None`` branch per round.
+* **Bounded memory.** Histograms accumulate into a fixed set of
+  buckets; no per-observation storage, so soak runs cannot grow.
+* **Deterministic serialization.** :meth:`MetricsRegistry.to_dict`
+  sorts families and label sets, so its JSON form is canonical.
+
+Usage::
+
+    >>> registry = MetricsRegistry()
+    >>> registry.counter("signal.granted").inc()
+    >>> registry.counter("signal.granted").inc(2)
+    >>> registry.counter("signal.granted").value
+    3
+    >>> registry.counter("signal.granted.by_cell", cell="1,0").inc()
+    >>> registry.gauge("entities.in_flight").set(4)
+    >>> registry.gauge("entities.in_flight").value
+    4
+    >>> h = registry.histogram("route.stabilization_rounds")
+    >>> h.observe(3)
+    >>> h.count, h.total, h.minimum, h.maximum
+    (1, 3, 3, 3)
+    >>> sorted(registry.to_dict()["counters"])
+    ['signal.granted', 'signal.granted.by_cell{cell=1,0}']
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Optional, Tuple
+
+#: Default histogram bucket upper bounds (inclusive); observations above
+#: the last bound land in the overflow bucket. Chosen for round counts:
+#: stabilization times, streak lengths, retry tallies.
+DEFAULT_BUCKETS: Tuple[float, ...] = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1000)
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (default 1); negative increments are rejected.
+
+        >>> c = Counter()
+        >>> c.inc(); c.inc(5); c.value
+        6
+        """
+        if amount < 0:
+            raise ValueError(f"counters only go up, got increment {amount}")
+        self.value += amount
+
+    def to_value(self):
+        """Serialized form: the plain count."""
+        return self.value
+
+
+class Gauge:
+    """A set-to-current-value metric (e.g. entities in flight)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def set(self, value) -> None:
+        """Record the current value, replacing the previous one.
+
+        >>> g = Gauge()
+        >>> g.set(7); g.value
+        7
+        """
+        self.value = value
+
+    def to_value(self):
+        """Serialized form: the last set value."""
+        return self.value
+
+
+class Histogram:
+    """A bounded histogram: fixed buckets, constant memory.
+
+    Observations are tallied into ``len(buckets) + 1`` counters (one per
+    upper bound, plus overflow) alongside exact ``count``/``total`` and
+    ``minimum``/``maximum`` — no per-observation storage, so a 10^6-round
+    soak costs the same memory as a 10-round test.
+
+    >>> h = Histogram(buckets=(1, 10))
+    >>> for value in (0, 1, 5, 500):
+    ...     h.observe(value)
+    >>> h.to_value()["buckets"]
+    {'<=1': 2, '<=10': 1, '>10': 1}
+    """
+
+    __slots__ = ("buckets", "counts", "count", "total", "minimum", "maximum")
+
+    def __init__(self, buckets: Tuple[float, ...] = DEFAULT_BUCKETS):
+        if not buckets or list(buckets) != sorted(set(buckets)):
+            raise ValueError(f"buckets must be sorted and distinct, got {buckets}")
+        self.buckets = tuple(buckets)
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.total: float = 0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    def observe(self, value) -> None:
+        """Tally one observation into its bucket."""
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.total += value
+        self.minimum = value if self.minimum is None else min(self.minimum, value)
+        self.maximum = value if self.maximum is None else max(self.maximum, value)
+
+    @property
+    def mean(self) -> Optional[float]:
+        """Arithmetic mean of all observations (None when empty)."""
+        if self.count == 0:
+            return None
+        return self.total / self.count
+
+    def to_value(self) -> Dict:
+        """Serialized form: summary stats plus per-bucket tallies."""
+        labels = [f"<={bound:g}" for bound in self.buckets]
+        labels.append(f">{self.buckets[-1]:g}")
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+            "buckets": dict(zip(labels, self.counts)),
+        }
+
+
+def _label_key(labels: Dict[str, object]) -> str:
+    """Canonical string key for a label set (sorted, ``k=v`` pairs)."""
+    return ",".join(f"{key}={labels[key]}" for key in sorted(labels))
+
+
+class MetricsRegistry:
+    """Creates-on-first-use registry of named, optionally labeled metrics.
+
+    Instruments are identified by ``(kind, name, labels)``; asking for
+    the same triple always returns the same instrument, so call sites
+    can stay stateless::
+
+        >>> registry = MetricsRegistry()
+        >>> registry.counter("move.transfers") is registry.counter("move.transfers")
+        True
+        >>> registry.counter("x", cell="0,1") is registry.counter("x", cell="1,0")
+        False
+    """
+
+    __slots__ = ("_metrics",)
+
+    #: Serialized section per instrument kind.
+    _SECTIONS = {"counter": "counters", "gauge": "gauges", "histogram": "histograms"}
+
+    def __init__(self) -> None:
+        self._metrics: Dict[Tuple[str, str, str], object] = {}
+
+    def counter(self, name: str, **labels) -> Counter:
+        """The counter ``name`` (with optional labels), created on demand."""
+        return self._get("counter", Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        """The gauge ``name`` (with optional labels), created on demand."""
+        return self._get("gauge", Gauge, name, labels)
+
+    def histogram(
+        self, name: str, buckets: Tuple[float, ...] = DEFAULT_BUCKETS, **labels
+    ) -> Histogram:
+        """The histogram ``name``; ``buckets`` applies on first creation."""
+        key = ("histogram", name, _label_key(labels))
+        instrument = self._metrics.get(key)
+        if instrument is None:
+            instrument = Histogram(buckets=buckets)
+            self._metrics[key] = instrument
+        return instrument  # type: ignore[return-value]
+
+    def _get(self, kind: str, factory, name: str, labels: Dict):
+        key = (kind, name, _label_key(labels))
+        instrument = self._metrics.get(key)
+        if instrument is None:
+            instrument = factory()
+            self._metrics[key] = instrument
+        return instrument
+
+    def base_names(self) -> Dict[str, str]:
+        """Mapping of every registered base metric name to its kind.
+
+        Labeled variants collapse onto their base name — the catalog in
+        ``docs/observability.md`` is checked against these.
+        """
+        names: Dict[str, str] = {}
+        for kind, name, _labels in self._metrics:
+            names[name] = kind
+        return names
+
+    def to_dict(self) -> Dict:
+        """Canonical plain-dict form, stable across runs and processes.
+
+        Unlabeled instruments serialize as ``name: value``; labeled ones
+        as ``name{labels}: value``. Keys are sorted, so JSON dumps of two
+        equal registries are byte-identical.
+        """
+        out: Dict[str, Dict] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for (kind, name, label_key), instrument in sorted(
+            self._metrics.items(), key=lambda item: item[0]
+        ):
+            flat = name if not label_key else f"{name}{{{label_key}}}"
+            out[self._SECTIONS[kind]][flat] = instrument.to_value()  # type: ignore[attr-defined]
+        return out

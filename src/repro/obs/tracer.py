@@ -1,0 +1,124 @@
+"""The protocol-event tracer and its sinks.
+
+A :class:`ProtocolTracer` turns validated event records
+(:func:`repro.obs.events.make_event`) into schema-versioned JSON-lines:
+one header line carrying the schema version and the run's config
+fingerprint, then one canonically-serialized object per event. Two
+sinks cover the two usage modes:
+
+* :class:`JsonlSink` — streaming append to a file, for runs whose trace
+  is the artifact (``cellularflows trace --events``, ``REPRO_TRACE``).
+  Serialization is canonical (sorted keys, compact separators), so two
+  identical seeded runs produce **byte-identical** files regardless of
+  which process or worker executed them.
+* :class:`RingBufferSink` — a bounded in-memory buffer keeping the most
+  recent events, for tests and interactive use where only the tail
+  matters and soak runs must not grow memory.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import Deque, Dict, List, Optional
+
+from repro.obs.events import TRACE_SCHEMA, make_event
+
+#: Default capacity of a ring-buffer sink (matches the history cap
+#: convention of :mod:`repro.faults.injector`).
+DEFAULT_BUFFER_CAPACITY = 10_000
+
+
+def _canonical(record: Dict) -> str:
+    """One canonical JSON line: sorted keys, compact separators."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def trace_header(fingerprint: Optional[str] = None) -> Dict:
+    """The header record opening every event trace file."""
+    header: Dict = {"kind": "protocol-events", "schema": TRACE_SCHEMA}
+    if fingerprint is not None:
+        header["config_fingerprint"] = fingerprint
+    return {"header": header}
+
+
+class RingBufferSink:
+    """Keeps the most recent ``capacity`` events in memory."""
+
+    def __init__(self, capacity: int = DEFAULT_BUFFER_CAPACITY):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._buffer: Deque[Dict] = deque(maxlen=capacity)
+
+    def write(self, record: Dict) -> None:
+        """Append one event (evicting the oldest when full)."""
+        self._buffer.append(record)
+
+    def events(self) -> List[Dict]:
+        """The retained events, oldest first."""
+        return list(self._buffer)
+
+    def flush(self) -> None:
+        """No-op (memory sink)."""
+
+    def close(self) -> None:
+        """No-op (memory sink)."""
+
+
+class JsonlSink:
+    """Streams header + events to a JSON-lines file."""
+
+    def __init__(self, path, fingerprint: Optional[str] = None):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = self.path.open("w")
+        self._handle.write(_canonical(trace_header(fingerprint)) + "\n")
+
+    def write(self, record: Dict) -> None:
+        """Append one event as one canonical JSON line."""
+        self._handle.write(_canonical(record) + "\n")
+
+    def flush(self) -> None:
+        """Push buffered lines to the OS (called at round boundaries)."""
+        if not self._handle.closed:
+            self._handle.flush()
+
+    def close(self) -> None:
+        """Flush and close the file (idempotent)."""
+        if not self._handle.closed:
+            self._handle.close()
+
+
+class ProtocolTracer:
+    """Validates and emits protocol events into a sink.
+
+    Keeps a per-type emission tally (``counts``) so summaries are
+    available even when the sink is a bounded ring buffer that has
+    evicted early events.
+    """
+
+    def __init__(self, sink=None, fingerprint: Optional[str] = None):
+        self.sink = sink if sink is not None else RingBufferSink()
+        self.fingerprint = fingerprint
+        self.counts: Dict[str, int] = {}
+
+    def emit(self, name: str, round_index: int, fields: Dict) -> Dict:
+        """Validate, count, and write one event; returns the record."""
+        record = make_event(name, round_index, fields)
+        self.counts[name] = self.counts.get(name, 0) + 1
+        self.sink.write(record)
+        return record
+
+    @property
+    def total_events(self) -> int:
+        """Total events emitted over the tracer's lifetime."""
+        return sum(self.counts.values())
+
+    def flush(self) -> None:
+        """Flush the sink (round-boundary call)."""
+        self.sink.flush()
+
+    def close(self) -> None:
+        """Close the sink (idempotent)."""
+        self.sink.close()

@@ -123,6 +123,10 @@ class ParallelSweepRunner:
     work:
         The work function (module-level, picklable). Overridable for the
         chaos tests; production uses :func:`_execute_point`.
+    metrics:
+        Optional :class:`repro.obs.metrics.MetricsRegistry` receiving
+        the ``sweep.*`` supervision counters; a fresh registry is
+        created when omitted and exposed as ``runner.metrics``.
     """
 
     def __init__(
@@ -138,6 +142,7 @@ class ParallelSweepRunner:
         retry: Optional[RetryPolicy] = None,
         strict: bool = False,
         work: WorkFunction = _execute_point,
+        metrics=None,
     ):
         if workers is None:
             workers = 1
@@ -154,6 +159,11 @@ class ParallelSweepRunner:
         self.point_timeout = point_timeout
         self.strict = strict
         self.work = work
+        if metrics is None:
+            from repro.obs.metrics import MetricsRegistry
+
+            metrics = MetricsRegistry()
+        self.metrics = metrics
 
     # ------------------------------------------------------------------
     # Checkpointing
@@ -326,6 +336,7 @@ class ParallelSweepRunner:
             point_timeout=self.point_timeout,
             mp_context=self.mp_context,
             progress=self.progress,
+            metrics=self.metrics,
         )
         for index, outcome in supervisor.run(name, payloads):
             label = points[index][0]

@@ -31,6 +31,7 @@ from repro.metrics.throughput import ThroughputMeter
 from repro.monitors.progress import EntityTracker
 from repro.monitors.recorder import MonitorSuite
 from repro.metrics.latency import percentile
+from repro.obs.instrument import ObservabilityConfig, SimulationInstrumentation
 from repro.sim.config import SimulationConfig, _parse_source_policy
 from repro.sim.profiling import PhaseProfiler
 from repro.sim.results import SimulationResult
@@ -48,6 +49,7 @@ class Simulator:
         monitors: Optional[MonitorSuite] = None,
         warmup: int = 0,
         config: Optional[SimulationConfig] = None,
+        observability: Optional[ObservabilityConfig] = None,
     ):
         if rounds <= 0:
             raise ValueError(f"rounds must be positive, got {rounds}")
@@ -67,11 +69,30 @@ class Simulator:
         # Install after monitors.attach so their observer is chained (its
         # cost lands in the overhead bucket, not the phase buckets).
         self.profiler = PhaseProfiler().install(system)
+        # Observability (repro.obs) is opt-in: REPRO_METRICS/REPRO_TRACE
+        # env toggles by default, or an explicit ObservabilityConfig. When
+        # disabled (the default) the round loop pays one branch per round.
+        obs_config = (
+            observability
+            if observability is not None
+            else ObservabilityConfig.from_env()
+        )
+        self.obs: Optional[SimulationInstrumentation] = None
+        if obs_config.enabled:
+            fingerprint = config.fingerprint() if config is not None else None
+            self.obs = SimulationInstrumentation(obs_config, fingerprint)
+            if self.obs.registry is not None:
+                self.injector.metrics = self.obs.registry
+                if self.monitors is not None:
+                    self.monitors.metrics = self.obs.registry
 
-    def step(self) -> None:
-        """One loop iteration: faults, update, monitors, metrics."""
+    def step(self):
+        """One loop iteration: faults, update, monitors, metrics.
+
+        Returns the round's :class:`~repro.core.system.RoundReport`.
+        """
         self.profiler.begin_round()
-        self.injector.apply(self.system)
+        decision = self.injector.apply(self.system)
         self.profiler.mark_overhead()
         report = self.system.update()
         if self.monitors is not None:
@@ -79,7 +100,10 @@ class Simulator:
         self.meter.observe(report.consumed_count)
         self.occupancy.observe(self.system, report)
         self.tracker.observe(report, self.system)
+        if self.obs is not None:
+            self.obs.observe_round(self.system, report, decision)
         self.profiler.end_round()
+        return report
 
     def run(self) -> SimulationResult:
         """Execute the full horizon and summarize."""
@@ -111,6 +135,7 @@ class Simulator:
                 len(self.monitors.violations) if self.monitors else 0
             ),
             phase_timings=self.profiler.timings.to_dict(),
+            metrics=self.obs.finalize() if self.obs is not None else None,
         )
 
 
@@ -127,8 +152,16 @@ def _make_source_policy(spec: str) -> SourcePolicy:
     return CappedSource(EagerSource(), limit=int(argument))
 
 
-def build_simulation(config: SimulationConfig) -> Simulator:
-    """Materialize a :class:`Simulator` from a declarative config."""
+def build_simulation(
+    config: SimulationConfig,
+    observability: Optional[ObservabilityConfig] = None,
+) -> Simulator:
+    """Materialize a :class:`Simulator` from a declarative config.
+
+    ``observability`` opts the run into metrics collection and/or
+    protocol-event tracing (:mod:`repro.obs`); when omitted, the
+    ``REPRO_METRICS`` / ``REPRO_TRACE`` environment toggles decide.
+    """
     grid = Grid(config.grid_width, config.grid_height)
     params: Parameters = config.params
     source_rng = derive_rng(config.seed, "sources")
@@ -174,4 +207,5 @@ def build_simulation(config: SimulationConfig) -> Simulator:
         monitors=monitors,
         warmup=config.warmup,
         config=config,
+        observability=observability,
     )

@@ -259,6 +259,11 @@ class SweepSupervisor:
         Optional ``multiprocessing`` context name (``"fork"``/``"spawn"``).
     progress:
         Callback receiving one human-readable line per point event.
+    metrics:
+        Optional :class:`repro.obs.metrics.MetricsRegistry`; when set,
+        supervision activity is counted into the ``sweep.*`` metrics
+        (completions, errors, retries, timeouts, worker deaths,
+        exhausted points — see ``docs/observability.md``).
     """
 
     def __init__(
@@ -269,6 +274,7 @@ class SweepSupervisor:
         point_timeout: Optional[float] = None,
         mp_context: Optional[str] = None,
         progress: Callable[[str], None] = lambda message: None,
+        metrics=None,
     ):
         if workers is None:
             workers = 1
@@ -282,6 +288,12 @@ class SweepSupervisor:
         self.point_timeout = point_timeout
         self.mp_context = mp_context
         self.progress = progress
+        self.metrics = metrics
+
+    def _count(self, name: str) -> None:
+        """Increment a supervision counter when a registry is bound."""
+        if self.metrics is not None:
+            self.metrics.counter(name).inc()
 
     # ------------------------------------------------------------------
 
@@ -319,6 +331,7 @@ class SweepSupervisor:
                     outcome = self.work(payload)
                     break
                 except Exception as error:  # noqa: BLE001
+                    self._count("sweep.errors")
                     last_error = (
                         type(error).__name__,
                         str(error),
@@ -329,14 +342,17 @@ class SweepSupervisor:
                         f"(attempt {attempt}/{self.retry.max_attempts})"
                     )
                     if attempt < self.retry.max_attempts:
+                        self._count("sweep.retries")
                         time.sleep(self.retry.backoff(attempt))
             if outcome is not None:
+                self._count("sweep.points_completed")
                 yield outcome
                 continue
             self.progress(
                 f"[{name}] giving up on {label} after "
                 f"{self.retry.max_attempts} attempt(s)"
             )
+            self._count("sweep.point_failures")
             yield index, PointFailure(
                 index=index,
                 label=label,
@@ -473,6 +489,7 @@ class SweepSupervisor:
         try:
             message = worker.conn.recv()
         except (EOFError, OSError):
+            self._count("sweep.worker_deaths")
             exitcode = worker.process.exitcode
             worker.reap()
             workers[workers.index(worker)] = _WorkerHandle(context, self.work)
@@ -491,7 +508,9 @@ class SweepSupervisor:
         worker.deadline = None
         if message[0] == "ok":
             _, index, result = message
+            self._count("sweep.points_completed")
             return index, result
+        self._count("sweep.errors")
         _, _index, error_type, error_message, error_traceback = message
         state.last_kind = "error"
         state.last_error = (error_type, error_message, error_traceback)
@@ -513,6 +532,7 @@ class SweepSupervisor:
         state = worker.state
         assert state is not None
         elapsed = now - state.attempt_started
+        self._count("sweep.timeouts")
         worker.reap()
         workers[workers.index(worker)] = _WorkerHandle(context, self.work)
         state.last_kind = "timeout"
@@ -536,6 +556,7 @@ class SweepSupervisor:
     ) -> Optional[PointOutcome]:
         """Requeue with backoff, or exhaust into a structured failure."""
         if state.attempts < self.retry.max_attempts:
+            self._count("sweep.retries")
             delay = self.retry.backoff(state.attempts)
             state.eligible_at = now + delay
             pending.append(state)
@@ -546,6 +567,7 @@ class SweepSupervisor:
             )
             return None
         error_type, message, error_traceback = state.last_error
+        self._count("sweep.point_failures")
         self.progress(
             f"[{name}] {state.label} {note}; giving up after "
             f"{state.attempts} attempt(s)"

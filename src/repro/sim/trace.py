@@ -8,6 +8,14 @@ Invariants 1-2) *offline* on a recorded trace, and
 :func:`replay_throughput` recomputes the throughput series from the
 events, so claims in result files can be re-derived from raw traces
 without re-running the simulation.
+
+This module records *state snapshots* (what the world looks like after
+each round). Its sibling :mod:`repro.obs.tracer` records *protocol
+events* (what the phases decided: grants, blocks, rotations,
+transfers); ``cellularflows trace --events`` writes both side by side,
+and ``cellularflows report`` summarizes the event form. The two file
+kinds are distinguished by their header line, and each reader rejects
+the other's files with a pointed message.
 """
 
 from __future__ import annotations

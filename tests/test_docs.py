@@ -1,0 +1,170 @@
+"""Documentation integrity tests.
+
+Two guarantees, both CI-enforced (the docs job runs this module):
+
+* **No dead links.** Every relative link and intra-repo anchor in the
+  top-level markdown files and ``docs/`` resolves to an existing file
+  (and, for ``#fragment`` links, an existing heading).
+* **No drift.** The event-taxonomy and metrics-catalog tables of
+  ``docs/observability.md`` are diffed against the code registries
+  (``repro.obs.events.EVENT_TYPES``, ``repro.obs.instrument.METRIC_NAMES``)
+  — names, field sets, and metric kinds must match exactly, so the
+  documentation cannot fall behind the implementation.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.obs.events import BLOCK_REASONS, EVENT_TYPES
+from repro.obs.instrument import METRIC_NAMES
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOC_FILES = sorted(
+    [
+        REPO_ROOT / "README.md",
+        REPO_ROOT / "DESIGN.md",
+        REPO_ROOT / "EXPERIMENTS.md",
+        REPO_ROOT / "ROADMAP.md",
+        *(REPO_ROOT / "docs").glob("*.md"),
+    ]
+)
+
+#: ``[text](target)`` — excluding images and raw URLs.
+LINK_PATTERN = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+
+
+def github_slug(heading: str) -> str:
+    """The anchor GitHub generates for a markdown heading."""
+    text = heading.strip().lower()
+    text = re.sub(r"`", "", text)
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> set:
+    slugs = set()
+    in_code = False
+    for line in path.read_text().splitlines():
+        if line.lstrip().startswith("```"):
+            in_code = not in_code
+            continue
+        if not in_code and line.startswith("#"):
+            slugs.add(github_slug(line.lstrip("#")))
+    return slugs
+
+
+def extract_links(path: Path):
+    in_code = False
+    for line in path.read_text().splitlines():
+        if line.lstrip().startswith("```"):
+            in_code = not in_code
+            continue
+        if in_code:
+            continue
+        yield from LINK_PATTERN.findall(line)
+
+
+def test_doc_files_exist():
+    assert [path.name for path in DOC_FILES], "no documentation files found"
+    for path in DOC_FILES:
+        assert path.is_file(), path
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda path: path.name)
+def test_no_dead_links(doc):
+    broken = []
+    for target in extract_links(doc):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue  # external links are not checked offline
+        path_part, _, fragment = target.partition("#")
+        resolved = (doc.parent / path_part).resolve() if path_part else doc
+        if not resolved.exists():
+            broken.append(f"{target} (missing file)")
+            continue
+        if fragment and resolved.suffix == ".md":
+            if fragment not in heading_slugs(resolved):
+                broken.append(f"{target} (missing anchor #{fragment})")
+    assert broken == [], f"{doc.name} has dead links: {broken}"
+
+
+# ----------------------------------------------------------------------
+# observability.md <-> code registry diff
+# ----------------------------------------------------------------------
+
+OBSERVABILITY_DOC = REPO_ROOT / "docs" / "observability.md"
+
+
+def table_rows(section_heading: str):
+    """Yield the cell lists of the markdown table under a heading."""
+    lines = OBSERVABILITY_DOC.read_text().splitlines()
+    in_section = False
+    for line in lines:
+        if line.startswith("## "):
+            in_section = line.strip() == section_heading
+            continue
+        if not in_section or not line.startswith("|"):
+            continue
+        cells = [cell.strip() for cell in line.strip("|").split("|")]
+        if not cells or cells[0] in ("Event", "Metric", "Reason", "Variable"):
+            continue  # header row
+        if set(cells[0]) <= {"-", " "}:
+            continue  # separator row
+        yield cells
+
+
+def backticked(cell: str):
+    return re.findall(r"`([^`]+)`", cell)
+
+
+def test_event_table_matches_registry():
+    documented = {}
+    for cells in table_rows("## Event taxonomy"):
+        names = backticked(cells[0])
+        if len(cells) < 3 or len(names) != 1:
+            continue  # the block-reason table or prose rows
+        documented[names[0]] = tuple(backticked(cells[1]))
+    assert set(documented) == set(EVENT_TYPES), (
+        f"event table out of sync: documented {sorted(documented)}, "
+        f"code has {sorted(EVENT_TYPES)}"
+    )
+    for name, event_type in EVENT_TYPES.items():
+        assert documented[name] == event_type.fields, (
+            f"{name}: documented fields {documented[name]} != "
+            f"code fields {event_type.fields}"
+        )
+
+
+def test_block_reason_table_matches_registry():
+    documented = set()
+    for cells in table_rows("## Event taxonomy"):
+        names = backticked(cells[0])
+        if len(cells) == 2 and len(names) == 1:
+            documented.add(names[0])
+    assert documented == set(BLOCK_REASONS)
+
+
+def test_metrics_table_matches_catalog():
+    documented = {}
+    for cells in table_rows("## Metrics catalog"):
+        names = backticked(cells[0])
+        if len(cells) < 3 or len(names) != 1:
+            continue
+        documented[names[0]] = cells[1]
+    assert set(documented) == set(METRIC_NAMES), (
+        f"metrics table out of sync: only in docs "
+        f"{sorted(set(documented) - set(METRIC_NAMES))}, only in code "
+        f"{sorted(set(METRIC_NAMES) - set(documented))}"
+    )
+    for name, spec in METRIC_NAMES.items():
+        assert documented[name] == spec["kind"], (
+            f"{name}: documented kind {documented[name]!r} != "
+            f"code kind {spec['kind']!r}"
+        )
+
+
+def test_metric_descriptions_are_nonempty():
+    for name, spec in METRIC_NAMES.items():
+        assert spec["kind"] in ("counter", "gauge", "histogram"), name
+        assert spec["description"].strip(), name
