@@ -1,0 +1,129 @@
+"""Round-engine throughput: full-sweep reference vs dirty-set incremental.
+
+Two workloads bracket the incremental engine's operating envelope:
+
+* **quiescent-heavy** — the paper's corridor stretched to 16x16 with the
+  complement alive but idle: 16 of 256 cells ever do anything, so a
+  full-sweep engine wastes ~94% of every Route/Signal scan on cells
+  whose state cannot change. This is the incremental engine's best
+  case; the acceptance gate is >= 2x round throughput.
+* **dense-saturated** — an 8x8 snake corridor covering *all* 64 cells,
+  kept saturated by eager sources: every cell is dirty almost every
+  round, so the incremental engine's bookkeeping is pure overhead. The
+  gate is a ratio >= 0.9 (at most 10% regression).
+
+Both runs use identical configs and seeds (the engine is an override,
+not a config edit — the differential harness proves the outputs are
+identical), monitors and observability off, so the measured delta is
+engine cost alone. Results land in ``benchmarks/results/BENCH_engine.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from conftest import horizon, run_once
+
+from repro.grid.paths import snake_path, straight_path
+from repro.grid.topology import Direction, Grid
+from repro.core.params import Parameters
+from repro.sim.config import SimulationConfig
+from repro.sim.simulator import build_simulation
+
+DEFAULT_ROUNDS = 600
+PAPER_ROUNDS = 2500  # the corridor evaluation horizon (Figures 7-8)
+
+
+def quiescent_config(rounds: int) -> SimulationConfig:
+    """16x16, straight length-16 corridor, complement alive but idle.
+
+    The 240 off-corridor cells stay *alive*: a full-sweep engine must
+    run Route and Signal over every one of them each round even though
+    their state never changes after routing stabilizes. (Pre-failing the
+    complement would let the reference skip them almost for free — the
+    interesting case is quiescent, not dead.)
+    """
+    return SimulationConfig(
+        grid_width=16,
+        params=Parameters(l=0.25, rs=0.05, v=0.2),
+        rounds=rounds,
+        path=straight_path((1, 0), Direction.NORTH, 16).cells,
+        fail_complement=False,
+        monitors=False,
+        seed=7,
+    )
+
+
+def dense_config(rounds: int) -> SimulationConfig:
+    """8x8 snake covering all 64 cells, saturated by an eager source."""
+    return SimulationConfig(
+        grid_width=8,
+        params=Parameters(l=0.25, rs=0.05, v=0.2),
+        rounds=rounds,
+        path=snake_path(Grid(8)).cells,
+        fail_complement=False,  # the snake *is* the whole grid
+        monitors=False,
+        seed=7,
+    )
+
+
+def _timed_run(config: SimulationConfig, engine: str) -> dict:
+    simulator = build_simulation(config, engine=engine)
+    start = time.perf_counter()
+    result = simulator.run()
+    elapsed = time.perf_counter() - start
+    return {
+        "engine": engine,
+        "seconds": elapsed,
+        "rounds_per_sec": config.rounds / elapsed,
+        "throughput": result.throughput,
+        "consumed": result.consumed,
+    }
+
+
+def _compare(config: SimulationConfig) -> dict:
+    reference = _timed_run(config, "reference")
+    incremental = _timed_run(config, "incremental")
+    # Identical protocol outcomes — the point of the differential harness.
+    assert incremental["consumed"] == reference["consumed"]
+    assert incremental["throughput"] == reference["throughput"]
+    return {
+        "rounds": config.rounds,
+        "reference": reference,
+        "incremental": incremental,
+        "speedup": incremental["rounds_per_sec"] / reference["rounds_per_sec"],
+    }
+
+
+def test_engine_throughput(benchmark, results_dir):
+    rounds = horizon(DEFAULT_ROUNDS, PAPER_ROUNDS) or PAPER_ROUNDS
+
+    def experiment():
+        return {
+            "quiescent_16x16_corridor": _compare(quiescent_config(rounds)),
+            "dense_8x8_snake": _compare(dense_config(rounds)),
+        }
+
+    record = run_once(benchmark, experiment)
+
+    (results_dir / "BENCH_engine.json").write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n"
+    )
+    for name, comparison in record.items():
+        print(
+            f"\n{name}: reference "
+            f"{comparison['reference']['rounds_per_sec']:.0f} r/s, "
+            f"incremental "
+            f"{comparison['incremental']['rounds_per_sec']:.0f} r/s "
+            f"-> {comparison['speedup']:.2f}x"
+        )
+
+    # Acceptance gates: the dirty-set engine must earn its keep where the
+    # grid is quiescent and must stay within noise where it is not.
+    assert record["quiescent_16x16_corridor"]["speedup"] >= 2.0, (
+        "incremental engine should be >= 2x on the quiescent-heavy corridor"
+    )
+    assert record["dense_8x8_snake"]["speedup"] >= 0.9, (
+        "incremental engine regressed > 10% on the dense saturated grid"
+    )

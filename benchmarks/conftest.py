@@ -23,6 +23,13 @@ sweep points that hang past a wall-clock budget, and
 stay identical to serial execution; an unattended overnight harness run
 cannot be stalled by a single wedged point.
 
+Engine: set ``REPRO_ENGINE=incremental`` to run every simulation through
+the dirty-set round engine instead of the full-sweep reference (see
+``docs/performance.md``). Results are byte-identical either way — the
+differential harness proves it — so the toggle only changes round
+throughput. The env var inherits into sweep worker processes, making it
+the one switch that covers serial, parallel, and supervised execution.
+
 Observability: ``REPRO_METRICS=1`` collects protocol metrics into every
 ``SimulationResult`` and ``REPRO_TRACE=<dir>`` streams per-run protocol
 events as JSONL (one ``trace-<fingerprint>.jsonl`` per point) — see
@@ -70,6 +77,11 @@ def point_timeout() -> Optional[float]:
 def max_retries() -> int:
     """Per-point retry budget (``REPRO_MAX_RETRIES``, default 2)."""
     return int(os.environ.get("REPRO_MAX_RETRIES", "2"))
+
+
+def engine() -> Optional[str]:
+    """Round engine override (``REPRO_ENGINE``, default None = reference)."""
+    return os.environ.get("REPRO_ENGINE") or None
 
 
 @pytest.fixture

@@ -50,6 +50,13 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--no-monitors", action="store_true", help="skip runtime verification"
     )
+    parser.add_argument(
+        "--engine",
+        choices=["reference", "incremental"],
+        default=None,
+        help="round engine: full-sweep reference or dirty-set incremental "
+        "(byte-identical results; default: REPRO_ENGINE, then reference)",
+    )
 
 
 def _build_config(args: argparse.Namespace) -> SimulationConfig:
@@ -67,6 +74,7 @@ def _build_config(args: argparse.Namespace) -> SimulationConfig:
         fault=faults,
         seed=args.seed,
         monitors=not args.no_monitors,
+        engine=args.engine,
     )
 
 

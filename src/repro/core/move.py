@@ -61,14 +61,16 @@ def crossed_boundary(
     return strictly_less(entity.y - half_l, j)
 
 
-def move_phase(
-    grid: Grid,
-    cells: Dict[CellId, CellState],
-    params: Parameters,
-    tid: CellId,
-) -> MovePhaseReport:
-    """Apply Move simultaneously to every non-faulty cell."""
-    # Snapshot the grant each cell observes: signal of its next-neighbor.
+def collect_movers(cells: Dict[CellId, CellState]) -> List[Tuple[CellId, CellId]]:
+    """Snapshot the grant each cell observes: ``(mover, next)`` pairs.
+
+    A cell moves this round when it is non-faulty, has entities, and its
+    ``next`` neighbor's (post-Signal) ``signal`` points back at it. The
+    full-sweep engine calls this scan; the incremental engine instead
+    derives the same pairs from the round's grant report (every mover
+    corresponds to exactly one grant, since ``signal`` is single-valued
+    and set fresh each round).
+    """
     movers: List[Tuple[CellId, CellId]] = []
     for cid, state in cells.items():
         if state.failed or state.next_id is None or not state.members:
@@ -76,7 +78,17 @@ def move_phase(
         nxt = state.next_id
         if effective_signal(cells[nxt]) == cid:
             movers.append((cid, nxt))
+    return movers
 
+
+def apply_moves(
+    grid: Grid,
+    cells: Dict[CellId, CellState],
+    params: Parameters,
+    tid: CellId,
+    movers: List[Tuple[CellId, CellId]],
+) -> MovePhaseReport:
+    """Execute the Move function for the given ``(mover, next)`` pairs."""
     report = MovePhaseReport()
     pending: List[Tuple[Entity, CellId, CellId, Direction]] = []
     for cid, nxt in movers:
@@ -102,3 +114,13 @@ def move_phase(
                 Transfer(uid=entity.uid, src=cid, dst=nxt, consumed=False)
             )
     return report
+
+
+def move_phase(
+    grid: Grid,
+    cells: Dict[CellId, CellState],
+    params: Parameters,
+    tid: CellId,
+) -> MovePhaseReport:
+    """Apply Move simultaneously to every non-faulty cell."""
+    return apply_moves(grid, cells, params, tid, collect_movers(cells))

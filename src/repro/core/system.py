@@ -103,6 +103,14 @@ class System:
         #: hold at specific points within the atomic transition (e.g. the
         #: paper's H holds post-Signal but not post-Move; Lemma 3).
         self.phase_observer = None
+        #: Optional callback ``(event, cell_id) -> None`` fired on the
+        #: out-of-round environment transitions that change what a cell's
+        #: neighbors observe: ``"fail"`` / ``"recover"`` (only on actual
+        #: transitions — the idempotent no-op cases stay silent) and
+        #: ``"members"`` (direct entity seeding). The incremental round
+        #: engine (:mod:`repro.sim.engine`) uses it to seed its dirty
+        #: sets; everything else leaves it None.
+        self.cell_observer = None
 
     # ------------------------------------------------------------------
     # Environment transitions
@@ -115,7 +123,11 @@ class System:
         clause, which simply sets the flags).
         """
         self.grid.require(cid)
-        self.cells[cid].mark_failed()
+        state = self.cells[cid]
+        already_failed = state.failed
+        state.mark_failed()
+        if not already_failed:
+            self._notify_cell_event("fail", cid)
 
     def recover(self, cid: CellId) -> None:
         """Un-crash a cell (the Figure 9 failure/recovery model).
@@ -127,6 +139,7 @@ class System:
         state = self.cells[cid]
         if state.failed:
             state.mark_recovered(is_target=(cid == self.tid))
+            self._notify_cell_event("recover", cid)
 
     def failed_cells(self) -> Set[CellId]:
         """``F(x)``: identifiers of currently failed cells."""
@@ -166,6 +179,10 @@ class System:
     def _notify_phase(self, name: str) -> None:
         if self.phase_observer is not None:
             self.phase_observer(name, self)
+
+    def _notify_cell_event(self, event: str, cid: CellId) -> None:
+        if self.cell_observer is not None:
+            self.cell_observer(event, cid)
 
     def run(self, rounds: int) -> List[RoundReport]:
         """Run ``rounds`` consecutive updates (no faults) and collect reports."""
@@ -209,6 +226,7 @@ class System:
         self.grid.require(cid)
         entity = self._spawn(Point(x, y))
         self.cells[cid].add_entity(entity)
+        self._notify_cell_event("members", cid)
         return entity
 
     def entity_count(self) -> int:

@@ -64,6 +64,12 @@ class SimulationConfig:
     fail_complement: bool = True
     """In corridor mode, pre-fail all off-path cells."""
 
+    engine: Optional[str] = None
+    """Round engine executing each ``update``: ``"reference"`` (full
+    sweep) or ``"incremental"`` (dirty-set, byte-identical results —
+    see :mod:`repro.sim.engine`). ``None`` defers to the
+    ``REPRO_ENGINE`` environment variable, then the default."""
+
     def __post_init__(self) -> None:
         if self.rounds <= 0:
             raise ValueError(f"rounds must be positive, got {self.rounds}")
@@ -84,6 +90,17 @@ class SimulationConfig:
                 "fail_complement=False, as the paper's Figure 9 does"
             )
         _parse_source_policy(self.source_policy)  # validate eagerly
+        if self.engine is not None:
+            # Validate lazily against the registry (imported here to keep
+            # config.py free of a hard dependency on the engine module at
+            # import time — workers unpickle configs before anything else).
+            from repro.sim.engine import ENGINES
+
+            if self.engine not in ENGINES:
+                raise ValueError(
+                    f"unknown engine {self.engine!r}; available: "
+                    f"{sorted(ENGINES)} (or None to defer to REPRO_ENGINE)"
+                )
 
     def to_dict(self) -> Dict:
         """Plain-dict form (JSON-serializable) for result files."""

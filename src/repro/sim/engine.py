@@ -1,0 +1,359 @@
+"""Pluggable round engines: how one ``update`` transition is executed.
+
+The paper's ``update`` is a *synchronous* transition over all ``N x N``
+cells, and :meth:`repro.core.system.System.update` implements it as three
+full sweeps (Route, Signal, Move) plus source production. That full-sweep
+execution is the **reference engine** here — it stays exactly the object
+the paper's proofs talk about.
+
+The protocol, however, is locally triggered: a cell's Route output can
+only change when a neighbor's ``dist`` changed or a fault event touched
+the neighborhood, and Signal/Move are provable no-ops for cells with no
+token, no signal, and an empty ``NEPrev``. The **incremental engine**
+exploits this with per-phase dirty sets, so quiescent regions of the grid
+cost zero per round — the performance lever for large grids — while
+producing *byte-identical* state, reports, metrics, and event traces.
+``tests/differential.py`` is the lockstep harness that proves the
+equivalence on randomized fault-injected configs; the dirty-set rules are
+documented in ``docs/performance.md``.
+
+Engine selection precedence: an explicit argument (``Simulator(...,
+engine=...)`` / ``build_simulation(..., engine=...)``), then the config
+field (``SimulationConfig.engine``), then the ``REPRO_ENGINE``
+environment variable, then :data:`DEFAULT_ENGINE`. The environment hook
+is what the sweep/parallel/supervisor stack and the benchmark harness
+use: worker processes inherit it, so a whole figure sweep switches
+engines without touching any config.
+
+Dirty-set rules (see docs/performance.md for the full derivation):
+
+========  ==========================================================
+Route     re-evaluate a cell next round iff a neighbor's effective
+          ``dist`` changed this round, or a fail/recover event touched
+          the cell or a neighbor. (Route reads only neighbor dists.)
+Signal    re-evaluate a cell this round iff it is *hot* (its last
+          evaluation left a nonempty ``NEPrev`` — it granted or
+          blocked, so it must run again), or a neighbor's ``next``
+          changed in this round's Route phase, or a neighbor's
+          membership changed last round (transfer/production/seeding),
+          or a fail/recover event touched the cell or a neighbor.
+          A skipped cell provably holds ``(NEPrev, token, signal) =
+          (empty, bot, bot)`` — exactly what re-evaluation would write.
+Move      movers are derived from this round's grant report: cell
+          ``m`` moves iff its ``next`` granted it the signal this
+          round, which under the Signal invariant above is equivalent
+          to the reference's full ``effective_signal`` scan.
+produce   never skipped: source policies may consume RNG every round
+          (e.g. Bernoulli arrivals), so all non-faulty sources run to
+          keep the random streams identical.
+========  ==========================================================
+
+Token-policy contract: a policy's ``initial(empty_set)`` must return
+``None`` without consuming randomness (all built-in policies do) —
+otherwise skipping quiescent cells would desynchronize the RNG stream
+from the reference engine.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Set, Tuple, Type
+
+from repro.core.cell import effective_dist
+from repro.core.move import MovePhaseReport, apply_moves
+from repro.core.route import RoutePhaseReport, _route_step
+from repro.core.signal import SignalPhaseReport, _signal_step, compute_ne_prev
+from repro.core.system import RoundReport, System
+from repro.grid.topology import CellId
+
+#: Environment variable naming the engine sweeps/benchmarks should use.
+ENV_ENGINE = "REPRO_ENGINE"
+
+DEFAULT_ENGINE = "reference"
+
+
+def _row_major(cid: CellId) -> Tuple[int, int]:
+    """Sort key reproducing ``Grid.cells()`` iteration order (j, then i).
+
+    The reference sweeps iterate ``cells.items()`` — insertion order,
+    which is ``Grid.cells()`` row-major order. Dirty sets are unordered,
+    so the incremental engine sorts with this key to keep every report
+    list byte-identical to the reference.
+    """
+    return (cid[1], cid[0])
+
+
+class RoundEngine:
+    """Interface: execute one ``update`` transition on a ``System``.
+
+    Engines must be *observationally identical*: same post-round state,
+    same :class:`~repro.core.system.RoundReport` (including list
+    ordering), same ``phase_observer`` notifications, and same RNG
+    consumption. Only the work done to get there may differ.
+    """
+
+    name: str = "abstract"
+
+    def __init__(self, system: System):
+        self.system = system
+
+    def step(self) -> RoundReport:
+        """Run one round; returns the round's report."""
+        raise NotImplementedError
+
+
+class ReferenceEngine(RoundEngine):
+    """The full-sweep execution: delegate to ``System.update()`` verbatim."""
+
+    name = "reference"
+
+    def step(self) -> RoundReport:
+        return self.system.update()
+
+
+class _LiveDistView:
+    """Mapping view of the cells' *current* effective dists.
+
+    ``_route_step`` expects a ``cid -> dist`` mapping. The reference
+    engine materializes a full snapshot dict; the incremental engine
+    defers all writes until after every dirty cell has been evaluated,
+    so reading the live state through this view *is* the pre-phase
+    snapshot — without the O(cells) copy.
+    """
+
+    __slots__ = ("_cells",)
+
+    def __init__(self, cells):
+        self._cells = cells
+
+    def __getitem__(self, cid: CellId) -> float:
+        return effective_dist(self._cells[cid])
+
+
+class IncrementalEngine(RoundEngine):
+    """Dirty-set execution: evaluate only cells whose inputs could have
+    changed; quiescent regions cost zero per round.
+
+    Equivalence to the reference engine is enforced by the differential
+    harness (``tests/test_engine_differential.py``) over randomized
+    fault-injected configurations; the invariants each dirty set
+    maintains are spelled out in the module docstring.
+    """
+
+    name = "incremental"
+
+    def __init__(self, system: System):
+        super().__init__(system)
+        all_cells = set(system.cells)
+        #: Cells whose Route function must be re-evaluated this round.
+        self._route_dirty: Set[CellId] = set(all_cells)
+        #: Cells whose Signal function must be re-evaluated this round.
+        self._signal_pending: Set[CellId] = set(all_cells)
+        self._chained_cell_observer = system.cell_observer
+        system.cell_observer = self._on_cell_event
+
+    # ------------------------------------------------------------------
+    # Dirty-set maintenance
+    # ------------------------------------------------------------------
+
+    def _on_cell_event(self, event: str, cid: CellId) -> None:
+        """Environment transition (fail/recover/seeding) touched ``cid``."""
+        if event in ("fail", "recover"):
+            self._mark_fault_event(cid)
+        else:  # "members": direct entity seeding between rounds
+            self._mark_membership_change(cid)
+        if self._chained_cell_observer is not None:
+            self._chained_cell_observer(event, cid)
+
+    def _mark_fault_event(self, cid: CellId) -> None:
+        """A fail/recover transition changes every shared variable the
+        neighbors observe (masking), and resets the cell's own state."""
+        self._route_dirty.add(cid)
+        self._signal_pending.add(cid)
+        for nbr in self.system.grid.neighbors(cid):
+            self._route_dirty.add(nbr)
+            self._signal_pending.add(nbr)
+
+    def _mark_dist_change(self, cid: CellId) -> None:
+        """``cid``'s dist changed: neighbors re-run Route next round."""
+        self._route_dirty.update(self.system.grid.neighbors(cid))
+
+    def _mark_membership_change(self, cid: CellId) -> None:
+        """``cid``'s membership changed: neighbors' ``NEPrev`` may differ."""
+        self._signal_pending.update(self.system.grid.neighbors(cid))
+
+    def invalidate(self, cid: CellId) -> None:
+        """Mark ``cid``'s whole neighborhood dirty for every phase.
+
+        External code that mutates cell state directly (outside the
+        ``fail``/``recover``/``seed_entity`` transitions, which notify
+        automatically) must call this, or the engine may keep treating
+        the region as quiescent.
+        """
+        self._mark_fault_event(cid)
+
+    def invalidate_all(self) -> None:
+        """Forget all quiescence: the next round re-evaluates every cell."""
+        all_cells = set(self.system.cells)
+        self._route_dirty = set(all_cells)
+        self._signal_pending = set(all_cells)
+
+    # ------------------------------------------------------------------
+    # The round
+    # ------------------------------------------------------------------
+
+    def step(self) -> RoundReport:
+        """One synchronous round, mirroring ``System.update`` exactly."""
+        system = self.system
+        route_report = self._route_phase()
+        system._notify_phase("route")
+        signal_report = self._signal_phase(route_report)
+        system._notify_phase("signal")
+        move_report = self._move_phase(signal_report)
+        system._notify_phase("move")
+        system.total_consumed += len(move_report.consumed)
+        produced = system._produce()
+        self._mark_production(produced)
+        system._notify_phase("produce")
+        report = RoundReport(
+            round_index=system.round_index,
+            route=route_report,
+            signal=signal_report,
+            move=move_report,
+            produced=produced,
+        )
+        system.round_index += 1
+        return report
+
+    def _route_phase(self) -> RoutePhaseReport:
+        """Route over the dirty set only (Jacobi semantics preserved).
+
+        All new values are computed against the live pre-write state and
+        applied afterwards, so dirty cells still observe each other's
+        *previous-round* dists exactly as the simultaneous reference
+        sweep does.
+        """
+        system = self.system
+        cells = system.cells
+        dirty = self._route_dirty
+        self._route_dirty = set()
+        report = RoutePhaseReport()
+        if not dirty:
+            return report
+        view = _LiveDistView(cells)
+        updates: List[Tuple[CellId, float, Optional[CellId]]] = []
+        for cid in sorted(dirty, key=_row_major):
+            state = cells[cid]
+            if state.failed or cid == system.tid:
+                continue
+            new_dist, new_next = _route_step(system.grid, cid, view)
+            if new_dist != state.dist or new_next != state.next_id:
+                updates.append((cid, new_dist, new_next))
+        for cid, new_dist, new_next in updates:
+            state = cells[cid]
+            if new_dist != state.dist:
+                report.changed_dist.append(cid)
+                state.dist = new_dist
+                self._mark_dist_change(cid)
+            if new_next != state.next_id:
+                report.changed_next.append(cid)
+                state.next_id = new_next
+        return report
+
+    def _signal_phase(self, route_report: RoutePhaseReport) -> SignalPhaseReport:
+        """Signal over pending cells only.
+
+        Invariant: every non-pending, non-faulty cell holds
+        ``(NEPrev, token, signal) = (empty, bot, bot)`` and its freshly
+        computed ``NEPrev`` would still be empty — so skipping it is a
+        byte-exact no-op (and consumes no policy randomness; see the
+        token-policy contract in the module docstring).
+        """
+        system = self.system
+        cells = system.cells
+        grid = system.grid
+        pending = self._signal_pending
+        # A changed next-pointer changes which neighbor the cell points
+        # at: both the old and the new pointee (all lattice neighbors of
+        # the changed cell) recompute NEPrev *this* round — Signal reads
+        # post-Route state within the same update.
+        for changed in route_report.changed_next:
+            pending.update(grid.neighbors(changed))
+        self._signal_pending = set()
+        report = SignalPhaseReport()
+        for cid in sorted(pending, key=_row_major):
+            state = cells[cid]
+            if state.failed:
+                continue
+            ne_prev = compute_ne_prev(grid, cells, cid)
+            _signal_step(state, ne_prev, system.params, system.token_policy, report)
+            if ne_prev:
+                # Hot: the cell granted or blocked, so its token/signal
+                # must be recomputed next round regardless of events.
+                self._signal_pending.add(cid)
+        return report
+
+    def _move_phase(self, signal_report: SignalPhaseReport) -> MovePhaseReport:
+        """Move derived from this round's grants.
+
+        A cell moves iff its ``next`` granted it the signal this round;
+        because skipped cells always hold ``signal = bot`` (the Signal
+        invariant) and grants are recomputed for every hot cell each
+        round, the grant report is exactly the reference engine's
+        ``effective_signal`` scan.
+        """
+        system = self.system
+        movers = sorted(
+            ((grantee, granter) for granter, grantee in signal_report.granted.items()),
+            key=lambda pair: _row_major(pair[0]),
+        )
+        report = apply_moves(
+            system.grid, system.cells, system.params, system.tid, movers
+        )
+        for transfer in report.transfers:
+            self._mark_membership_change(transfer.src)
+            if not transfer.consumed:
+                self._mark_membership_change(transfer.dst)
+        return report
+
+    def _mark_production(self, produced) -> None:
+        """Fresh entities change their source cells' observed emptiness.
+
+        Sources insert strictly inside their own unit cell (centers sit
+        ``l/2 > 0`` off every wall), so the producing cell is exactly the
+        floor of the entity's center.
+        """
+        for entity in produced:
+            self._mark_membership_change((int(entity.x), int(entity.y)))
+
+
+#: Registry of selectable engines (name -> class). ``docs/performance.md``
+#: documents each entry; ``tests/test_docs.py`` diffs the table against
+#: this registry so the page cannot drift.
+ENGINES: Dict[str, Type[RoundEngine]] = {
+    ReferenceEngine.name: ReferenceEngine,
+    IncrementalEngine.name: IncrementalEngine,
+}
+
+
+def resolve_engine_name(
+    explicit: Optional[str] = None,
+    environ: Optional[Dict[str, str]] = None,
+) -> str:
+    """Pick the engine name: explicit > ``REPRO_ENGINE`` > default."""
+    env = os.environ if environ is None else environ
+    name = explicit or env.get(ENV_ENGINE) or DEFAULT_ENGINE
+    if name not in ENGINES:
+        raise ValueError(
+            f"unknown round engine {name!r}; available: {sorted(ENGINES)}"
+        )
+    return name
+
+
+def make_engine(name: str, system: System) -> RoundEngine:
+    """Instantiate the named engine attached to ``system``."""
+    if name not in ENGINES:
+        raise ValueError(
+            f"unknown round engine {name!r}; available: {sorted(ENGINES)}"
+        )
+    return ENGINES[name](system)

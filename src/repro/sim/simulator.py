@@ -33,6 +33,7 @@ from repro.monitors.recorder import MonitorSuite
 from repro.metrics.latency import percentile
 from repro.obs.instrument import ObservabilityConfig, SimulationInstrumentation
 from repro.sim.config import SimulationConfig, _parse_source_policy
+from repro.sim.engine import make_engine, resolve_engine_name
 from repro.sim.profiling import PhaseProfiler
 from repro.sim.results import SimulationResult
 from repro.sim.seeding import derive_rng
@@ -50,6 +51,7 @@ class Simulator:
         warmup: int = 0,
         config: Optional[SimulationConfig] = None,
         observability: Optional[ObservabilityConfig] = None,
+        engine: Optional[str] = None,
     ):
         if rounds <= 0:
             raise ValueError(f"rounds must be positive, got {rounds}")
@@ -69,6 +71,16 @@ class Simulator:
         # Install after monitors.attach so their observer is chained (its
         # cost lands in the overhead bucket, not the phase buckets).
         self.profiler = PhaseProfiler().install(system)
+        # Round engine: explicit argument > config.engine > REPRO_ENGINE >
+        # reference. Both engines produce byte-identical state, reports,
+        # metrics and traces (tests/test_engine_differential.py); the
+        # incremental one skips quiescent cells via dirty sets.
+        engine_name = resolve_engine_name(
+            engine if engine is not None
+            else (config.engine if config is not None else None)
+        )
+        self.engine = make_engine(engine_name, system)
+        self._ran = False
         # Observability (repro.obs) is opt-in: REPRO_METRICS/REPRO_TRACE
         # env toggles by default, or an explicit ObservabilityConfig. When
         # disabled (the default) the round loop pays one branch per round.
@@ -94,7 +106,7 @@ class Simulator:
         self.profiler.begin_round()
         decision = self.injector.apply(self.system)
         self.profiler.mark_overhead()
-        report = self.system.update()
+        report = self.engine.step()
         if self.monitors is not None:
             self.monitors.after_round(self.system, report)
         self.meter.observe(report.consumed_count)
@@ -106,7 +118,23 @@ class Simulator:
         return report
 
     def run(self) -> SimulationResult:
-        """Execute the full horizon and summarize."""
+        """Execute the full horizon and summarize.
+
+        Single-use: a second call raises. (It used to silently append
+        ``rounds`` more rounds onto the same meters and profiler,
+        producing a result that looked like — but was not — a fresh
+        run.) To extend a finished run, call :meth:`step` explicitly
+        and :meth:`summarize` when done; for a fresh run, build a new
+        simulator from the config.
+        """
+        if self._ran:
+            raise RuntimeError(
+                "Simulator.run() already executed; a second call would "
+                "silently accumulate onto the same meters/profiler. Build "
+                "a new Simulator (build_simulation(config)) for a fresh "
+                "run, or use step()/summarize() to continue explicitly."
+            )
+        self._ran = True
         for _ in range(self.rounds):
             self.step()
         return self.summarize()
@@ -155,12 +183,18 @@ def _make_source_policy(spec: str) -> SourcePolicy:
 def build_simulation(
     config: SimulationConfig,
     observability: Optional[ObservabilityConfig] = None,
+    engine: Optional[str] = None,
 ) -> Simulator:
     """Materialize a :class:`Simulator` from a declarative config.
 
     ``observability`` opts the run into metrics collection and/or
     protocol-event tracing (:mod:`repro.obs`); when omitted, the
     ``REPRO_METRICS`` / ``REPRO_TRACE`` environment toggles decide.
+
+    ``engine`` overrides the round engine without touching the config
+    (so e.g. the differential harness can run the *same* config object
+    under both engines and compare results field-for-field); when
+    omitted, ``config.engine`` then ``REPRO_ENGINE`` decide.
     """
     grid = Grid(config.grid_width, config.grid_height)
     params: Parameters = config.params
@@ -208,4 +242,5 @@ def build_simulation(
         warmup=config.warmup,
         config=config,
         observability=observability,
+        engine=engine,
     )

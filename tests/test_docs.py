@@ -7,9 +7,11 @@ Two guarantees, both CI-enforced (the docs job runs this module):
   (and, for ``#fragment`` links, an existing heading).
 * **No drift.** The event-taxonomy and metrics-catalog tables of
   ``docs/observability.md`` are diffed against the code registries
-  (``repro.obs.events.EVENT_TYPES``, ``repro.obs.instrument.METRIC_NAMES``)
-  — names, field sets, and metric kinds must match exactly, so the
-  documentation cannot fall behind the implementation.
+  (``repro.obs.events.EVENT_TYPES``, ``repro.obs.instrument.METRIC_NAMES``),
+  and the engine-registry table of ``docs/performance.md`` against
+  ``repro.sim.engine.ENGINES`` — names, field sets, metric kinds, and
+  engine class names must match exactly, so the documentation cannot
+  fall behind the implementation.
 """
 
 import re
@@ -19,6 +21,7 @@ import pytest
 
 from repro.obs.events import BLOCK_REASONS, EVENT_TYPES
 from repro.obs.instrument import METRIC_NAMES
+from repro.sim.engine import DEFAULT_ENGINE, ENGINES
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DOC_FILES = sorted(
@@ -90,15 +93,19 @@ def test_no_dead_links(doc):
 
 
 # ----------------------------------------------------------------------
-# observability.md <-> code registry diff
+# docs <-> code registry diffs
 # ----------------------------------------------------------------------
 
 OBSERVABILITY_DOC = REPO_ROOT / "docs" / "observability.md"
+PERFORMANCE_DOC = REPO_ROOT / "docs" / "performance.md"
+
+#: First-column labels that mark a table's header row.
+HEADER_LABELS = ("Event", "Metric", "Reason", "Variable", "Engine", "Phase", "Workload")
 
 
-def table_rows(section_heading: str):
+def table_rows(section_heading: str, doc: Path = OBSERVABILITY_DOC):
     """Yield the cell lists of the markdown table under a heading."""
-    lines = OBSERVABILITY_DOC.read_text().splitlines()
+    lines = doc.read_text().splitlines()
     in_section = False
     for line in lines:
         if line.startswith("## "):
@@ -107,7 +114,7 @@ def table_rows(section_heading: str):
         if not in_section or not line.startswith("|"):
             continue
         cells = [cell.strip() for cell in line.strip("|").split("|")]
-        if not cells or cells[0] in ("Event", "Metric", "Reason", "Variable"):
+        if not cells or cells[0] in HEADER_LABELS:
             continue  # header row
         if set(cells[0]) <= {"-", " "}:
             continue  # separator row
@@ -162,6 +169,31 @@ def test_metrics_table_matches_catalog():
             f"{name}: documented kind {documented[name]!r} != "
             f"code kind {spec['kind']!r}"
         )
+
+
+def test_engine_table_matches_registry():
+    """docs/performance.md's registry table names every engine, with the
+    class that implements it — diffed against ``repro.sim.engine.ENGINES``."""
+    documented = {}
+    for cells in table_rows("## Engine registry", doc=PERFORMANCE_DOC):
+        names = backticked(cells[0])
+        if len(cells) < 3 or len(names) != 1:
+            continue
+        classes = backticked(cells[1])
+        assert len(classes) == 1, f"expected one class in row for {names[0]}"
+        documented[names[0]] = classes[0]
+    assert set(documented) == set(ENGINES), (
+        f"engine table out of sync: documented {sorted(documented)}, "
+        f"code has {sorted(ENGINES)}"
+    )
+    for name, engine_class in ENGINES.items():
+        assert documented[name] == engine_class.__name__, (
+            f"{name}: documented class {documented[name]!r} != "
+            f"code class {engine_class.__name__!r}"
+        )
+    # The prose names the default; keep it honest too.
+    assert f"`{DEFAULT_ENGINE}`" in PERFORMANCE_DOC.read_text()
+    assert DEFAULT_ENGINE in ENGINES
 
 
 def test_metric_descriptions_are_nonempty():
