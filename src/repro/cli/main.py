@@ -11,6 +11,9 @@ Subcommands
                 (``--events`` additionally records protocol events)
 ``report``      summarize a protocol-event trace (text / JSON / CSV)
 ``svg``         render a run's final state to an SVG file
+``fuzz``        deterministic scenario fuzzing: ``run`` a seed range
+                against the oracle registry, ``shrink`` a violating
+                scenario to a minimal repro, ``replay`` a repro artifact
 ``list``        list registered experiments
 
 Observability toggles (see ``docs/observability.md``): set
@@ -314,6 +317,120 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+EXIT_FUZZ_VIOLATIONS = 4
+
+
+def _parse_seed_range(spec: str) -> List[int]:
+    """``START:COUNT`` (or a single seed) -> the explicit seed list."""
+    if ":" in spec:
+        start_text, count_text = spec.split(":", 1)
+        start, count = int(start_text), int(count_text)
+        if count <= 0:
+            raise ValueError(f"seed count must be positive, got {count}")
+        return list(range(start, start + count))
+    return [int(spec)]
+
+
+def _parse_oracles(spec: Optional[str]) -> Optional[List[str]]:
+    if spec is None:
+        return None
+    return [name.strip() for name in spec.split(",") if name.strip()]
+
+
+def _cmd_fuzz_run(args: argparse.Namespace) -> int:
+    from repro.fuzz.campaign import run_campaign
+    from repro.fuzz.generator import generate_scenario
+    from repro.fuzz.shrink import shrink_scenario, write_repro
+
+    seeds = _parse_seed_range(args.seeds)
+    progress = (lambda line: print(line, file=sys.stderr)) if args.verbose else (
+        lambda line: None
+    )
+    result = run_campaign(
+        seeds,
+        oracle_names=_parse_oracles(args.oracles),
+        workers=args.workers,
+        point_timeout=args.point_timeout,
+        max_retries=args.max_retries,
+        progress=progress,
+    )
+    summary = result.summary_json()
+    if args.out:
+        Path(args.out).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.out).write_text(summary)
+    print(summary, end="")
+    for outcome in result.failures:
+        if args.shrink and args.repro_dir:
+            shrunk = shrink_scenario(
+                generate_scenario(outcome.seed),
+                oracle_names=_parse_oracles(args.oracles),
+            )
+            path = write_repro(shrunk, args.repro_dir)
+            print(f"seed {outcome.seed}: shrunk repro written: {path}", file=sys.stderr)
+    if result.errors:
+        return EXIT_POINTS_FAILED
+    if result.failures:
+        return EXIT_FUZZ_VIOLATIONS
+    return 0
+
+
+def _cmd_fuzz_shrink(args: argparse.Namespace) -> int:
+    from repro.fuzz.generator import Scenario, generate_scenario
+    from repro.fuzz.shrink import load_repro, shrink_scenario, write_repro
+
+    if args.seed is not None:
+        scenario = generate_scenario(args.seed)
+    else:
+        # Exit 2 on an unreadable/wrong-kind artifact, matching `report`.
+        try:
+            scenario = Scenario.from_dict(load_repro(args.repro)["scenario"])
+        except (OSError, ValueError) as error:
+            print(f"shrink: {error}", file=sys.stderr)
+            return 2
+    try:
+        result = shrink_scenario(scenario, oracle_names=_parse_oracles(args.oracles))
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    path = write_repro(result, args.out)
+    print(f"shrunk in {len(result.steps)} steps ({result.checks} oracle checks):")
+    for step in result.steps:
+        print(f"  - {step}")
+    for violation in result.violations:
+        print(f"  violation: {violation.to_dict()}")
+    print(f"repro written: {path}")
+    return 0
+
+
+def _cmd_fuzz_replay(args: argparse.Namespace) -> int:
+    from repro.fuzz.shrink import replay_repro
+
+    # Exit 2 on an unreadable/wrong-kind artifact (e.g. a corpus
+    # scenario, which is not a repro), matching `report`; exit 1 is
+    # reserved for "loads fine but no longer reproduces".
+    try:
+        artifact, recomputed = replay_repro(
+            args.repro, oracle_names=_parse_oracles(args.oracles)
+        )
+    except (OSError, ValueError) as error:
+        print(f"replay: {error}", file=sys.stderr)
+        return 2
+    recorded = artifact["violations"]
+    replayed = [violation.to_dict() for violation in recomputed]
+    if replayed == recorded:
+        print(f"reproduces: {len(replayed)} violation(s), identical to the artifact")
+        for violation in replayed:
+            print(f"  {violation}")
+        return 0
+    print("does NOT reproduce: oracles now report")
+    for violation in replayed:
+        print(f"  {violation}")
+    print("but the artifact recorded")
+    for violation in recorded:
+        print(f"  {violation}")
+    return 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argparse command tree."""
     parser = argparse.ArgumentParser(
@@ -425,6 +542,78 @@ def build_parser() -> argparse.ArgumentParser:
     _add_run_arguments(svg_parser)
     svg_parser.add_argument("--out", default="state.svg", help="output file")
     svg_parser.set_defaults(handler=_cmd_svg)
+
+    fuzz_parser = subparsers.add_parser(
+        "fuzz", help="deterministic scenario fuzzing (run / shrink / replay)"
+    )
+    fuzz_subparsers = fuzz_parser.add_subparsers(dest="fuzz_command", required=True)
+
+    fuzz_run = fuzz_subparsers.add_parser(
+        "run", help="check a seed range against the oracle registry"
+    )
+    fuzz_run.add_argument(
+        "--seeds",
+        default="0:50",
+        help="seed range START:COUNT, or one seed (default 0:50)",
+    )
+    fuzz_run.add_argument(
+        "--oracles",
+        default=None,
+        help="comma-separated oracle names (default: the full registry)",
+    )
+    fuzz_run.add_argument(
+        "--workers", type=int, default=1, help="worker processes (default 1)"
+    )
+    fuzz_run.add_argument(
+        "--point-timeout",
+        type=float,
+        default=None,
+        help="wall-clock seconds per seed attempt",
+    )
+    fuzz_run.add_argument(
+        "--max-retries",
+        type=int,
+        default=1,
+        help="re-runs per crashed/timed-out seed (default 1)",
+    )
+    fuzz_run.add_argument("--out", help="also write the summary JSON here")
+    fuzz_run.add_argument(
+        "--shrink",
+        action="store_true",
+        help="shrink every violating seed and write repro artifacts",
+    )
+    fuzz_run.add_argument(
+        "--repro-dir",
+        default="fuzz-repros",
+        help="directory for shrunk repro artifacts (default fuzz-repros/)",
+    )
+    fuzz_run.add_argument(
+        "--verbose", action="store_true", help="per-seed progress on stderr"
+    )
+    fuzz_run.set_defaults(handler=_cmd_fuzz_run)
+
+    fuzz_shrink = fuzz_subparsers.add_parser(
+        "shrink", help="delta-debug one violating scenario to a minimal repro"
+    )
+    shrink_input = fuzz_shrink.add_mutually_exclusive_group(required=True)
+    shrink_input.add_argument("--seed", type=int, help="shrink generate_scenario(SEED)")
+    shrink_input.add_argument("--repro", help="re-shrink an existing repro artifact")
+    fuzz_shrink.add_argument(
+        "--oracles", default=None, help="comma-separated oracle names"
+    )
+    fuzz_shrink.add_argument(
+        "--out", default="fuzz-repros", help="artifact directory (default fuzz-repros/)"
+    )
+    fuzz_shrink.set_defaults(handler=_cmd_fuzz_shrink)
+
+    fuzz_replay = fuzz_subparsers.add_parser(
+        "replay", help="re-run the oracles on a repro artifact"
+    )
+    fuzz_replay.add_argument("repro", help="repro JSON written by `fuzz shrink`")
+    fuzz_replay.add_argument(
+        "--oracles", default=None, help="comma-separated oracle names"
+    )
+    fuzz_replay.set_defaults(handler=_cmd_fuzz_replay)
 
     list_parser = subparsers.add_parser("list", help="list experiments")
     list_parser.set_defaults(handler=_cmd_list)

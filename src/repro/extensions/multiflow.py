@@ -267,6 +267,8 @@ class MultiFlowSystem:
                 resident = cell.resident_flow
                 if resident is not None and resident != name:
                     continue  # type exclusivity: wait for the cell to drain
+                if cell.next_id[name] is None:
+                    continue  # no route yet: wait, as the core sources do
                 candidate = self._entry_point(cell, name)
                 centers = [e.center for e in cell.base.members.values()]
                 if fits_among(candidate, centers, self.params.d):
@@ -286,8 +288,7 @@ class MultiFlowSystem:
         i, j = cell.base.cell_id
         half = self.params.half_l
         nxt = cell.next_id[flow_name]
-        if nxt is None:
-            return Point(i + 0.5, j + half)
+        assert nxt is not None, "produce gates on a route existing"
         exit_dir = direction_between(cell.base.cell_id, nxt)
         if exit_dir is Direction.EAST:
             return Point(i + half, j + 0.5)

@@ -1,0 +1,52 @@
+"""Deterministic scenario fuzzing: generate, check, campaign, shrink.
+
+The fuzzer turns the repo's verification machinery — the monitor suite,
+the reference-vs-incremental differential harness, trace replay, and
+the netsim degradation checks — into an automated search for violating
+scenarios:
+
+* :mod:`repro.fuzz.generator` samples a complete, valid
+  :class:`~repro.fuzz.generator.Scenario` from one integer seed;
+* :mod:`repro.fuzz.oracles` runs a scenario through a registry of
+  uniform :class:`~repro.fuzz.oracles.Oracle` checks, each returning
+  structured :class:`~repro.fuzz.oracles.Violation` records;
+* :mod:`repro.fuzz.campaign` fans seed ranges out over the supervised
+  parallel sweep infrastructure and collects byte-stable summaries;
+* :mod:`repro.fuzz.shrink` delta-debugs any failing scenario down to a
+  minimal replayable repro (JSON artifact + generated pytest snippet).
+
+Everything is deterministic: a seed fully determines its scenario, a
+scenario fully determines its violations, so campaigns re-run
+byte-identically and repros replay forever. The CLI surface is
+``cellularflows fuzz run|shrink|replay``; ``docs/fuzzing.md`` documents
+the oracle table (CI-diffed against :data:`repro.fuzz.oracles.ORACLES`).
+"""
+
+from repro.fuzz.generator import NetSpec, Scenario, generate_scenario
+from repro.fuzz.oracles import ORACLES, Oracle, Violation, check_scenario
+from repro.fuzz.campaign import CampaignResult, SeedOutcome, run_campaign
+from repro.fuzz.shrink import (
+    ShrinkResult,
+    pytest_snippet,
+    replay_repro,
+    shrink_scenario,
+    write_repro,
+)
+
+__all__ = [
+    "CampaignResult",
+    "NetSpec",
+    "ORACLES",
+    "Oracle",
+    "Scenario",
+    "SeedOutcome",
+    "ShrinkResult",
+    "Violation",
+    "check_scenario",
+    "generate_scenario",
+    "pytest_snippet",
+    "replay_repro",
+    "run_campaign",
+    "shrink_scenario",
+    "write_repro",
+]

@@ -1,0 +1,170 @@
+"""Campaign execution: fanning seed ranges out over the sweep infra.
+
+A campaign is "check seeds S..S+N against the oracle registry". Each
+seed is one independent unit of work — the worker regenerates the
+scenario from the seed (scenarios are a pure function of it) and runs
+:func:`~repro.fuzz.oracles.check_scenario` — so campaigns ride the
+existing :class:`~repro.sim.parallel.ParallelSweepRunner` and inherit
+its supervision for free: process fan-out, per-seed timeouts, retries
+with backoff, and crashed-worker replacement. Checkpointing is *not*
+used (oracle outcomes are not ``SimulationResult`` records); a campaign
+is cheap enough to re-run and byte-stable when it does.
+
+Byte-stability is the load-bearing property: :meth:`CampaignResult.
+summary_json` contains no timings, hostnames, or timestamps — only
+seeds, fingerprints, and violations — so re-running the same seed range
+on the same tree produces the identical byte string, which CI diffs to
+detect *new* violations.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.fuzz.generator import GENERATOR_VERSION, Scenario, generate_scenario
+from repro.fuzz.oracles import Violation, check_scenario, resolve_oracles
+from repro.sim.parallel import ParallelSweepRunner, PointPayload
+from repro.sim.results import PointFailure
+
+
+@dataclass(frozen=True)
+class SeedOutcome:
+    """What checking one seed produced."""
+
+    seed: int
+    fingerprint: str
+    """The scenario fingerprint (ties the outcome to generator output)."""
+
+    violations: Tuple[Violation, ...] = ()
+    error: Optional[str] = None
+    """Supervision failure (timeout/crash after retries), if any."""
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and self.error is None
+
+    def to_dict(self) -> Dict:
+        """Summary-ready form: clean outcomes carry no violation/error keys."""
+        record: Dict = {"seed": self.seed, "fingerprint": self.fingerprint}
+        if self.violations:
+            record["violations"] = [v.to_dict() for v in self.violations]
+        if self.error is not None:
+            record["error"] = self.error
+        return record
+
+
+@dataclass
+class CampaignResult:
+    """All outcomes of one campaign, in seed order."""
+
+    oracle_names: List[str]
+    outcomes: List[SeedOutcome] = field(default_factory=list)
+
+    @property
+    def failures(self) -> List[SeedOutcome]:
+        """Outcomes with at least one violation (supervision errors aside)."""
+        return [outcome for outcome in self.outcomes if outcome.violations]
+
+    @property
+    def errors(self) -> List[SeedOutcome]:
+        return [outcome for outcome in self.outcomes if outcome.error is not None]
+
+    @property
+    def total_violations(self) -> int:
+        return sum(len(outcome.violations) for outcome in self.outcomes)
+
+    def summary(self) -> Dict:
+        """JSON-ready, timing-free campaign record."""
+        return {
+            "generator_version": GENERATOR_VERSION,
+            "oracles": list(self.oracle_names),
+            "seeds": [outcome.seed for outcome in self.outcomes],
+            "checked": len(self.outcomes),
+            "violations": self.total_violations,
+            "failures": [outcome.to_dict() for outcome in self.failures],
+            "errors": [outcome.to_dict() for outcome in self.errors],
+        }
+
+    def summary_json(self) -> str:
+        """Canonical byte-stable serialization (CI diffs these)."""
+        return (
+            json.dumps(self.summary(), sort_keys=True, separators=(",", ":"))
+            + "\n"
+        )
+
+
+def _fuzz_point(payload: PointPayload) -> Tuple[int, Dict]:
+    """Worker entry: check one seed (module-level: picklable).
+
+    Regenerates the scenario from the seed inside the worker — the
+    config in the payload exists for the supervisor's labels — and
+    returns a plain dict (workers may be separate processes; keep the
+    wire format primitive).
+    """
+    index, _label, _config, extras = payload
+    seed = extras["seed"]
+    scenario = generate_scenario(seed)
+    violations = check_scenario(scenario, extras["oracles"])
+    return index, {
+        "seed": seed,
+        "fingerprint": scenario.fingerprint(),
+        "violations": [violation.to_dict() for violation in violations],
+    }
+
+
+def run_campaign(
+    seeds: Sequence[int],
+    oracle_names: Optional[Sequence[str]] = None,
+    workers: int = 1,
+    point_timeout: Optional[float] = None,
+    max_retries: int = 1,
+    mp_context: Optional[str] = None,
+    progress: Callable[[str], None] = lambda message: None,
+) -> CampaignResult:
+    """Check every seed; never raises on violations (they are the data).
+
+    ``workers=1`` with no ``point_timeout`` runs in-process — required
+    by the mutation tests, whose monkeypatched engines exist only in
+    the current process. Timeouts/retries follow the sweep supervisor's
+    semantics; a seed that exhausts its budget surfaces as a
+    :class:`SeedOutcome` with ``error`` set (and is counted separately
+    from violations).
+    """
+    names = [oracle.name for oracle in resolve_oracles(oracle_names)]
+    points = []
+    for seed in seeds:
+        scenario = generate_scenario(seed)
+        points.append(
+            (f"seed-{seed}", scenario.config, {"seed": seed, "oracles": names})
+        )
+    runner = ParallelSweepRunner(
+        workers=workers,
+        point_timeout=point_timeout,
+        max_retries=max_retries,
+        mp_context=mp_context,
+        progress=progress,
+        work=_fuzz_point,
+    )
+    result = CampaignResult(oracle_names=names)
+    for seed, outcome in zip(seeds, runner.run_points("fuzz", points)):
+        if isinstance(outcome, PointFailure):
+            result.outcomes.append(
+                SeedOutcome(
+                    seed=seed,
+                    fingerprint=generate_scenario(seed).fingerprint(),
+                    error=f"{outcome.kind}: {outcome.error_type}: {outcome.message}",
+                )
+            )
+            continue
+        result.outcomes.append(
+            SeedOutcome(
+                seed=outcome["seed"],
+                fingerprint=outcome["fingerprint"],
+                violations=tuple(
+                    Violation.from_dict(v) for v in outcome["violations"]
+                ),
+            )
+        )
+    return result

@@ -1,0 +1,421 @@
+"""The oracle registry: uniform checks a scenario must pass.
+
+Every oracle implements one question — "did this scenario break a
+promise?" — over the same :class:`~repro.fuzz.generator.Scenario` input
+and the same structured :class:`Violation` output, so the campaign
+runner, the shrinker, and the replay CLI can treat them uniformly. The
+oracles lift the repo's existing verification layers rather than
+re-implement them:
+
+========== ==========================================================
+oracle      promise checked
+========== ==========================================================
+monitors    the proved properties (Safe, Invariants 1-2, predicate-H,
+            Lemma 4) hold on every round
+differential the reference and incremental engines are
+            observationally identical on this scenario
+determinism two builds of the same config produce byte-identical
+            per-round state digests and result records
+conservation entities are never created or destroyed outside
+            produce/consume, on every round
+replay      a recorded trace passes offline verification and re-derives
+            the run's throughput exactly
+netsim      advert loss and latency jitter degrade throughput only —
+            never safety, containment, disjointness, or conservation
+========== ==========================================================
+
+Determinism contract: ``check(scenario)`` is a pure function of the
+scenario — violations come back in a canonical order with canonical
+details, so campaign summaries are byte-stable and shrunk repros replay
+identically. :data:`ORACLES` is the registry the docs table
+(``docs/fuzzing.md``) is CI-diffed against.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.fuzz.generator import Scenario
+from repro.grid.topology import Grid
+from repro.monitors.invariants import check_containment, check_disjoint_membership
+from repro.monitors.recorder import MonitorViolation
+from repro.monitors.safety import check_safe
+from repro.netsim.lossy import LossyNetwork
+from repro.netsim.runtime import MessagePassingSystem
+from repro.sim.seeding import derive_rng
+from repro.sim.simulator import (
+    _make_source_policy,
+    _make_token_policy,
+    build_simulation,
+)
+from repro.sim.trace import TraceRecorder, replay_throughput, verify_trace
+from repro.testing.differential import DifferentialMismatch, run_lockstep, state_digest
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One structured oracle finding (JSON-ready, canonically ordered)."""
+
+    oracle: str
+    property_name: str
+    detail: str
+    round_index: Optional[int] = None
+
+    def to_dict(self) -> Dict:
+        """JSON-ready form (repro artifacts); inverse of :meth:`from_dict`."""
+        return {
+            "oracle": self.oracle,
+            "property": self.property_name,
+            "detail": self.detail,
+            "round": self.round_index,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "Violation":
+        return cls(
+            oracle=data["oracle"],
+            property_name=data["property"],
+            detail=data["detail"],
+            round_index=data.get("round"),
+        )
+
+
+class Oracle:
+    """Interface: one uniform scenario check.
+
+    Subclasses set ``name`` (the registry key, referenced by CLI
+    ``--oracles`` and the docs table) and ``description`` (one line,
+    diffed against ``docs/fuzzing.md``), and implement :meth:`check` as
+    a pure function of the scenario.
+    """
+
+    name: str = ""
+    description: str = ""
+
+    def check(self, scenario: Scenario) -> List[Violation]:
+        """Run the scenario; return every violation found ([] = clean)."""
+        raise NotImplementedError
+
+
+class MonitorOracle(Oracle):
+    """The proved properties, checked live on every round."""
+
+    name = "monitors"
+    description = (
+        "Safe, Invariants 1-2, predicate-H and Lemma 4 hold on every round"
+    )
+
+    def check(self, scenario: Scenario) -> List[Violation]:
+        """Run with lenient monitors; lift their violations verbatim."""
+        sim = build_simulation(scenario.config)
+        if sim.monitors is None:  # pragma: no cover - generator always monitors
+            return []
+        sim.monitors.strict = False  # record, don't raise: we collect all
+        sim.run()
+        return [
+            Violation(self.name, v.property_name, v.detail, v.round_index)
+            for v in sim.monitors.violations
+        ]
+
+
+class DifferentialOracle(Oracle):
+    """Reference-vs-incremental lockstep over the scenario's config."""
+
+    name = "differential"
+    description = (
+        "reference and incremental engines produce identical state, "
+        "reports, and results"
+    )
+
+    def check(self, scenario: Scenario) -> List[Violation]:
+        """Run both engines in lockstep; report the first divergence."""
+        # Monitors off: a safety bug shared by both engines is the
+        # monitors oracle's finding; strict monitors would abort the
+        # lockstep before the comparison that is this oracle's job.
+        config = replace(scenario.config, monitors=False)
+        try:
+            run_lockstep(config)
+        except DifferentialMismatch as mismatch:
+            return [
+                Violation(
+                    self.name,
+                    mismatch.aspect,
+                    mismatch.detail,
+                    mismatch.round_index,
+                )
+            ]
+        except MonitorViolation as failure:  # pragma: no cover - defensive
+            v = failure.violation
+            return [Violation(self.name, v.property_name, v.detail, v.round_index)]
+        return []
+
+
+class DeterminismOracle(Oracle):
+    """Two builds of the same config must be byte-identical."""
+
+    name = "determinism"
+    description = (
+        "rebuilding and rerunning the same config reproduces identical "
+        "per-round digests and results"
+    )
+
+    def check(self, scenario: Scenario) -> List[Violation]:
+        """Build twice, step in parallel; report the first digest split."""
+        config = replace(scenario.config, monitors=False)
+        sims = (build_simulation(config), build_simulation(config))
+        for round_index in range(config.rounds):
+            digests = []
+            for sim in sims:
+                sim.step()
+                digests.append(state_digest(sim.system))
+            if digests[0] != digests[1]:
+                return [
+                    Violation(
+                        self.name,
+                        "state digest",
+                        f"run 1 {digests[0][:16]} != run 2 {digests[1][:16]}",
+                        round_index,
+                    )
+                ]
+        outputs = [sim.summarize().simulation_outputs() for sim in sims]
+        if outputs[0] != outputs[1]:
+            fields = sorted(
+                key
+                for key in set(outputs[0]) | set(outputs[1])
+                if outputs[0].get(key) != outputs[1].get(key)
+            )
+            return [
+                Violation(
+                    self.name,
+                    "result record",
+                    f"fields differ across reruns: {fields}",
+                    config.rounds,
+                )
+            ]
+        return []
+
+
+class ConservationOracle(Oracle):
+    """No entity is created or destroyed outside produce/consume."""
+
+    name = "conservation"
+    description = (
+        "total produced equals total consumed plus in-flight, every round"
+    )
+
+    def check(self, scenario: Scenario) -> List[Violation]:
+        """Audit produced == consumed + in-flight after every round."""
+        config = replace(scenario.config, monitors=False)
+        sim = build_simulation(config)
+        violations: List[Violation] = []
+        for round_index in range(config.rounds):
+            sim.step()
+            system = sim.system
+            balance = system.total_consumed + system.entity_count()
+            if system.total_produced != balance:
+                violations.append(
+                    Violation(
+                        self.name,
+                        "entity conservation",
+                        f"produced {system.total_produced} != consumed "
+                        f"{system.total_consumed} + in-flight "
+                        f"{system.entity_count()}",
+                        round_index,
+                    )
+                )
+        return violations
+
+
+class ReplayOracle(Oracle):
+    """Recorded traces verify offline and re-derive the metrics."""
+
+    name = "replay"
+    description = (
+        "the recorded trace passes offline verification and replays the "
+        "run's exact throughput"
+    )
+
+    def check(self, scenario: Scenario) -> List[Violation]:
+        """Record a trace, verify it offline, replay the throughput."""
+        config = replace(scenario.config, monitors=False)
+        sim = build_simulation(config)
+        recorder = TraceRecorder.for_system(sim.system)
+        for _ in range(config.rounds):
+            report = sim.step()
+            recorder.observe(sim.system, report)
+        result = sim.summarize()
+        violations: List[Violation] = []
+        with tempfile.TemporaryDirectory(prefix="repro-fuzz-") as tmp:
+            trace_path = recorder.save(Path(tmp) / "trace.jsonl")
+            for v in verify_trace(trace_path):
+                violations.append(
+                    Violation(self.name, v.property_name, v.detail, v.round_index)
+                )
+            replayed = replay_throughput(trace_path, warmup=config.warmup)
+            if replayed != result.throughput:
+                violations.append(
+                    Violation(
+                        self.name,
+                        "replayed throughput",
+                        f"trace replays {replayed!r}, run measured "
+                        f"{result.throughput!r}",
+                        config.rounds,
+                    )
+                )
+        return violations
+
+
+class NetworkOracle(Oracle):
+    """Loss/jitter may cost throughput, never the proved properties."""
+
+    name = "netsim"
+    description = (
+        "advert loss and latency jitter never break safety, invariants, "
+        "or conservation"
+    )
+
+    def check(self, scenario: Scenario) -> List[Violation]:
+        """Drive the lossy and jittery network legs the net spec enables."""
+        if not scenario.net.enabled:
+            return []
+        violations: List[Violation] = []
+        if scenario.net.drop > 0.0:
+            violations.extend(self._lossy_leg(scenario))
+        if scenario.net.jitter > 0.0:
+            violations.extend(self._jitter_leg(scenario))
+        return violations
+
+    # -- construction ------------------------------------------------
+
+    @staticmethod
+    def _workload(scenario: Scenario):
+        """(grid, tid, sources, failed-cells) mirroring the config."""
+        config = scenario.config
+        grid = Grid(config.grid_width, config.grid_height)
+        if config.path is not None:
+            tid = config.path[-1]
+            source_ids = (config.path[0],)
+            failed = [cid for cid in grid.cells() if cid not in set(config.path)]
+        else:
+            tid = config.tid
+            source_ids = config.sources
+            failed = []
+        sources = {
+            cid: _make_source_policy(config.source_policy) for cid in source_ids
+        }
+        return grid, tid, sources, failed
+
+    def _lossy_leg(self, scenario: Scenario) -> List[Violation]:
+        config = scenario.config
+        grid, tid, sources, failed = self._workload(scenario)
+        system = MessagePassingSystem(
+            grid=grid,
+            params=config.params,
+            tid=tid,
+            sources=sources,
+            token_policy=_make_token_policy(config.token_policy, config.seed),
+            rng=derive_rng(config.seed, "net-sources"),
+        )
+        system.network = LossyNetwork(
+            grid, scenario.net.drop, rng=derive_rng(config.seed, "net-loss")
+        )
+        for cid in failed:
+            system.fail(cid)
+        return self._degradation_rounds(scenario, system, "lossy")
+
+    def _jitter_leg(self, scenario: Scenario) -> List[Violation]:
+        from repro.asyncnet.delay import UniformDelay
+        from repro.asyncnet.timed_rounds import TimedRoundSystem
+
+        config = scenario.config
+        grid, tid, sources, failed = self._workload(scenario)
+        system = TimedRoundSystem(
+            grid=grid,
+            params=config.params,
+            tid=tid,
+            sources=sources,
+            delay_model=UniformDelay(0.0, scenario.net.jitter),
+            token_policy=_make_token_policy(config.token_policy, config.seed),
+            rng=derive_rng(config.seed, "net-sources"),
+            delay_rng=derive_rng(config.seed, "net-delay"),
+        )
+        for cid in failed:
+            system.fail(cid)
+        return self._degradation_rounds(scenario, system, "jitter")
+
+    def _degradation_rounds(
+        self, scenario: Scenario, system, leg: str
+    ) -> List[Violation]:
+        violations: List[Violation] = []
+
+        def record(round_index: int, name: str, detail: str) -> None:
+            violations.append(
+                Violation(self.name, f"{name} ({leg})", detail, round_index)
+            )
+
+        for round_index in range(scenario.net.rounds):
+            if hasattr(system, "run_round"):
+                system.run_round()
+            else:
+                system.update()
+            for finding in check_safe(system):
+                record(round_index, "Safe", str(finding))
+            for finding in check_containment(system):
+                record(round_index, "Invariant 1", str(finding))
+            for uid in check_disjoint_membership(system):
+                record(round_index, "Invariant 2", f"entity {uid} in multiple cells")
+            balance = system.total_consumed + system.entity_count()
+            if system.total_produced != balance:
+                record(
+                    round_index,
+                    "conservation",
+                    f"produced {system.total_produced} != consumed "
+                    f"{system.total_consumed} + in-flight {system.entity_count()}",
+                )
+        return violations
+
+
+#: The oracle registry, in canonical (cheap-to-expensive-ish) check
+#: order. Keys are the CLI/docs names; ``docs/fuzzing.md`` carries a
+#: table CI-diffed against this dict by ``tests/test_docs.py``.
+ORACLES: Dict[str, Oracle] = {
+    oracle.name: oracle
+    for oracle in (
+        MonitorOracle(),
+        DifferentialOracle(),
+        DeterminismOracle(),
+        ConservationOracle(),
+        ReplayOracle(),
+        NetworkOracle(),
+    )
+}
+
+
+def resolve_oracles(names: Optional[Sequence[str]] = None) -> List[Oracle]:
+    """Registry lookups in canonical registry order (None = all)."""
+    if names is None:
+        return list(ORACLES.values())
+    unknown = sorted(set(names) - set(ORACLES))
+    if unknown:
+        raise ValueError(
+            f"unknown oracle(s) {unknown}; available: {sorted(ORACLES)}"
+        )
+    wanted = set(names)
+    return [oracle for key, oracle in ORACLES.items() if key in wanted]
+
+
+def check_scenario(
+    scenario: Scenario, oracle_names: Optional[Sequence[str]] = None
+) -> List[Violation]:
+    """Run the scenario through the (selected) oracles; all findings.
+
+    A pure function of ``(scenario, oracle_names)``: violations come
+    back in registry order, then each oracle's own canonical order.
+    """
+    violations: List[Violation] = []
+    for oracle in resolve_oracles(oracle_names):
+        violations.extend(oracle.check(scenario))
+    return violations

@@ -1,0 +1,389 @@
+"""Counterexample shrinking: delta-debug a failing scenario to a repro.
+
+Given a scenario some oracle rejects, :func:`shrink_scenario` greedily
+applies reduction passes — truncate the horizon to the first violating
+round, drop the fault schedule and network adversary, shorten the
+corridor / drop sources, pull the source next to the target, remap the
+workload onto its bounding box (smaller grid), canonicalize parameters
+and policies — re-checking the oracles after every candidate and
+keeping a reduction only when the violation *persists* (at least one of
+the originally firing oracles still fires). The loop runs to a fixed point, so
+the result is locally minimal: no single pass can shrink it further.
+
+The output is a replayable artifact: :func:`write_repro` emits a JSON
+file embedding the minimal scenario, its violations, and the accepted
+reduction steps, plus a generated pytest snippet
+(:func:`pytest_snippet`) that re-asserts the exact violations.
+:func:`replay_repro` is the inverse — load the artifact, re-run the
+oracles, and hand back recorded-vs-recomputed for comparison (the
+``repro fuzz replay`` CLI exits nonzero when they differ, i.e. when the
+bug stopped reproducing).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.core.params import Parameters
+from repro.fuzz.generator import GENERATOR_VERSION, NetSpec, Scenario
+from repro.fuzz.oracles import Violation, check_scenario
+from repro.sim.config import FaultSpec, SimulationConfig
+
+#: The oracles that fired — the identity of a finding for persistence
+#: checks while shrinking. Deliberately coarser than (oracle, property):
+#: the *property* legitimately drifts while a scenario shrinks (a
+#: differential mismatch moves from ``signal.granted`` to ``state``, a
+#: monitor finding from ``Safe`` to ``Invariant 1``) without the finding
+#: becoming a different bug; requiring property equality would wedge the
+#: reduction loop at a larger-than-minimal scenario.
+Signature = Set[str]
+
+#: Artifact schema; bump on shape changes so replays of old files fail
+#: loudly instead of misparsing.
+REPRO_SCHEMA = 1
+
+
+def _signature(violations: Sequence[Violation]) -> Signature:
+    return {v.oracle for v in violations}
+
+
+@dataclass
+class ShrinkResult:
+    """A locally minimal violating scenario plus its provenance."""
+
+    original: Scenario
+    scenario: Scenario
+    violations: List[Violation]
+    steps: List[str]
+    checks: int = 0
+    """Oracle evaluations spent (candidates tried, accepted or not)."""
+
+
+# ----------------------------------------------------------------------
+# Reduction passes. Each yields (candidate, description) in most- to
+# least-aggressive order; the first candidate whose violation persists
+# is accepted and the pass loop restarts.
+# ----------------------------------------------------------------------
+
+
+def _with_config(scenario: Scenario, **changes) -> Scenario:
+    return replace(scenario, config=replace(scenario.config, **changes))
+
+
+def _truncate_to_violation(
+    scenario: Scenario, violations: Sequence[Violation]
+) -> Iterator[Tuple[Scenario, str]]:
+    """Cut each horizon to just past its earliest violating round."""
+    config_rounds = [
+        v.round_index
+        for v in violations
+        if v.round_index is not None and v.oracle != "netsim"
+    ]
+    if config_rounds:
+        wanted = min(config_rounds) + 1
+        if wanted < scenario.config.rounds:
+            yield (
+                _with_config(scenario, rounds=wanted, warmup=0),
+                f"truncate rounds {scenario.config.rounds} -> {wanted}",
+            )
+    net_rounds = [
+        v.round_index
+        for v in violations
+        if v.round_index is not None and v.oracle == "netsim"
+    ]
+    if net_rounds:
+        wanted = min(net_rounds) + 1
+        if wanted < scenario.net.rounds:
+            yield (
+                replace(scenario, net=replace(scenario.net, rounds=wanted)),
+                f"truncate net rounds {scenario.net.rounds} -> {wanted}",
+            )
+
+
+def _drop_adversaries(
+    scenario: Scenario, violations: Sequence[Violation]
+) -> Iterator[Tuple[Scenario, str]]:
+    """Remove the fault schedule and the network adversary."""
+    if scenario.config.fault.enabled:
+        yield _with_config(scenario, fault=FaultSpec()), "drop fault schedule"
+    if scenario.net.enabled:
+        yield replace(scenario, net=NetSpec()), "drop network adversary"
+
+
+def _shrink_workload(
+    scenario: Scenario, violations: Sequence[Violation]
+) -> Iterator[Tuple[Scenario, str]]:
+    """Fewer cells in play: shorter corridor, or fewer sources."""
+    config = scenario.config
+    if config.path is not None:
+        for keep in range(2, len(config.path)):
+            yield (
+                _with_config(scenario, path=config.path[-keep:]),
+                f"shorten path {len(config.path)} -> {keep} cells",
+            )
+    elif len(config.sources) > 1:
+        for index in range(len(config.sources)):
+            remaining = config.sources[:index] + config.sources[index + 1 :]
+            yield (
+                _with_config(scenario, sources=remaining),
+                f"drop source {config.sources[index]}",
+            )
+
+
+def _move_source_to_target(
+    scenario: Scenario, violations: Sequence[Violation]
+) -> Iterator[Tuple[Scenario, str]]:
+    """Free-form: relocate a lone distant source adjacent to the target."""
+    config = scenario.config
+    if config.path is not None or len(config.sources) != 1 or config.tid is None:
+        return
+    (source,) = config.sources
+    ti, tj = config.tid
+    if abs(source[0] - ti) + abs(source[1] - tj) <= 1:
+        return
+    width = config.grid_width
+    height = config.grid_height or width
+    for ni, nj in ((ti + 1, tj), (ti - 1, tj), (ti, tj + 1), (ti, tj - 1)):
+        if 0 <= ni < width and 0 <= nj < height:
+            yield (
+                _with_config(scenario, sources=((ni, nj),)),
+                f"move source {source} -> {(ni, nj)}",
+            )
+
+
+def _shrink_grid(
+    scenario: Scenario, violations: Sequence[Violation]
+) -> Iterator[Tuple[Scenario, str]]:
+    """Translate the workload to the origin and crop the grid around it."""
+    config = scenario.config
+    used = list(config.path) if config.path is not None else [config.tid, *config.sources]
+    min_i = min(cell[0] for cell in used)
+    min_j = min(cell[1] for cell in used)
+    width = max(cell[0] for cell in used) - min_i + 1
+    height = max(cell[1] for cell in used) - min_j + 1
+    old_height = config.grid_height or config.grid_width
+    if (width, height) == (config.grid_width, old_height):
+        return
+
+    def shift(cell):
+        return (cell[0] - min_i, cell[1] - min_j)
+
+    changes: Dict = {
+        "grid_width": width,
+        "grid_height": None if height == width else height,
+    }
+    if config.path is not None:
+        changes["path"] = tuple(shift(cell) for cell in config.path)
+    else:
+        changes["tid"] = shift(config.tid)
+        changes["sources"] = tuple(shift(cell) for cell in config.sources)
+    yield (
+        _with_config(scenario, **changes),
+        f"crop grid {config.grid_width}x{old_height} -> {width}x{height}",
+    )
+
+
+#: Fast canonical parameter points, most aggressive first: with
+#: ``v = l`` and a wide ``l`` an entity crosses a cell interior
+#: (``1 - l``) in one round, pulling any movement-dependent violation
+#: to the earliest possible round.
+_CANONICAL_PARAMS = (
+    Parameters(l=0.5, rs=0.05, v=0.5),
+    Parameters(l=0.25, rs=0.05, v=0.25),
+)
+
+
+def _canonicalize(
+    scenario: Scenario, violations: Sequence[Violation]
+) -> Iterator[Tuple[Scenario, str]]:
+    """Swap sampled params/policies/engine for canonical fast defaults."""
+    config = scenario.config
+    for params in _CANONICAL_PARAMS:
+        if config.params != params:
+            yield (
+                _with_config(scenario, params=params),
+                f"canonicalize params -> l={params.l}, rs={params.rs}, v={params.v}",
+            )
+    if config.source_policy != "eager":
+        yield (
+            _with_config(scenario, source_policy="eager"),
+            f"source policy {config.source_policy} -> eager",
+        )
+    if config.token_policy != "roundrobin":
+        yield (
+            _with_config(scenario, token_policy="roundrobin"),
+            f"token policy {config.token_policy} -> roundrobin",
+        )
+    if config.engine is not None:
+        yield _with_config(scenario, engine=None), "engine pin -> default"
+    if config.warmup:
+        yield _with_config(scenario, warmup=0), "warmup -> 0"
+
+
+def _shrink_rounds(
+    scenario: Scenario, violations: Sequence[Violation]
+) -> Iterator[Tuple[Scenario, str]]:
+    """Halve, then decrement, the horizon."""
+    rounds = scenario.config.rounds
+    if rounds // 2 >= 1:
+        yield (
+            _with_config(scenario, rounds=rounds // 2, warmup=0),
+            f"halve rounds {rounds} -> {rounds // 2}",
+        )
+    if rounds > 1:
+        yield (
+            _with_config(scenario, rounds=rounds - 1, warmup=0),
+            f"decrement rounds {rounds} -> {rounds - 1}",
+        )
+
+
+_PASSES = (
+    _truncate_to_violation,
+    _drop_adversaries,
+    _shrink_workload,
+    _move_source_to_target,
+    _shrink_grid,
+    _canonicalize,
+    _shrink_rounds,
+)
+
+
+def shrink_scenario(
+    scenario: Scenario,
+    oracle_names: Optional[Sequence[str]] = None,
+    max_checks: int = 400,
+) -> ShrinkResult:
+    """Greedy fixed-point reduction preserving the original finding.
+
+    Raises :class:`ValueError` when the input scenario is not violating
+    (there is nothing to shrink). ``max_checks`` bounds total oracle
+    evaluations — the loop is monotone (every accepted candidate is
+    strictly smaller), so this is a safety net, not a tuning knob.
+    """
+    violations = check_scenario(scenario, oracle_names)
+    if not violations:
+        raise ValueError(
+            f"scenario {scenario.fingerprint()} passes all oracles; "
+            f"nothing to shrink"
+        )
+    target = _signature(violations)
+    current = scenario
+    steps: List[str] = []
+    checks = 1
+    improved = True
+    while improved and checks < max_checks:
+        improved = False
+        for reduction in _PASSES:
+            for candidate, description in reduction(current, violations):
+                if checks >= max_checks:
+                    break
+                try:
+                    candidate_violations = check_scenario(candidate, oracle_names)
+                except Exception:
+                    continue  # reduction produced an invalid/crashing scenario
+                finally:
+                    checks += 1
+                if candidate_violations and _signature(candidate_violations) & target:
+                    current = candidate
+                    violations = candidate_violations
+                    steps.append(description)
+                    improved = True
+                    break
+            if improved:
+                break
+    return ShrinkResult(
+        original=scenario,
+        scenario=current,
+        violations=violations,
+        steps=steps,
+        checks=checks,
+    )
+
+
+# ----------------------------------------------------------------------
+# Repro artifacts
+# ----------------------------------------------------------------------
+
+
+def pytest_snippet(result: ShrinkResult) -> str:
+    """A self-contained pytest module re-asserting the exact violations."""
+    scenario_literal = json.dumps(result.scenario.to_dict(), indent=4, sort_keys=True)
+    expected_literal = json.dumps(
+        [v.to_dict() for v in result.violations], indent=4, sort_keys=True
+    )
+    seed = result.original.seed
+    return (
+        f'"""Minimal repro generated by `fuzz shrink` from seed {seed}.\n'
+        f"\n"
+        f"Replays byte-identically: the scenario below is the shrunk form\n"
+        f"of generate_scenario({seed}), and the assertion pins the exact\n"
+        f'violations the oracles reported at shrink time.\n"""\n'
+        f"\n"
+        f"from repro.fuzz.generator import Scenario\n"
+        f"from repro.fuzz.oracles import check_scenario\n"
+        f"\n"
+        f"SCENARIO = Scenario.from_dict({scenario_literal})\n"
+        f"\n"
+        f"EXPECTED = {expected_literal}\n"
+        f"\n"
+        f"\n"
+        f"def test_fuzz_repro_seed_{seed}():\n"
+        f"    violations = [v.to_dict() for v in check_scenario(SCENARIO)]\n"
+        f"    assert violations == EXPECTED\n"
+    )
+
+
+def write_repro(result: ShrinkResult, directory) -> Path:
+    """Write the JSON artifact (+ pytest snippet sibling); returns the path.
+
+    The artifact is self-contained: ``repro fuzz replay <path>`` needs
+    nothing else, and the embedded scenario dict survives JSON
+    round-trips with its fingerprint intact.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    artifact = {
+        "schema": REPRO_SCHEMA,
+        "kind": "fuzz-repro",
+        "generator_version": GENERATOR_VERSION,
+        "seed": result.original.seed,
+        "scenario": result.scenario.to_dict(),
+        "violations": [v.to_dict() for v in result.violations],
+        "steps": result.steps,
+    }
+    stem = f"repro-seed{result.original.seed}-{result.scenario.fingerprint()}"
+    path = directory / f"{stem}.json"
+    path.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
+    (directory / f"{stem}_test.py").write_text(pytest_snippet(result))
+    return path
+
+
+def load_repro(path) -> Dict:
+    """Read + validate a repro artifact; returns the raw dict."""
+    data = json.loads(Path(path).read_text())
+    if data.get("kind") != "fuzz-repro":
+        raise ValueError(f"{path} is not a fuzz repro artifact")
+    schema = data.get("schema")
+    if not isinstance(schema, int) or schema > REPRO_SCHEMA:
+        raise ValueError(
+            f"{path} uses repro schema {schema!r}; this build reads up to "
+            f"{REPRO_SCHEMA}"
+        )
+    return data
+
+
+def replay_repro(
+    path, oracle_names: Optional[Sequence[str]] = None
+) -> Tuple[Dict, List[Violation]]:
+    """Re-run the oracles on an artifact's scenario.
+
+    Returns ``(artifact, recomputed_violations)``; callers compare the
+    recomputed list against ``artifact["violations"]`` to decide whether
+    the bug still reproduces (the CLI does exactly that).
+    """
+    data = load_repro(path)
+    scenario = Scenario.from_dict(data["scenario"])
+    return data, check_scenario(scenario, oracle_names)

@@ -53,6 +53,11 @@ class SimulationConfig:
     source_policy: str = "eager"
     """One of ``eager``, ``silent``, ``bernoulli:<rate>``, ``capped:<n>``."""
 
+    token_policy: str = "roundrobin"
+    """Signal token policy: ``roundrobin`` (the default, the paper's
+    Lemma 9 behavior), ``random`` (seeded uniform choice), or ``sticky``
+    (never rotates — breaks fairness; ablations/fuzzing only)."""
+
     fault: FaultSpec = field(default_factory=FaultSpec)
     seed: int = 0
     warmup: int = 0
@@ -90,6 +95,11 @@ class SimulationConfig:
                 "fail_complement=False, as the paper's Figure 9 does"
             )
         _parse_source_policy(self.source_policy)  # validate eagerly
+        if self.token_policy not in TOKEN_POLICIES:
+            raise ValueError(
+                f"unknown token policy {self.token_policy!r}; available: "
+                f"{sorted(TOKEN_POLICIES)}"
+            )
         if self.engine is not None:
             # Validate lazily against the registry (imported here to keep
             # config.py free of a hard dependency on the engine module at
@@ -134,6 +144,17 @@ class SimulationConfig:
         if isinstance(fault, dict):
             payload["fault"] = FaultSpec(**fault)
         return cls(**payload)
+
+
+#: Selectable Signal token policies (spec string -> description). The
+#: concrete classes live in :mod:`repro.core.policies`; materialization
+#: happens in :func:`repro.sim.simulator.build_simulation` so this module
+#: stays import-light for worker unpickling.
+TOKEN_POLICIES = {
+    "roundrobin": "cycle through NEPrev in identifier order (fair, default)",
+    "random": "seeded uniform choice, avoiding the previous holder",
+    "sticky": "never rotates (unfair; ablation/fuzzing adversary)",
+}
 
 
 def _parse_source_policy(spec: str) -> Tuple[str, Optional[float]]:

@@ -15,6 +15,11 @@ import random
 from typing import Optional
 
 from repro.core.params import Parameters
+from repro.core.policies import (
+    RandomTokenPolicy,
+    StickyTokenPolicy,
+    TokenPolicy,
+)
 from repro.core.sources import (
     BernoulliSource,
     CappedSource,
@@ -180,6 +185,22 @@ def _make_source_policy(spec: str) -> SourcePolicy:
     return CappedSource(EagerSource(), limit=int(argument))
 
 
+def _make_token_policy(spec: str, seed: int) -> Optional[TokenPolicy]:
+    """Materialize a token policy from its config spec string.
+
+    Returns ``None`` for the default so ``System`` installs its own
+    ``RoundRobinTokenPolicy`` (keeping the constructed system identical
+    to pre-``token_policy`` builds). The ``random`` policy draws from its
+    own derived stream so token choices never perturb the source RNG.
+    """
+    if spec == "roundrobin":
+        return None
+    if spec == "random":
+        return RandomTokenPolicy(derive_rng(seed, "token"))
+    assert spec == "sticky"
+    return StickyTokenPolicy()
+
+
 def build_simulation(
     config: SimulationConfig,
     observability: Optional[ObservabilityConfig] = None,
@@ -199,6 +220,7 @@ def build_simulation(
     grid = Grid(config.grid_width, config.grid_height)
     params: Parameters = config.params
     source_rng = derive_rng(config.seed, "sources")
+    token_policy = _make_token_policy(config.token_policy, config.seed)
 
     if config.path is not None:
         system = build_corridor_system(
@@ -208,6 +230,7 @@ def build_simulation(
             source_policy=_make_source_policy(config.source_policy),
             rng=source_rng,
             fail_complement=config.fail_complement,
+            token_policy=token_policy,
         )
     else:
         assert config.tid is not None
@@ -221,6 +244,7 @@ def build_simulation(
             tid=config.tid,
             sources=sources,
             rng=source_rng,
+            token_policy=token_policy,
         )
 
     fault_model: FaultModel

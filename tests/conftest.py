@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
@@ -11,6 +12,26 @@ from repro.core.sources import EagerSource
 from repro.core.system import System, build_corridor_system
 from repro.grid.paths import straight_path
 from repro.grid.topology import Direction, Grid
+
+try:  # hypothesis is a test-only dependency; the profiles are optional.
+    from hypothesis import HealthCheck, settings as hypothesis_settings
+except ImportError:  # pragma: no cover
+    pass
+else:
+    # CI runs with HYPOTHESIS_PROFILE=ci: derandomized (the same examples
+    # every run, so a red build is reproducible, not a lottery ticket) and
+    # deadline-free (shared runners stall arbitrarily; pytest-timeout is
+    # the real hang backstop there). Locally the default profile keeps
+    # randomized exploration.
+    hypothesis_settings.register_profile(
+        "ci",
+        derandomize=True,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    hypothesis_settings.load_profile(
+        os.environ.get("HYPOTHESIS_PROFILE", "default")
+    )
 
 
 @pytest.fixture

@@ -8,10 +8,12 @@ Two guarantees, both CI-enforced (the docs job runs this module):
 * **No drift.** The event-taxonomy and metrics-catalog tables of
   ``docs/observability.md`` are diffed against the code registries
   (``repro.obs.events.EVENT_TYPES``, ``repro.obs.instrument.METRIC_NAMES``),
-  and the engine-registry table of ``docs/performance.md`` against
-  ``repro.sim.engine.ENGINES`` — names, field sets, metric kinds, and
-  engine class names must match exactly, so the documentation cannot
-  fall behind the implementation.
+  the engine-registry table of ``docs/performance.md`` against
+  ``repro.sim.engine.ENGINES``, and the oracle table of
+  ``docs/fuzzing.md`` against ``repro.fuzz.oracles.ORACLES`` — names,
+  field sets, metric kinds, engine class names, and oracle descriptions
+  must match exactly, so the documentation cannot fall behind the
+  implementation.
 """
 
 import re
@@ -19,6 +21,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.fuzz.oracles import ORACLES
 from repro.obs.events import BLOCK_REASONS, EVENT_TYPES
 from repro.obs.instrument import METRIC_NAMES
 from repro.sim.engine import DEFAULT_ENGINE, ENGINES
@@ -98,9 +101,19 @@ def test_no_dead_links(doc):
 
 OBSERVABILITY_DOC = REPO_ROOT / "docs" / "observability.md"
 PERFORMANCE_DOC = REPO_ROOT / "docs" / "performance.md"
+FUZZING_DOC = REPO_ROOT / "docs" / "fuzzing.md"
 
 #: First-column labels that mark a table's header row.
-HEADER_LABELS = ("Event", "Metric", "Reason", "Variable", "Engine", "Phase", "Workload")
+HEADER_LABELS = (
+    "Event",
+    "Metric",
+    "Reason",
+    "Variable",
+    "Engine",
+    "Phase",
+    "Workload",
+    "Oracle",
+)
 
 
 def table_rows(section_heading: str, doc: Path = OBSERVABILITY_DOC):
@@ -194,6 +207,33 @@ def test_engine_table_matches_registry():
     # The prose names the default; keep it honest too.
     assert f"`{DEFAULT_ENGINE}`" in PERFORMANCE_DOC.read_text()
     assert DEFAULT_ENGINE in ENGINES
+
+
+def test_oracle_table_matches_registry():
+    """docs/fuzzing.md's oracle table lists every registered oracle, in
+    registry order, with the registry's own one-line description —
+    diffed against ``repro.fuzz.oracles.ORACLES``."""
+    documented = {}
+    order = []
+    for cells in table_rows("## Oracles", doc=FUZZING_DOC):
+        names = backticked(cells[0])
+        if len(cells) != 2 or len(names) != 1:
+            continue
+        documented[names[0]] = cells[1]
+        order.append(names[0])
+    assert set(documented) == set(ORACLES), (
+        f"oracle table out of sync: only in docs "
+        f"{sorted(set(documented) - set(ORACLES))}, only in code "
+        f"{sorted(set(ORACLES) - set(documented))}"
+    )
+    assert order == list(ORACLES), (
+        f"oracle table order {order} != registry order {list(ORACLES)}"
+    )
+    for name, oracle in ORACLES.items():
+        assert documented[name] == oracle.description, (
+            f"{name}: documented description {documented[name]!r} != "
+            f"code description {oracle.description!r}"
+        )
 
 
 def test_metric_descriptions_are_nonempty():

@@ -1,0 +1,243 @@
+"""The fuzzing subsystem: generator, oracles, campaign, shrink, corpus.
+
+The mutation tests (``tests/test_fuzz_mutations.py``) prove the fuzzer
+*detects* planted bugs; this module pins down the machinery itself —
+the seed -> scenario map is total and deterministic, the oracle
+registry is well-formed and quiet on a clean tree, campaign summaries
+are byte-identical across reruns and worker counts, the shrinker
+refuses non-violating inputs, the CLI surfaces the right exit codes,
+and every committed corpus scenario replays clean.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli.main import EXIT_FUZZ_VIOLATIONS, main as cli_main
+from repro.fuzz.campaign import run_campaign
+from repro.fuzz.generator import NetSpec, Scenario, generate_scenario
+from repro.fuzz.oracles import ORACLES, Violation, check_scenario, resolve_oracles
+from repro.fuzz.shrink import load_repro, shrink_scenario
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+CORPUS_FILES = sorted(CORPUS_DIR.glob("seed-*.json"))
+
+
+class TestGenerator:
+    def test_total_and_valid(self):
+        """Every seed maps to a constructible scenario (validation runs
+        in the config constructors; no exception = valid)."""
+        for seed in range(200):
+            scenario = generate_scenario(seed)
+            params = scenario.config.params
+            assert 0 < params.v <= params.l
+            assert params.rs + params.l < 1.0
+
+    def test_deterministic(self):
+        assert (
+            generate_scenario(7).fingerprint()
+            == generate_scenario(7).fingerprint()
+        )
+        assert (
+            generate_scenario(7).fingerprint()
+            != generate_scenario(8).fingerprint()
+        )
+
+    def test_dict_round_trip(self):
+        scenario = generate_scenario(11)
+        clone = Scenario.from_dict(scenario.to_dict())
+        assert clone == scenario
+        assert clone.fingerprint() == scenario.fingerprint()
+
+    def test_json_round_trip_preserves_fingerprint(self):
+        """Tuples become lists through JSON; the fingerprint must not care."""
+        scenario = generate_scenario(3)
+        clone = Scenario.from_dict(json.loads(json.dumps(scenario.to_dict())))
+        assert clone.fingerprint() == scenario.fingerprint()
+
+    def test_space_coverage(self):
+        """The first 200 seeds exercise the whole scenario space."""
+        scenarios = [generate_scenario(seed) for seed in range(200)]
+        assert {s.config.token_policy for s in scenarios} == {
+            "roundrobin",
+            "random",
+            "sticky",
+        }
+        assert {s.config.engine for s in scenarios} == {
+            None,
+            "reference",
+            "incremental",
+        }
+        assert any(s.config.path is not None for s in scenarios)
+        assert any(s.config.path is None for s in scenarios)
+        assert any(s.config.fault.enabled for s in scenarios)
+        assert any(s.net.drop > 0 for s in scenarios)
+        assert any(s.net.jitter > 0 for s in scenarios)
+        kinds = {s.config.source_policy.split(":")[0] for s in scenarios}
+        assert kinds == {"eager", "silent", "bernoulli", "capped"}
+
+    def test_netspec_validation(self):
+        with pytest.raises(ValueError):
+            NetSpec(drop=1.5)
+        with pytest.raises(ValueError):
+            NetSpec(jitter=-0.1)
+
+
+class TestOracleRegistry:
+    def test_names_and_descriptions(self):
+        for name, oracle in ORACLES.items():
+            assert oracle.name == name
+            assert oracle.description
+            assert "\n" not in oracle.description
+
+    def test_resolve_subset_keeps_registry_order(self):
+        subset = resolve_oracles(["replay", "monitors"])
+        assert [oracle.name for oracle in subset] == ["monitors", "replay"]
+
+    def test_resolve_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown oracle"):
+            resolve_oracles(["monitors", "nope"])
+
+    def test_violation_round_trip(self):
+        violation = Violation("monitors", "Safe", "too close", 7)
+        assert Violation.from_dict(violation.to_dict()) == violation
+
+    def test_clean_seeds_pass_all_oracles(self):
+        for seed in (0, 3, 5):
+            assert check_scenario(generate_scenario(seed)) == []
+
+
+class TestCampaign:
+    SEEDS = range(0, 8)
+
+    def test_summary_byte_identical_across_reruns(self):
+        first = run_campaign(self.SEEDS, workers=1).summary_json()
+        second = run_campaign(self.SEEDS, workers=1).summary_json()
+        assert first == second
+
+    def test_summary_byte_identical_across_worker_counts(self):
+        """Scheduling cannot leak into the summary: 2 worker processes
+        produce the same bytes as the in-process path."""
+        serial = run_campaign(self.SEEDS, workers=1).summary_json()
+        parallel = run_campaign(self.SEEDS, workers=2).summary_json()
+        assert serial == parallel
+
+    def test_summary_shape(self):
+        result = run_campaign(range(0, 3), workers=1)
+        summary = result.summary()
+        assert summary["checked"] == 3
+        assert summary["violations"] == 0
+        assert summary["failures"] == []
+        assert summary["errors"] == []
+        assert summary["seeds"] == [0, 1, 2]
+        assert summary["oracles"] == list(ORACLES)
+
+    def test_oracle_subset(self):
+        result = run_campaign(range(0, 2), oracle_names=["monitors"], workers=1)
+        assert result.oracle_names == ["monitors"]
+        assert not result.failures
+
+
+class TestShrink:
+    def test_refuses_clean_scenario(self):
+        with pytest.raises(ValueError, match="passes all oracles"):
+            shrink_scenario(generate_scenario(0))
+
+
+class TestCli:
+    def test_fuzz_run_clean_range(self, tmp_path, capsys):
+        out = tmp_path / "summary.json"
+        assert cli_main(["fuzz", "run", "--seeds", "0:3", "--out", str(out)]) == 0
+        summary = json.loads(out.read_text())
+        assert summary["checked"] == 3
+        assert summary["violations"] == 0
+        printed = capsys.readouterr().out
+        assert json.loads(printed) == summary
+
+    def test_fuzz_run_single_seed(self, capsys):
+        assert cli_main(["fuzz", "run", "--seeds", "4"]) == 0
+        assert json.loads(capsys.readouterr().out)["seeds"] == [4]
+
+    def test_fuzz_run_oracle_subset(self, capsys):
+        assert (
+            cli_main(
+                ["fuzz", "run", "--seeds", "0:2", "--oracles", "monitors,replay"]
+            )
+            == 0
+        )
+        assert json.loads(capsys.readouterr().out)["oracles"] == [
+            "monitors",
+            "replay",
+        ]
+
+    def test_fuzz_shrink_clean_seed_fails_cleanly(self, tmp_path, capsys):
+        code = cli_main(
+            ["fuzz", "shrink", "--seed", "0", "--out", str(tmp_path)]
+        )
+        assert code == 1
+        assert "passes all oracles" in capsys.readouterr().err
+
+    def test_exit_code_constant(self):
+        """The violations exit code is distinct from the existing ones."""
+        assert EXIT_FUZZ_VIOLATIONS == 4
+
+    def test_replay_wrong_kind_exits_2_with_message(self, capsys):
+        """A corpus scenario is not a repro artifact: one-line error,
+        exit 2 (matching `report`), not a traceback."""
+        code = cli_main(["fuzz", "replay", str(CORPUS_FILES[0])])
+        assert code == 2
+        assert "not a fuzz repro" in capsys.readouterr().err
+
+    def test_replay_missing_file_exits_2(self, tmp_path, capsys):
+        code = cli_main(["fuzz", "replay", str(tmp_path / "nope.json")])
+        assert code == 2
+        assert capsys.readouterr().err.startswith("replay:")
+
+    def test_shrink_bad_repro_exits_2(self, tmp_path, capsys):
+        code = cli_main(
+            [
+                "fuzz",
+                "shrink",
+                "--repro",
+                str(CORPUS_FILES[0]),
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert code == 2
+        assert "not a fuzz repro" in capsys.readouterr().err
+
+
+class TestCorpus:
+    def test_corpus_exists(self):
+        assert len(CORPUS_FILES) >= 10
+
+    @pytest.mark.parametrize(
+        "path", CORPUS_FILES, ids=[p.stem for p in CORPUS_FILES]
+    )
+    def test_corpus_scenario_replays_clean(self, path):
+        """Every committed scenario loads, matches its recorded
+        fingerprint (integrity), and passes the full oracle registry."""
+        record = json.loads(path.read_text())
+        assert record["kind"] == "fuzz-scenario"
+        scenario = Scenario.from_dict(record["scenario"])
+        assert scenario.fingerprint() == record["fingerprint"]
+        assert check_scenario(scenario) == []
+
+    def test_corpus_covers_both_workloads(self):
+        scenarios = [
+            Scenario.from_dict(json.loads(path.read_text())["scenario"])
+            for path in CORPUS_FILES
+        ]
+        assert any(s.config.path is not None for s in scenarios)
+        assert any(s.config.path is None for s in scenarios)
+        assert any(s.net.enabled for s in scenarios)
+
+    def test_repro_loader_rejects_corpus_files(self):
+        """Corpus scenarios and shrink repros are different file kinds;
+        the repro loader must not silently accept the wrong one."""
+        with pytest.raises(ValueError, match="not a fuzz repro"):
+            load_repro(CORPUS_FILES[0])

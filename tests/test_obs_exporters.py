@@ -1,0 +1,188 @@
+"""Unit tests for the trace-exporter edge paths (coverage-gate targets).
+
+``tests/test_observability.py::TestExporters`` drives the happy path
+end-to-end (record a real trace, load it, summarize, export). These
+tests instead build synthetic headers/events/summaries directly, to pin
+the branches the integration path never reaches: unknown event types,
+the contention-table ranking and truncation, malformed schema values,
+blank lines in the event body, and the exact CSV row layout.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import pytest
+
+from repro.obs.events import EVENT_TYPES, TRACE_SCHEMA
+from repro.obs.exporters import (
+    TraceSchemaError,
+    load_events,
+    render_report,
+    save_summary_csv,
+    save_summary_json,
+    summarize_events,
+)
+
+HEADER = {"kind": "protocol-events", "schema": TRACE_SCHEMA, "config_fingerprint": "ab12"}
+
+
+def _event(name, round_index, **fields):
+    return {"type": name, "round": round_index, **fields}
+
+
+def _granted(round_index, cell):
+    return _event("SignalGranted", round_index, cell=cell)
+
+
+def _blocked(round_index, cell, reason):
+    return _event("SignalBlocked", round_index, cell=cell, reason=reason)
+
+
+class TestSummarize:
+    def test_unknown_types_tallied_separately(self):
+        events = [
+            _granted(0, [1, 1]),
+            {"type": "FutureEventKind", "round": 0},
+            {"type": "FutureEventKind", "round": 1},
+            {"round": 2},  # untyped
+        ]
+        summary = summarize_events(HEADER, events)
+        assert summary["events_total"] == 1  # only the known event counts
+        assert summary["unknown_types"] == {"<untyped>": 1, "FutureEventKind": 2}
+        # Unknown events must not pollute round accounting either.
+        assert summary["rounds_covered"] == 1
+
+    def test_empty_stream(self):
+        summary = summarize_events(HEADER, [])
+        assert summary["events_total"] == 0
+        assert summary["first_round"] is None
+        assert summary["last_round"] is None
+        assert summary["by_type"] == {name: 0 for name in sorted(EVENT_TYPES)}
+
+    def test_grant_and_block_pressure_keys(self):
+        events = [
+            _granted(0, [0, 1]),
+            _granted(3, [0, 1]),
+            _blocked(1, [2, 0], "occupied"),
+            _blocked(2, [2, 0], "no-token"),
+        ]
+        summary = summarize_events(HEADER, events)
+        assert summary["grants_by_cell"] == {"0,1": 2}
+        assert summary["blocks_by_cell"] == {"2,0": 2}
+        assert summary["blocks_by_reason"] == {"no-token": 1, "occupied": 1}
+        assert summary["first_round"] == 0
+        assert summary["last_round"] == 3
+
+
+class TestRenderReport:
+    def test_unknown_types_marked_in_report(self):
+        summary = summarize_events(
+            HEADER, [_granted(0, [1, 1]), {"type": "Mystery", "round": 0}]
+        )
+        rendered = render_report(summary)
+        assert "Mystery" in rendered
+        assert "(unknown type, skipped)" in rendered
+
+    def test_contention_table_ranked_and_truncated(self):
+        events = []
+        # Cell (k,0) gets k blocks, k = 1..7: the table keeps the top 5,
+        # most-blocked first.
+        for k in range(1, 8):
+            events.extend(_blocked(r, [k, 0], "occupied") for r in range(k))
+        events.append(_granted(0, [7, 0]))
+        rendered = render_report(summarize_events(HEADER, events))
+        assert "most-blocked cells (top 5):" in rendered
+        table = rendered[rendered.index("most-blocked") :].splitlines()
+        assert table[2].split()[0] == "7,0"  # header, column row, then ranks
+        assert len(table) == 2 + 5
+        assert "1,0" not in rendered[rendered.index("most-blocked") :]
+
+    def test_no_contention_section_without_blocks(self):
+        rendered = render_report(summarize_events(HEADER, [_granted(0, [1, 1])]))
+        assert "most-blocked" not in rendered
+
+    def test_fingerprint_line_optional(self):
+        with_fp = render_report(summarize_events(HEADER, []))
+        assert "config fingerprint: ab12" in with_fp
+        anonymous = dict(HEADER)
+        del anonymous["config_fingerprint"]
+        assert "config fingerprint" not in render_report(
+            summarize_events(anonymous, [])
+        )
+
+
+class TestCsvLayout:
+    def test_rows_cover_every_section(self, tmp_path):
+        events = [_granted(0, [0, 1]), _blocked(1, [2, 0], "occupied")]
+        summary = summarize_events(HEADER, events)
+        path = save_summary_csv(summary, tmp_path / "nested" / "summary.csv")
+        with path.open(newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["section", "name", "value"]
+        sections = {row[0] for row in rows[1:]}
+        assert sections == {
+            "summary",
+            "by_type",
+            "grants_by_cell",
+            "blocks_by_cell",
+            "blocks_by_reason",
+        }
+        by_section = {
+            section: {row[1]: row[2] for row in rows[1:] if row[0] == section}
+            for section in sections
+        }
+        assert by_section["summary"]["config_fingerprint"] == "ab12"
+        assert by_section["summary"]["events_total"] == "2"
+        assert by_section["grants_by_cell"] == {"0,1": "1"}
+        assert by_section["blocks_by_reason"] == {"occupied": "1"}
+        # One row per registered event type, zeros included.
+        assert set(by_section["by_type"]) == set(EVENT_TYPES)
+
+    def test_json_export_creates_parents_and_round_trips(self, tmp_path):
+        summary = summarize_events(HEADER, [_granted(0, [1, 1])])
+        path = save_summary_json(summary, tmp_path / "deep" / "dir" / "s.json")
+        assert path.exists()
+        assert json.loads(path.read_text()) == summary
+
+
+class TestLoadEventsEdges:
+    def _write(self, tmp_path, text):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(text)
+        return path
+
+    def test_non_dict_first_line_is_headerless(self, tmp_path):
+        path = self._write(tmp_path, "[1, 2, 3]\n")
+        with pytest.raises(TraceSchemaError, match="no header"):
+            load_events(path)
+
+    def test_non_integer_schema_rejected(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            json.dumps({"header": {"kind": "protocol-events", "schema": "v1"}})
+            + "\n",
+        )
+        with pytest.raises(TraceSchemaError, match="no valid schema"):
+            load_events(path)
+
+    def test_zero_schema_rejected(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            json.dumps({"header": {"kind": "protocol-events", "schema": 0}}) + "\n",
+        )
+        with pytest.raises(TraceSchemaError, match="no valid schema"):
+            load_events(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            json.dumps({"header": {"kind": "protocol-events", "schema": 1}})
+            + "\n\n"
+            + json.dumps(_granted(0, [1, 1]))
+            + "\n   \n",
+        )
+        header, events = load_events(path)
+        assert header["schema"] == 1
+        assert len(events) == 1

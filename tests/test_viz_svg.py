@@ -62,3 +62,67 @@ class TestRenderSvg:
         path = save_svg(make_system(), tmp_path / "out" / "state.svg")
         assert path.exists()
         assert path.read_text().startswith("<svg")
+
+    def test_save_forwards_render_options(self, tmp_path):
+        path = save_svg(
+            make_system(),
+            tmp_path / "state.svg",
+            show_safety_margin=False,
+            title="forwarded",
+        )
+        text = path.read_text()
+        assert "forwarded" in text
+        assert "stroke-dasharray" not in text
+
+
+class TestCellStyling:
+    def test_role_colors(self):
+        system = make_system()
+        system.fail((2, 0))
+        svg = render_svg(system)
+        from repro.viz.svg import _STYLE
+
+        assert _STYLE["cell_failed"] in svg
+        assert _STYLE["cell_target"] in svg
+        assert _STYLE["cell_source"] in svg
+        assert svg.count(_STYLE["cell_target"]) == 1  # exactly one target
+
+    def test_failed_cells_draw_no_route_arrows(self):
+        system = make_system()
+        for _ in range(6):
+            system.update()
+        converged = render_svg(system).count("<line")
+        assert converged > 0
+        for cid in list(system.grid.cells()):
+            if cid != system.tid:
+                system.fail(cid)
+        assert render_svg(system).count("<line") == 0
+
+    def test_rectangular_grid_dimensions(self):
+        system = System(
+            grid=Grid(4, 2),
+            params=PARAMS,
+            tid=(3, 1),
+            rng=random.Random(0),
+        )
+        import xml.etree.ElementTree as ET
+
+        root = ET.fromstring(render_svg(system))
+        from repro.viz.svg import CELL_PX, MARGIN_PX
+
+        assert int(root.get("width")) == 2 * MARGIN_PX + 4 * CELL_PX
+        assert int(root.get("height")) == 2 * MARGIN_PX + 2 * CELL_PX
+        # One labelled rect per cell on top of the background.
+        labels = [el for el in root.iter() if el.tag.endswith("text")]
+        assert len(labels) == 8
+
+    def test_entity_rect_sized_by_l(self):
+        svg = render_svg(make_system(), show_safety_margin=False)
+        from repro.viz.svg import _STYLE, CELL_PX
+
+        side = f'width="{PARAMS.l * CELL_PX:.1f}"'
+        entity_rects = [
+            line for line in svg.splitlines() if _STYLE["entity"] in line
+        ]
+        assert len(entity_rects) == 1
+        assert side in entity_rects[0]
