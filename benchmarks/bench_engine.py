@@ -15,13 +15,16 @@ Two workloads bracket the incremental engine's operating envelope:
 Both runs use identical configs and seeds (the engine is an override,
 not a config edit — the differential harness proves the outputs are
 identical), monitors and observability off, so the measured delta is
-engine cost alone. Results land in ``benchmarks/results/BENCH_engine.json``.
+engine cost alone. Results land in repo-root ``BENCH_engine.json`` (the
+tracked trajectory file) with a working copy in
+``benchmarks/results/BENCH_engine.json``.
 """
 
 from __future__ import annotations
 
 import json
 import time
+from pathlib import Path
 
 from conftest import horizon, run_once
 
@@ -33,6 +36,11 @@ from repro.sim.simulator import build_simulation
 
 DEFAULT_ROUNDS = 600
 PAPER_ROUNDS = 2500  # the corridor evaluation horizon (Figures 7-8)
+
+#: The committed trajectory file lives at the repo root (next to the
+#: ``BENCH_vectorized.json`` scaling record); ``benchmarks/results/``
+#: keeps a working copy alongside the figure artifacts.
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def quiescent_config(rounds: int) -> SimulationConfig:
@@ -107,9 +115,9 @@ def test_engine_throughput(benchmark, results_dir):
 
     record = run_once(benchmark, experiment)
 
-    (results_dir / "BENCH_engine.json").write_text(
-        json.dumps(record, indent=2, sort_keys=True) + "\n"
-    )
+    payload = json.dumps(record, indent=2, sort_keys=True) + "\n"
+    (results_dir / "BENCH_engine.json").write_text(payload)
+    (REPO_ROOT / "BENCH_engine.json").write_text(payload)
     for name, comparison in record.items():
         print(
             f"\n{name}: reference "

@@ -1,0 +1,125 @@
+"""Vectorized-engine scaling: array-native sweeps vs the full-sweep
+reference at N in {16, 64, 256, 1024}.
+
+The workload is the paper's straight corridor at ``x = 1`` stretched to
+an ``N x N`` grid with the complement alive but idle — the shape whose
+Route/Signal sweeps are pure per-cell overhead for the object engines,
+and exactly what the structure-of-arrays core turns into whole-grid
+numpy operations.
+
+Methodology: each measurement times ``engine.step()`` directly (system
+construction excluded), not ``Simulator.step()`` — the simulator's
+occupancy/entity probes are themselves ``O(N^2)`` Python per round and
+would drown the engine delta at the largest grids. The reference engine
+is measured up to 256 (a 1024x1024 full Python sweep takes minutes per
+round); at 1024 the vectorized engine runs alone and its entry records
+``speedup: null``.
+
+The acceptance gate is the tentpole's bar: >= 10x over the reference on
+the 64x64 grid. Results land in repo-root ``BENCH_vectorized.json``
+(the tracked trajectory file; schema: engine, grid N, rounds/sec,
+speedup) with a working copy in ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from conftest import run_once
+
+from repro.core.params import Parameters
+from repro.grid.paths import straight_path
+from repro.grid.topology import Direction
+from repro.sim.config import SimulationConfig
+from repro.sim.simulator import build_simulation
+
+from bench_engine import REPO_ROOT
+
+GRID_SIZES = (16, 64, 256, 1024)
+
+#: Per-grid round budgets: enough rounds for a stable per-round figure,
+#: small enough that the whole scan stays in benchmark-smoke territory.
+VECTORIZED_ROUNDS = {16: 400, 64: 200, 256: 40, 1024: 8}
+REFERENCE_ROUNDS = {16: 400, 64: 40, 256: 8}
+
+SPEEDUP_GATE_GRID = 64
+SPEEDUP_GATE = 10.0
+
+
+def scaling_config(n: int, rounds: int) -> SimulationConfig:
+    """N x N grid, straight length-N corridor at x=1, complement idle."""
+    return SimulationConfig(
+        grid_width=n,
+        params=Parameters(l=0.25, rs=0.05, v=0.2),
+        rounds=rounds,
+        path=straight_path((1, 0), Direction.NORTH, n).cells,
+        fail_complement=False,
+        monitors=False,
+        seed=7,
+    )
+
+
+def _timed_steps(n: int, engine: str, rounds: int) -> dict:
+    simulator = build_simulation(scaling_config(n, rounds), engine=engine)
+    stepper = simulator.engine
+    start = time.perf_counter()
+    for _ in range(rounds):
+        stepper.step()
+    elapsed = time.perf_counter() - start
+    return {
+        "engine": engine,
+        "rounds": rounds,
+        "seconds": elapsed,
+        "rounds_per_sec": rounds / elapsed,
+        "consumed": simulator.system.total_consumed,
+    }
+
+
+def _scaling_entry(n: int) -> dict:
+    vectorized = _timed_steps(n, "vectorized", VECTORIZED_ROUNDS[n])
+    entry = {"grid": n, "vectorized": vectorized, "speedup": None}
+    if n in REFERENCE_ROUNDS:
+        reference = _timed_steps(n, "reference", REFERENCE_ROUNDS[n])
+        entry["reference"] = reference
+        entry["speedup"] = (
+            vectorized["rounds_per_sec"] / reference["rounds_per_sec"]
+        )
+        # Both engines consumed identically over the shared horizon —
+        # the differential harness's promise, spot-checked here.
+        shared = min(VECTORIZED_ROUNDS[n], REFERENCE_ROUNDS[n])
+        if shared == VECTORIZED_ROUNDS[n] == REFERENCE_ROUNDS[n]:
+            assert vectorized["consumed"] == reference["consumed"]
+    return entry
+
+
+def test_vectorized_scaling(benchmark, results_dir):
+    def experiment():
+        return {
+            "schema": 1,
+            "workload": "straight corridor at x=1, complement alive, "
+            "monitors off, engine.step() timed directly",
+            "entries": [_scaling_entry(n) for n in GRID_SIZES],
+        }
+
+    record = run_once(benchmark, experiment)
+
+    payload = json.dumps(record, indent=2, sort_keys=True) + "\n"
+    (results_dir / "BENCH_vectorized.json").write_text(payload)
+    (REPO_ROOT / "BENCH_vectorized.json").write_text(payload)
+
+    speedups = {}
+    for entry in record["entries"]:
+        vec = entry["vectorized"]["rounds_per_sec"]
+        speedups[entry["grid"]] = entry["speedup"]
+        label = (
+            f"{entry['speedup']:.1f}x" if entry["speedup"] else "(vec only)"
+        )
+        print(f"\nN={entry['grid']}: vectorized {vec:.0f} r/s {label}")
+
+    # The tentpole's acceptance bar: >= 10x on the 64x64 grid.
+    assert speedups[SPEEDUP_GATE_GRID] >= SPEEDUP_GATE, (
+        f"vectorized engine should be >= {SPEEDUP_GATE}x the reference on "
+        f"the {SPEEDUP_GATE_GRID}x{SPEEDUP_GATE_GRID} grid, got "
+        f"{speedups[SPEEDUP_GATE_GRID]:.1f}x"
+    )

@@ -55,10 +55,11 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--engine",
-        choices=["reference", "incremental"],
+        choices=["reference", "incremental", "vectorized"],
         default=None,
-        help="round engine: full-sweep reference or dirty-set incremental "
-        "(byte-identical results; default: REPRO_ENGINE, then reference)",
+        help="round engine: full-sweep reference, dirty-set incremental, or "
+        "array-native vectorized (byte-identical results; default: "
+        "REPRO_ENGINE, then reference)",
     )
 
 

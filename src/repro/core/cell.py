@@ -31,6 +31,47 @@ from repro.grid.topology import CellId
 INFINITY: float = math.inf
 """The paper's ``dist = infinity`` (unknown / failed)."""
 
+DIST_SENTINEL: int = 2**31 - 1
+"""Integer stand-in for ``dist = infinity``.
+
+Every finite ``dist`` the protocol produces is an exact integral float
+(``0`` at the target, ``1 + min`` everywhere else), so the whole dist
+lattice embeds into the integers with one sentinel for infinity. The
+reference engine compares dists through this embedding (killing the
+float-``==`` tie-break hazard), and the vectorized engine stores dists
+this way natively (:mod:`repro.core.arrays`). The sentinel is far above
+any reachable hop count (bounded by rounds elapsed), so ``best + 1``
+can never collide with it.
+"""
+
+
+def dist_to_int(value: float) -> int:
+    """Embed a ``dist`` float into the integral-with-sentinel form.
+
+    Raises ``ValueError`` for non-integral or out-of-range values — a
+    non-integral dist means some code path broke the ``1 + min``
+    arithmetic, which must fail loudly rather than silently mis-compare.
+    """
+    if value == INFINITY:
+        return DIST_SENTINEL
+    as_int = int(value)
+    if as_int != value:
+        raise ValueError(
+            f"dist {value!r} is not integral; the protocol only produces "
+            f"0, infinity, or 1 + min values"
+        )
+    if not 0 <= as_int < DIST_SENTINEL:
+        raise ValueError(
+            f"dist {value!r} outside the representable range "
+            f"[0, {DIST_SENTINEL})"
+        )
+    return as_int
+
+
+def dist_from_int(value: int) -> float:
+    """Inverse of :func:`dist_to_int` (sentinel back to ``math.inf``)."""
+    return INFINITY if value == DIST_SENTINEL else float(value)
+
 
 @dataclass
 class CellState:

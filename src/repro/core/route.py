@@ -22,7 +22,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.cell import INFINITY, CellState, effective_dist
+from repro.core.cell import (
+    DIST_SENTINEL,
+    INFINITY,
+    CellState,
+    dist_to_int,
+    effective_dist,
+)
 from repro.grid.topology import CellId, Grid
 
 
@@ -67,18 +73,25 @@ def _route_step(
     cid: CellId,
     dist_snapshot: Dict[CellId, float],
 ) -> Tuple[float, Optional[CellId]]:
-    """One cell's Route computation against a neighbor-dist snapshot."""
+    """One cell's Route computation against a neighbor-dist snapshot.
+
+    The ``(dist, id)`` argmin runs on the integral-with-sentinel
+    embedding (:func:`repro.core.cell.dist_to_int`): dists are exact
+    integers plus one infinity sentinel, so the tie comparison is an
+    integer ``==`` — no accumulated-float equality is ever relied on,
+    and the vectorized engine's integer argmin provably matches.
+    """
     neighbors = grid.neighbors(cid)
     best: Optional[CellId] = None
-    best_dist = INFINITY
+    best_dist = DIST_SENTINEL
     for nbr in neighbors:
-        nbr_dist = dist_snapshot[nbr]
+        nbr_dist = dist_to_int(dist_snapshot[nbr])
         if nbr_dist < best_dist or (nbr_dist == best_dist and _prefer(nbr, best)):
             best_dist = nbr_dist
             best = nbr
-    if best_dist == INFINITY:
+    if best_dist == DIST_SENTINEL:
         return INFINITY, None
-    return best_dist + 1.0, best
+    return float(best_dist + 1), best
 
 
 def _prefer(candidate: CellId, incumbent: Optional[CellId]) -> bool:

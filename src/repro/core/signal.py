@@ -72,6 +72,34 @@ def gap_clear(
     return all(tol_ge(e.y - half, j + d) for e in state.members.values())
 
 
+def gap_clear_extents(
+    state: CellState, toward: Direction, params: Parameters
+) -> bool:
+    """:func:`gap_clear` computed from the windowed member extents.
+
+    ``all(tol_le(x_k + l/2, bound))`` is equivalent to
+    ``tol_le(max(x_k) + l/2, bound)``: IEEE addition is monotone, so
+    ``max(x_k) + l/2 == max(x_k + l/2)`` exactly, and ``tol_le`` is
+    monotone in its first argument. One comparison per edge instead of
+    one per member — the form the vectorized engine uses, kept here next
+    to the per-member original so the equivalence is testable
+    (``tests/test_engine_vectorized.py``).
+    """
+    if not state.members:
+        return True
+    i, j = state.cell_id
+    half = params.half_l
+    d = params.d
+    members = state.members.values()
+    if toward is Direction.EAST:
+        return tol_le(max(e.x for e in members) + half, i + 1 - d)
+    if toward is Direction.WEST:
+        return tol_ge(min(e.x for e in members) - half, i + d)
+    if toward is Direction.NORTH:
+        return tol_le(max(e.y for e in members) + half, j + 1 - d)
+    return tol_ge(min(e.y for e in members) - half, j + d)
+
+
 def compute_ne_prev(
     grid: Grid, cells: Dict[CellId, CellState], cid: CellId
 ) -> Set[CellId]:
@@ -120,8 +148,17 @@ def _signal_step(
     params: Parameters,
     policy: TokenPolicy,
     report: SignalPhaseReport,
+    gap=None,
 ) -> None:
-    """One cell's Signal computation."""
+    """One cell's Signal computation.
+
+    ``gap`` selects the gap predicate implementation — the per-member
+    :func:`gap_clear` (default, resolved at call time so tests can
+    monkeypatch the module attribute) or the windowed
+    :func:`gap_clear_extents`; both return identical verdicts.
+    """
+    if gap is None:
+        gap = gap_clear
     state.ne_prev = ne_prev
     # Clarified corner (see DESIGN.md): a token whose holder left NEPrev
     # (drained, re-routed or failed) is dropped before the initial choose,
@@ -135,7 +172,7 @@ def _signal_step(
         state.signal = None
         return
     toward = direction_between(state.cell_id, state.token)
-    if gap_clear(state, toward, params):
+    if gap(state, toward, params):
         state.signal = state.token
         report.granted[state.cell_id] = state.token
         state.token = policy.rotate(ne_prev, state.token)

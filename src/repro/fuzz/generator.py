@@ -34,8 +34,10 @@ from repro.sim.config import FaultSpec, SimulationConfig
 
 #: Scenario-space version: bump when the sampling distribution changes,
 #: so committed corpus entries and nightly seed ranges can detect that
-#: seed N no longer means the same scenario.
-GENERATOR_VERSION = 1
+#: seed N no longer means the same scenario. Version 2 added
+#: ``"vectorized"`` to the engine pins (which shifts every draw after
+#: the engine choice, remapping the whole seed space).
+GENERATOR_VERSION = 2
 
 #: Mixed into the seed so the generator's stream is independent of the
 #: simulation streams derived from ``config.seed`` (which equals the
@@ -158,7 +160,7 @@ def generate_scenario(seed: int) -> Scenario:
     rounds = rng.randint(20, 80)
     source_policy = _sample_source_policy(rng)
     token_policy = _sample_token_policy(rng)
-    engine = rng.choice([None, "reference", "incremental"])
+    engine = rng.choice([None, "reference", "incremental", "vectorized"])
     faulting = rng.random() < 0.5
     fault = (
         FaultSpec(

@@ -12,7 +12,7 @@ oracle      promise checked
 ========== ==========================================================
 monitors    the proved properties (Safe, Invariants 1-2, predicate-H,
             Lemma 4) hold on every round
-differential the reference and incremental engines are
+differential the reference, incremental, and vectorized engines are
             observationally identical on this scenario
 determinism two builds of the same config produce byte-identical
             per-round state digests and result records
@@ -38,6 +38,7 @@ from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
+from repro.core.arrays import HAVE_NUMPY
 from repro.fuzz.generator import Scenario
 from repro.grid.topology import Grid
 from repro.monitors.invariants import check_containment, check_disjoint_membership
@@ -122,34 +123,47 @@ class MonitorOracle(Oracle):
 
 
 class DifferentialOracle(Oracle):
-    """Reference-vs-incremental lockstep over the scenario's config."""
+    """3-way engine lockstep over the scenario's config: the reference
+    is run against the incremental and the vectorized engine in turn."""
 
     name = "differential"
     description = (
-        "reference and incremental engines produce identical state, "
-        "reports, and results"
+        "reference, incremental, and vectorized engines produce identical "
+        "state, reports, and results"
     )
 
+    #: The non-reference engines checked against the reference. The
+    #: vectorized leg needs numpy (a soft dependency); without it the
+    #: oracle still proves the incremental leg.
+    def _legs(self) -> List[str]:
+        legs = ["incremental"]
+        if HAVE_NUMPY:
+            legs.append("vectorized")
+        return legs
+
     def check(self, scenario: Scenario) -> List[Violation]:
-        """Run both engines in lockstep; report the first divergence."""
+        """Lockstep each engine pair; report the first divergence."""
         # Monitors off: a safety bug shared by both engines is the
         # monitors oracle's finding; strict monitors would abort the
         # lockstep before the comparison that is this oracle's job.
         config = replace(scenario.config, monitors=False)
-        try:
-            run_lockstep(config)
-        except DifferentialMismatch as mismatch:
-            return [
-                Violation(
-                    self.name,
-                    mismatch.aspect,
-                    mismatch.detail,
-                    mismatch.round_index,
-                )
-            ]
-        except MonitorViolation as failure:  # pragma: no cover - defensive
-            v = failure.violation
-            return [Violation(self.name, v.property_name, v.detail, v.round_index)]
+        for engine_b in self._legs():
+            try:
+                run_lockstep(config, engine_b=engine_b)
+            except DifferentialMismatch as mismatch:
+                return [
+                    Violation(
+                        self.name,
+                        mismatch.aspect,
+                        f"reference vs {engine_b}: {mismatch.detail}",
+                        mismatch.round_index,
+                    )
+                ]
+            except MonitorViolation as failure:  # pragma: no cover - defensive
+                v = failure.violation
+                return [
+                    Violation(self.name, v.property_name, v.detail, v.round_index)
+                ]
         return []
 
 

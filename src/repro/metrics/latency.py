@@ -34,6 +34,10 @@ def percentile(ordered: Sequence[float], fraction: float) -> float:
     :meth:`repro.sim.simulator.Simulator.summarize`), so the same run can
     never report two different p95 values.
     """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(
+            f"percentile fraction must be within [0.0, 1.0], got {fraction!r}"
+        )
     if not ordered:
         raise ValueError("no data")
     if len(ordered) == 1:

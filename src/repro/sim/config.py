@@ -71,9 +71,10 @@ class SimulationConfig:
 
     engine: Optional[str] = None
     """Round engine executing each ``update``: ``"reference"`` (full
-    sweep) or ``"incremental"`` (dirty-set, byte-identical results —
-    see :mod:`repro.sim.engine`). ``None`` defers to the
-    ``REPRO_ENGINE`` environment variable, then the default."""
+    sweep), ``"incremental"`` (dirty-set), or ``"vectorized"``
+    (array-native, requires numpy) — all byte-identical; see
+    :mod:`repro.sim.engine`. ``None`` defers to the ``REPRO_ENGINE``
+    environment variable, then the default."""
 
     def __post_init__(self) -> None:
         if self.rounds <= 0:

@@ -17,6 +17,14 @@ producing *byte-identical* state, reports, metrics, and event traces.
 equivalence on randomized fault-injected configs; the dirty-set rules are
 documented in ``docs/performance.md``.
 
+The **vectorized engine** (:mod:`repro.sim.vectorized`) attacks the same
+ceiling from the other side: instead of skipping quiescent cells it
+executes every sweep as a handful of whole-grid numpy operations over a
+structure-of-arrays mirror (:mod:`repro.core.arrays`), so per-round cost
+scales with memory bandwidth rather than Python bytecode — the engine
+for large grids. It requires numpy (a soft dependency) and passes the
+same 3-way lockstep matrix.
+
 Engine selection precedence: an explicit argument (``Simulator(...,
 engine=...)`` / ``build_simulation(..., engine=...)``), then the config
 field (``SimulationConfig.engine``), then the ``REPRO_ENGINE``
@@ -327,12 +335,18 @@ class IncrementalEngine(RoundEngine):
             self._mark_membership_change((int(entity.x), int(entity.y)))
 
 
+# Imported here (not at the top) because the vectorized engine subclasses
+# RoundEngine: by this point every name it needs is defined, so the
+# circular module pair resolves in either import order.
+from repro.sim.vectorized import VectorizedEngine  # noqa: E402
+
 #: Registry of selectable engines (name -> class). ``docs/performance.md``
 #: documents each entry; ``tests/test_docs.py`` diffs the table against
 #: this registry so the page cannot drift.
 ENGINES: Dict[str, Type[RoundEngine]] = {
     ReferenceEngine.name: ReferenceEngine,
     IncrementalEngine.name: IncrementalEngine,
+    VectorizedEngine.name: VectorizedEngine,
 }
 
 

@@ -5,9 +5,9 @@ import random
 
 import pytest
 
-from repro.core.cell import INFINITY
+from repro.core.cell import DIST_SENTINEL, INFINITY, dist_from_int, dist_to_int
 from repro.core.params import Parameters
-from repro.core.route import route_phase
+from repro.core.route import _route_step, route_phase
 from repro.core.system import System
 from repro.grid.topology import Grid
 
@@ -76,6 +76,81 @@ class TestStabilization:
         system = make_system()
         report = route_phase(system.grid, system.cells, system.tid)
         assert set(report.changed_dist) == {(1, 0), (0, 1)}
+
+
+class TestTieBreak:
+    """The (dist, id) argmin runs on the integral-with-sentinel embedding
+    — integer comparisons, never accumulated-float ``==``."""
+
+    def test_equidistant_neighbors_break_to_smaller_id(self):
+        """All four neighbors equidistant: the argmin must pick the WEST
+        neighbor — the smallest identifier in (i, j) tuple order."""
+        grid = Grid(3)
+        snapshot = {cid: 5.0 for cid in grid.cells()}
+        new_dist, new_next = _route_step(grid, (1, 1), snapshot)
+        assert new_dist == 6.0
+        assert new_next == (0, 1)  # WEST < SOUTH (1,0) < NORTH (1,2) < EAST
+
+    def test_neighbor_id_order_is_west_south_north_east(self):
+        """The vectorized fold order (WEST, SOUTH, NORTH, EAST) is the
+        ascending-identifier order for *every* interior cell."""
+        grid = Grid(5)
+        for i in range(1, 4):
+            for j in range(1, 4):
+                west, south, north, east = (
+                    (i - 1, j),
+                    (i, j - 1),
+                    (i, j + 1),
+                    (i + 1, j),
+                )
+                assert west < south < north < east
+                assert sorted(grid.neighbors((i, j))) == [
+                    west,
+                    south,
+                    north,
+                    east,
+                ]
+
+    def test_partial_tie_prefers_smaller_id(self):
+        grid = Grid(3)
+        snapshot = {cid: INFINITY for cid in grid.cells()}
+        snapshot[(1, 0)] = 2.0  # SOUTH of (1,1)
+        snapshot[(1, 2)] = 2.0  # NORTH of (1,1)
+        new_dist, new_next = _route_step(grid, (1, 1), snapshot)
+        assert (new_dist, new_next) == (3.0, (1, 0))
+
+    def test_all_infinite_yields_bottom(self):
+        grid = Grid(3)
+        snapshot = {cid: INFINITY for cid in grid.cells()}
+        assert _route_step(grid, (1, 1), snapshot) == (INFINITY, None)
+
+    def test_results_are_exact_integral_floats(self):
+        system = make_system(n=5, tid=(2, 2))
+        for _ in range(10):
+            route_phase(system.grid, system.cells, system.tid)
+        for state in system.cells.values():
+            if state.dist != INFINITY:
+                assert state.dist == int(state.dist)
+
+
+class TestDistEmbedding:
+    def test_round_trip(self):
+        for value in (0.0, 1.0, 7.0, INFINITY):
+            assert dist_from_int(dist_to_int(value)) == value
+
+    def test_sentinel_is_infinity(self):
+        assert dist_to_int(INFINITY) == DIST_SENTINEL
+        assert math.isinf(dist_from_int(DIST_SENTINEL))
+
+    def test_non_integral_dist_rejected(self):
+        with pytest.raises(ValueError, match="not integral"):
+            dist_to_int(2.5)
+
+    def test_out_of_range_dist_rejected(self):
+        with pytest.raises(ValueError, match="representable range"):
+            dist_to_int(-1.0)
+        with pytest.raises(ValueError, match="representable range"):
+            dist_to_int(float(DIST_SENTINEL))
 
 
 class TestFailures:

@@ -29,6 +29,7 @@ from repro.sim.engine import (
     ENGINES,
     IncrementalEngine,
     ReferenceEngine,
+    VectorizedEngine,
     _row_major,
     make_engine,
     resolve_engine_name,
@@ -129,6 +130,7 @@ def test_registry_contents():
     assert ENGINES == {
         "reference": ReferenceEngine,
         "incremental": IncrementalEngine,
+        "vectorized": VectorizedEngine,
     }
     assert DEFAULT_ENGINE == "reference"
 

@@ -70,6 +70,7 @@ class TestGenerator:
             None,
             "reference",
             "incremental",
+            "vectorized",
         }
         assert any(s.config.path is not None for s in scenarios)
         assert any(s.config.path is None for s in scenarios)

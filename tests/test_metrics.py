@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.metrics.latency import latency_stats
+from repro.metrics.latency import latency_stats, percentile
 from repro.metrics.series import RollingMean, TimeSeries, mean_and_ci
 from repro.metrics.throughput import ThroughputMeter
 
@@ -84,6 +84,28 @@ class TestLatencyStats:
 
     def test_order_independent(self):
         assert latency_stats([3, 1, 2]) == latency_stats([1, 2, 3])
+
+
+class TestPercentile:
+    def test_fraction_zero_is_minimum(self):
+        assert percentile([10.0, 20.0, 30.0], 0.0) == 10.0
+
+    def test_fraction_one_is_maximum(self):
+        assert percentile([10.0, 20.0, 30.0], 1.0) == 30.0
+
+    def test_interpolates(self):
+        assert percentile([10.0, 20.0], 0.5) == 15.0
+
+    @pytest.mark.parametrize("fraction", [-0.1, 1.1, 95.0, -1.0])
+    def test_out_of_range_fraction_rejected(self, fraction):
+        """A fraction outside [0, 1] used to raise IndexError or silently
+        extrapolate; now it is a pointed ValueError."""
+        with pytest.raises(ValueError, match=r"fraction must be within"):
+            percentile([10.0, 20.0, 30.0], fraction)
+
+    def test_range_checked_before_emptiness(self):
+        with pytest.raises(ValueError, match=r"fraction must be within"):
+            percentile([], 2.0)
 
 
 class TestTimeSeries:
