@@ -1,0 +1,120 @@
+"""Sharded-engine throughput: rounds/s vs district count at 64x64 and
+256x256, against the full-sweep reference.
+
+The sharded engine is a *robustness* engine, not a speed engine: its
+round cost is the reference sweep split across worker processes plus
+per-round boundary serialization and the coordinator's global merge.
+This benchmark records where that overhead sits (the committed
+``BENCH_shards.json`` trajectory file) and gates only against
+pathology: 1-shard mode — the degenerate fleet, pure
+coordination overhead — must stay within an order of magnitude of the
+reference (>= ``ONE_SHARD_GATE`` of its rounds/s on the 64x64 grid).
+Shard-count *correctness* invariance is proven elsewhere
+(``tests/test_shard_engine.py``); here both legs just spot-check the
+shared-horizon consumed count.
+
+Methodology matches ``bench_vectorized.py``: the straight-corridor
+scaling workload, ``engine.step()`` timed directly (simulator probes
+are O(N^2) Python per round and would drown the engine delta), and
+fleet spawn/teardown excluded from the timed window by stepping once
+before the clock starts.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from conftest import run_once
+
+from bench_engine import REPO_ROOT
+from bench_vectorized import scaling_config
+
+from repro.sim.simulator import build_simulation
+
+GRID_SIZES = (64, 256)
+SHARD_COUNTS = (1, 4)
+
+#: Per-grid round budgets (shared by every engine leg so the consumed
+#: spot-check compares identical horizons).
+ROUNDS = {64: 24, 256: 6}
+
+ONE_SHARD_GATE_GRID = 64
+ONE_SHARD_GATE = 0.10
+
+
+def _timed_steps(n: int, engine: str, shards=None) -> dict:
+    config = scaling_config(n, ROUNDS[n])
+    if shards is not None:
+        from dataclasses import replace
+
+        config = replace(config, shards=shards)
+    simulator = build_simulation(config, engine=engine)
+    stepper = simulator.engine
+    try:
+        stepper.step()  # spawn the fleet / warm the engine outside the clock
+        rounds = ROUNDS[n] - 1
+        start = time.perf_counter()
+        for _ in range(rounds):
+            stepper.step()
+        elapsed = time.perf_counter() - start
+        return {
+            "engine": engine if shards is None else f"{engine}@{shards}",
+            "rounds": rounds,
+            "seconds": elapsed,
+            "rounds_per_sec": rounds / elapsed,
+            "consumed": simulator.system.total_consumed,
+        }
+    finally:
+        stepper.close()
+
+
+def _grid_entry(n: int) -> dict:
+    reference = _timed_steps(n, "reference")
+    entry = {"grid": n, "reference": reference, "sharded": []}
+    for shards in SHARD_COUNTS:
+        leg = _timed_steps(n, "sharded", shards=shards)
+        leg["shards"] = shards
+        leg["vs_reference"] = (
+            leg["rounds_per_sec"] / reference["rounds_per_sec"]
+        )
+        # Identical consumed over the identical horizon — the invariance
+        # the lockstep matrix proves, spot-checked per leg.
+        assert leg["consumed"] == reference["consumed"]
+        entry["sharded"].append(leg)
+    return entry
+
+
+def test_shard_scaling(benchmark, results_dir):
+    def experiment():
+        return {
+            "schema": 1,
+            "workload": "straight corridor at x=1, complement alive, "
+            "monitors off, engine.step() timed directly, fleet spawn "
+            "excluded",
+            "entries": [_grid_entry(n) for n in GRID_SIZES],
+        }
+
+    record = run_once(benchmark, experiment)
+
+    payload = json.dumps(record, indent=2, sort_keys=True) + "\n"
+    (results_dir / "BENCH_shards.json").write_text(payload)
+    (REPO_ROOT / "BENCH_shards.json").write_text(payload)
+
+    ratios = {}
+    for entry in record["entries"]:
+        ref = entry["reference"]["rounds_per_sec"]
+        print(f"\nN={entry['grid']}: reference {ref:.1f} r/s")
+        for leg in entry["sharded"]:
+            ratios[(entry["grid"], leg["shards"])] = leg["vs_reference"]
+            print(
+                f"  sharded@{leg['shards']}: {leg['rounds_per_sec']:.1f} r/s "
+                f"({leg['vs_reference']:.2f}x reference)"
+            )
+
+    one_shard = ratios[(ONE_SHARD_GATE_GRID, 1)]
+    assert one_shard >= ONE_SHARD_GATE, (
+        f"1-shard mode regressed past the coordination-overhead budget on "
+        f"the {ONE_SHARD_GATE_GRID}x{ONE_SHARD_GATE_GRID} grid: "
+        f"{one_shard:.2f}x reference < {ONE_SHARD_GATE}x"
+    )

@@ -55,11 +55,18 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--engine",
-        choices=["reference", "incremental", "vectorized"],
+        choices=["reference", "incremental", "vectorized", "sharded"],
         default=None,
-        help="round engine: full-sweep reference, dirty-set incremental, or "
-        "array-native vectorized (byte-identical results; default: "
-        "REPRO_ENGINE, then reference)",
+        help="round engine: full-sweep reference, dirty-set incremental, "
+        "array-native vectorized, or multi-process sharded districts "
+        "(byte-identical results; default: REPRO_ENGINE, then reference)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="district count for --engine sharded (default: REPRO_SHARDS, "
+        "then 2); ignored by the in-process engines",
     )
 
 
@@ -79,6 +86,7 @@ def _build_config(args: argparse.Namespace) -> SimulationConfig:
         seed=args.seed,
         monitors=not args.no_monitors,
         engine=args.engine,
+        shards=args.shards,
     )
 
 

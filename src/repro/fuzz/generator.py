@@ -36,8 +36,11 @@ from repro.sim.config import FaultSpec, SimulationConfig
 #: so committed corpus entries and nightly seed ranges can detect that
 #: seed N no longer means the same scenario. Version 2 added
 #: ``"vectorized"`` to the engine pins (which shifts every draw after
-#: the engine choice, remapping the whole seed space).
-GENERATOR_VERSION = 2
+#: the engine choice, remapping the whole seed space). Version 3 added
+#: ``"sharded"`` with a pinned district count (and forces the
+#: round-robin token policy for sharded pins — the random policy's
+#: shared RNG stream cannot be split across district processes).
+GENERATOR_VERSION = 3
 
 #: Mixed into the seed so the generator's stream is independent of the
 #: simulation streams derived from ``config.seed`` (which equals the
@@ -160,7 +163,15 @@ def generate_scenario(seed: int) -> Scenario:
     rounds = rng.randint(20, 80)
     source_policy = _sample_source_policy(rng)
     token_policy = _sample_token_policy(rng)
-    engine = rng.choice([None, "reference", "incremental", "vectorized"])
+    engine = rng.choice([None, "reference", "incremental", "vectorized", "sharded"])
+    shards = None
+    if engine == "sharded":
+        # Pin the district count explicitly (row-band partitioning needs
+        # shards <= grid height) so the scenario is self-contained; the
+        # random token policy is invalid for sharded runs by construction.
+        shards = rng.randint(1, min(4, n))
+        if token_policy == "random":
+            token_policy = "roundrobin"
     faulting = rng.random() < 0.5
     fault = (
         FaultSpec(
@@ -197,6 +208,7 @@ def generate_scenario(seed: int) -> Scenario:
             fault=fault,
             seed=seed,
             engine=engine,
+            shards=shards,
             # A recovery model resurrects failed cells, which config
             # validation rejects for a pre-failed complement.
             fail_complement=(not faulting) and rng.random() < 0.5,
@@ -217,5 +229,6 @@ def generate_scenario(seed: int) -> Scenario:
             fault=fault,
             seed=seed,
             engine=engine,
+            shards=shards,
         )
     return Scenario(seed=seed, config=config, net=net)

@@ -22,6 +22,9 @@ replay      a recorded trace passes offline verification and re-derives
             the run's throughput exactly
 netsim      advert loss and latency jitter degrade throughput only —
             never safety, containment, disjointness, or conservation
+shard-invariance
+            the sharded engine is district-count invariant: 1 shard
+            and 4 shards produce identical runs
 ========== ==========================================================
 
 Determinism contract: ``check(scenario)`` is a pure function of the
@@ -392,6 +395,64 @@ class NetworkOracle(Oracle):
         return violations
 
 
+class ShardInvarianceOracle(Oracle):
+    """District-count invariance of the multi-process sharded engine.
+
+    Lockstep-runs the scenario under the sharded engine twice — one
+    district versus four (clamped to the grid height) — comparing
+    canonical state and reports after every round and the result records
+    at the end. The configs differ only in the ``shards`` tuning field,
+    so :func:`run_lockstep`'s ``config_b`` mode excludes the embedded
+    config dicts from the final comparison and everything else must
+    match exactly.
+    """
+
+    name = "shard-invariance"
+    description = (
+        "the sharded engine is district-count invariant: 1 shard and 4 "
+        "shards produce identical runs"
+    )
+
+    #: Horizon cap: every sharded round costs three inter-process
+    #: exchanges per district, so long scenarios are trimmed — shard
+    #: merge bugs are order-of-operations bugs and show up early.
+    max_rounds = 40
+
+    def check(self, scenario: Scenario) -> List[Violation]:
+        """Lockstep 1-shard vs 4-shard; report the first divergence."""
+        config = scenario.config
+        if config.token_policy == "random":
+            # Invalid for sharded runs by construction (the random
+            # policy's shared RNG stream cannot be split across district
+            # processes; config validation rejects the combination).
+            return []
+        rounds = min(config.rounds, self.max_rounds)
+        if config.warmup >= rounds:  # keep warmup < rounds valid
+            rounds = config.rounds
+        height = config.grid_height or config.grid_width
+        config_a = replace(
+            config, monitors=False, engine="sharded", shards=1, rounds=rounds
+        )
+        config_b = replace(config_a, shards=min(4, height))
+        try:
+            run_lockstep(
+                config_a,
+                engine_a="sharded",
+                engine_b="sharded",
+                config_b=config_b,
+            )
+        except DifferentialMismatch as mismatch:
+            return [
+                Violation(
+                    self.name,
+                    mismatch.aspect,
+                    f"1 shard vs {config_b.shards}: {mismatch.detail}",
+                    mismatch.round_index,
+                )
+            ]
+        return []
+
+
 #: The oracle registry, in canonical (cheap-to-expensive-ish) check
 #: order. Keys are the CLI/docs names; ``docs/fuzzing.md`` carries a
 #: table CI-diffed against this dict by ``tests/test_docs.py``.
@@ -404,6 +465,7 @@ ORACLES: Dict[str, Oracle] = {
         ConservationOracle(),
         ReplayOracle(),
         NetworkOracle(),
+        ShardInvarianceOracle(),
     )
 }
 

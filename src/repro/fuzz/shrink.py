@@ -219,6 +219,8 @@ def _canonicalize(
         )
     if config.engine is not None:
         yield _with_config(scenario, engine=None), "engine pin -> default"
+    if config.shards is not None:
+        yield _with_config(scenario, shards=None), "shards pin -> default"
     if config.warmup:
         yield _with_config(scenario, warmup=0), "warmup -> 0"
 

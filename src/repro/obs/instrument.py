@@ -140,6 +140,31 @@ METRIC_NAMES: Dict[str, Dict[str, str]] = {
         "kind": "counter",
         "description": "points that exhausted their retry budget",
     },
+    "shard.deaths": {
+        "kind": "counter",
+        "description": "shard workers declared dead (exit, heartbeat "
+        "timeout, or unrecoverable channel corruption)",
+    },
+    "shard.heals": {
+        "kind": "counter",
+        "description": "dead shards respawned from an authoritative "
+        "boundary snapshot",
+    },
+    "shard.respawn_rounds": {
+        "kind": "histogram",
+        "description": "rounds from a shard respawn until the Route phase "
+        "is quiescent again (the Lemma 6 healing horizon, observed)",
+    },
+    "channel.retries": {
+        "kind": "counter",
+        "description": "inter-shard requests retransmitted after a "
+        "timeout or garbled reply",
+    },
+    "channel.timeouts": {
+        "kind": "counter",
+        "description": "inter-shard request timeouts (before retry "
+        "accounting; a death needs retries to exhaust too)",
+    },
 }
 
 

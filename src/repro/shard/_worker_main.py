@@ -1,0 +1,14 @@
+"""Process entry point for shard workers (``python -m repro.shard._worker_main``).
+
+A separate module so the runnable entry is never also imported as a
+library module (importing :mod:`repro.shard.worker` is triggered by the
+``repro`` package graph itself, and running an already-imported module
+with ``-m`` would execute it twice and warn).
+"""
+
+import sys
+
+if __name__ == "__main__":
+    from repro.shard.worker import main
+
+    sys.exit(main(sys.argv))

@@ -1,0 +1,209 @@
+"""The coordinator side of the shard message channel.
+
+One :class:`ShardChannel` wraps the coordinator's end of a worker's
+socketpair (framed/pickled by ``multiprocessing.connection.Connection``)
+and implements the request/reply discipline every phase exchange uses:
+
+* **Sequence numbers.** Every request carries a monotonically increasing
+  ``seq``; the worker echoes it on the reply and caches its last reply,
+  so a retransmitted request is answered from the cache without
+  recomputing (re-running a phase would double-apply worker-local
+  state). Replies with a stale ``seq`` — the late original racing its
+  own retransmit — are drained silently.
+
+* **Bounded retry with deterministic backoff.** Timeouts and garbled
+  replies trigger a resend, paced by the same
+  :class:`~repro.sim.supervisor.RetryPolicy` the sweep supervisor uses.
+  The sleep function is injectable so retry tests run instantly.
+
+* **Structured errors instead of hangs.** Every failure mode surfaces
+  as a :class:`ChannelError` subclass carrying the shard id: the
+  coordinator turns these into shard-death handling (district failed,
+  heal, respawn — see :mod:`repro.shard.coordinator`), never a stuck
+  round loop.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from typing import Any, Callable, Dict, Optional
+
+from repro.sim.supervisor import RetryPolicy
+
+
+class ChannelError(RuntimeError):
+    """Base class: a shard channel exchange failed permanently."""
+
+    def __init__(self, shard_id: int, detail: str):
+        super().__init__(f"shard {shard_id}: {detail}")
+        self.shard_id = shard_id
+        self.detail = detail
+
+
+class ChannelClosed(ChannelError):
+    """The worker's end of the pipe is gone (process exit / SIGKILL)."""
+
+
+class ChannelTimeout(ChannelError):
+    """No reply within the timeout across every retry attempt."""
+
+
+class SequenceError(ChannelError):
+    """Replies arrived but never matched the request's sequence number
+    (torn/garbled frames), across every retry attempt."""
+
+
+_TIMEOUT = object()
+_GARBLED = object()
+
+
+class ShardChannel:
+    """Request/reply endpoint over one worker connection.
+
+    Parameters
+    ----------
+    conn:
+        A ``multiprocessing.connection.Connection`` (the coordinator's
+        socketpair end).
+    shard_id:
+        Carried on every :class:`ChannelError` for diagnosis.
+    retry:
+        :class:`RetryPolicy` bounding resends; defaults to the policy's
+        defaults (2 retries, exponential backoff).
+    timeout:
+        Seconds to wait for each reply attempt. ``None`` waits forever
+        (only sensible in tests).
+    sleep:
+        Injectable sleep for backoff pacing (default ``time.sleep``).
+    metrics:
+        Optional :class:`repro.obs.metrics.MetricsRegistry`; counts
+        ``channel.retries`` / ``channel.timeouts``. Lazily created, so
+        a clean run adds no metric keys.
+    """
+
+    def __init__(
+        self,
+        conn,
+        shard_id: int = 0,
+        *,
+        retry: Optional[RetryPolicy] = None,
+        timeout: Optional[float] = 30.0,
+        sleep: Callable[[float], None] = time.sleep,
+        metrics=None,
+    ):
+        self.conn = conn
+        self.shard_id = shard_id
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.timeout = timeout
+        self.sleep = sleep
+        self.metrics = metrics
+        self._seq = 0
+        self._pending: Optional[Dict[str, Any]] = None
+
+    # ------------------------------------------------------------------
+    # Request/reply
+    # ------------------------------------------------------------------
+
+    def request(
+        self, kind: str, payload: Dict[str, Any], timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """Send one request and await its reply (post + collect)."""
+        self.post(kind, payload)
+        return self.collect(timeout=timeout)
+
+    def post(self, kind: str, payload: Dict[str, Any]) -> None:
+        """Send a request without waiting; :meth:`collect` gets the reply.
+
+        Splitting the round trip lets the coordinator post one phase
+        request to every live shard before collecting any reply, so the
+        district sweeps run concurrently.
+        """
+        self._seq += 1
+        self._pending = {"seq": self._seq, "kind": kind, "payload": payload}
+        self._send(self._pending)
+
+    def collect(self, timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Await the posted request's reply, retrying within the policy."""
+        if self._pending is None:
+            raise RuntimeError("collect() without a posted request")
+        effective_timeout = self.timeout if timeout is None else timeout
+        failures = 0
+        while True:
+            outcome = self._await_reply(effective_timeout)
+            if outcome is not _TIMEOUT and outcome is not _GARBLED:
+                self._pending = None
+                return outcome
+            if outcome is _TIMEOUT:
+                self._count("channel.timeouts")
+            failures += 1
+            if failures > self.retry.max_retries:
+                self._pending = None
+                if outcome is _TIMEOUT:
+                    raise ChannelTimeout(
+                        self.shard_id,
+                        f"no reply to seq {self._seq} within "
+                        f"{effective_timeout}s after "
+                        f"{self.retry.max_attempts} attempts",
+                    )
+                raise SequenceError(
+                    self.shard_id,
+                    f"no well-formed reply to seq {self._seq} after "
+                    f"{self.retry.max_attempts} attempts",
+                )
+            self._count("channel.retries")
+            self.sleep(self.retry.backoff(failures))
+            self._send(self._pending)
+
+    def close(self) -> None:
+        """Close the underlying connection (idempotent, EBADF-tolerant)."""
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _count(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc()
+
+    def _send(self, message: Dict[str, Any]) -> None:
+        try:
+            self.conn.send(message)
+        except (BrokenPipeError, ConnectionResetError, OSError, ValueError) as exc:
+            raise ChannelClosed(self.shard_id, f"send failed: {exc!r}")
+
+    def _await_reply(self, timeout: Optional[float]):
+        """One attempt: the matching reply, ``_TIMEOUT``, or ``_GARBLED``.
+
+        Stale replies (seq below the pending request's — a late original
+        overtaken by its retransmit) are drained without consuming the
+        attempt; anything malformed or from the future is garbled.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            remaining = (
+                None if deadline is None else max(0.0, deadline - time.monotonic())
+            )
+            try:
+                if not self.conn.poll(remaining):
+                    return _TIMEOUT
+                reply = self.conn.recv()
+            except (EOFError, BrokenPipeError, ConnectionResetError, OSError) as exc:
+                raise ChannelClosed(self.shard_id, f"worker hung up: {exc!r}")
+            except pickle.UnpicklingError:
+                return _GARBLED
+            if (
+                not isinstance(reply, dict)
+                or "payload" not in reply
+                or not isinstance(reply.get("seq"), int)
+            ):
+                return _GARBLED
+            if reply["seq"] == self._seq:
+                return reply["payload"]
+            if reply["seq"] < self._seq:
+                continue  # stale duplicate: drain and keep waiting
+            return _GARBLED  # a future seq means framing corruption

@@ -1,0 +1,128 @@
+"""The ``sharded`` round engine: the district fleet behind ``Simulator``.
+
+Selectable like any engine (``SimulationConfig.engine="sharded"``, CLI
+``--engine sharded``, or ``REPRO_ENGINE=sharded``); the shard count
+comes from ``SimulationConfig.shards``, then ``REPRO_SHARDS``, then a
+default of 2. Construction is cheap — worker processes spawn lazily on
+the first :meth:`step` and are shut down by :meth:`close` (wired into
+``Simulator.summarize``); stepping again after a close redeploys the
+fleet from the current authoritative state.
+
+Tuning attributes (set before the first step; the chaos tests use them):
+``retry`` / ``round_timeout`` / ``init_timeout`` / ``heal_delay`` /
+``respawn_budget`` / ``horizon`` / ``sleep`` / ``chaos``. Environment
+overrides: ``REPRO_SHARDS``, ``REPRO_SHARD_PARTITION`` (``rows`` or
+``quadrants``), ``REPRO_SHARD_TIMEOUT``, ``REPRO_SHARD_HEAL_DELAY``,
+``REPRO_SHARD_RESPAWNS``.
+
+The engine refuses the ``random`` token policy: that policy draws every
+cell's token choice from one shared RNG stream in global sweep order,
+which cannot be split across district processes without reordering the
+stream. ``roundrobin`` and ``sticky`` are stateless per cell and shard
+cleanly.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Dict, Optional
+
+from repro.core.policies import RandomTokenPolicy
+from repro.core.system import RoundReport, System
+from repro.shard.coordinator import ShardCoordinator
+from repro.shard.partition import PARTITION_STRATEGIES, make_plan
+from repro.sim.engine import RoundEngine
+from repro.sim.supervisor import RetryPolicy
+
+ENV_SHARDS = "REPRO_SHARDS"
+ENV_PARTITION = "REPRO_SHARD_PARTITION"
+ENV_TIMEOUT = "REPRO_SHARD_TIMEOUT"
+ENV_HEAL_DELAY = "REPRO_SHARD_HEAL_DELAY"
+ENV_RESPAWNS = "REPRO_SHARD_RESPAWNS"
+
+DEFAULT_SHARDS = 2
+
+
+class ShardedEngine(RoundEngine):
+    """Partitioned execution: one worker process per district (see
+    :mod:`repro.shard.coordinator` for the round protocol)."""
+
+    name = "sharded"
+
+    def __init__(self, system: System, config=None):
+        super().__init__(system, config)
+        if isinstance(system.token_policy, RandomTokenPolicy):
+            raise ValueError(
+                "the sharded engine cannot run the 'random' token policy: "
+                "it consumes one shared RNG stream in global sweep order, "
+                "which cannot be split across district processes; use "
+                "'roundrobin' or 'sticky'"
+            )
+        configured = getattr(config, "shards", None)
+        if configured is not None:
+            self.shards = configured
+        else:
+            self.shards = int(os.environ.get(ENV_SHARDS, DEFAULT_SHARDS))
+        if self.shards < 1:
+            raise ValueError(f"shard count must be >= 1, got {self.shards}")
+        self.partition = os.environ.get(ENV_PARTITION, "rows")
+        if self.partition not in PARTITION_STRATEGIES:
+            raise ValueError(
+                f"unknown partition strategy {self.partition!r}; available: "
+                f"{sorted(PARTITION_STRATEGIES)}"
+            )
+        # Fleet tuning; all adjustable until the first step().
+        self.retry = RetryPolicy(max_retries=2, backoff_base=0.05, backoff_cap=1.0)
+        self.round_timeout: Optional[float] = float(
+            os.environ.get(ENV_TIMEOUT, 30.0)
+        )
+        self.init_timeout: Optional[float] = 120.0
+        self.heal_delay = int(os.environ.get(ENV_HEAL_DELAY, 2))
+        self.respawn_budget = int(os.environ.get(ENV_RESPAWNS, 2))
+        self.horizon: Optional[int] = None
+        self.sleep = time.sleep
+        self.chaos: Dict[int, Dict[str, Any]] = {}
+        self._coordinator: Optional[ShardCoordinator] = None
+
+    @property
+    def coordinator(self) -> ShardCoordinator:
+        if self._coordinator is None:
+            plan = make_plan(self.system.grid, self.shards, self.partition)
+            self._coordinator = ShardCoordinator(
+                self.system,
+                plan,
+                retry=self.retry,
+                timeout=self.round_timeout,
+                init_timeout=self.init_timeout,
+                heal_delay=self.heal_delay,
+                respawn_budget=self.respawn_budget,
+                horizon=self.horizon,
+                sleep=self.sleep,
+                metrics=self.metrics,
+                chaos=self.chaos,
+            )
+        return self._coordinator
+
+    def step(self) -> RoundReport:
+        return self.coordinator.step()
+
+    def close(self) -> None:
+        if self._coordinator is not None:
+            self._coordinator.close()
+
+    @property
+    def degraded(self) -> bool:
+        """True once any shard exhausted its respawn budget."""
+        return self._coordinator.degraded if self._coordinator else False
+
+    @property
+    def healing_log(self):
+        """The coordinator's structured death/heal/stabilize history."""
+        return self._coordinator.healing_log if self._coordinator else []
+
+    def __del__(self):  # best-effort: never leak worker processes
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -1,0 +1,227 @@
+"""Partitioning the grid into contiguous districts (one per shard).
+
+A *district* is a contiguous set of cells executed by one worker process;
+a :class:`ShardPlan` is a validated full partition of the grid into
+districts plus the derived adjacency structure the coordinator needs:
+
+``boundary(s)``
+    the district's cells that have at least one neighbor owned by a
+    different shard — the cells whose shared variables other shards
+    must observe.
+
+``rim(s)``
+    the cells *outside* the district adjacent to it — the "ghost" cells
+    whose effective ``dist`` / ``next`` / membership the coordinator
+    sends to shard ``s`` every round so its district sweeps read exactly
+    the neighbor values the reference engine would.
+
+Two partitioners are provided: ``row_bands`` (horizontal bands of whole
+rows, any shard count up to the grid height) and ``quadrants`` (the
+four blocks around the grid center, fixed at 4 shards). Both produce
+districts in row-major cell order, matching ``Grid.cells()`` iteration
+— the order every merge step sorts back into (see docs/sharding.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.grid.topology import CellId, Grid
+
+
+@dataclass(frozen=True)
+class District:
+    """One shard's cells, in row-major order."""
+
+    shard_id: int
+    cells: Tuple[CellId, ...]
+
+
+class ShardPlan:
+    """A validated partition of a grid into contiguous districts."""
+
+    def __init__(self, grid: Grid, districts: Sequence[District]):
+        self.grid = grid
+        self.districts: Tuple[District, ...] = tuple(districts)
+        self._validate()
+        self._owner: Dict[CellId, int] = {
+            cid: district.shard_id
+            for district in self.districts
+            for cid in district.cells
+        }
+        self._boundary: Dict[int, Tuple[CellId, ...]] = {}
+        self._rim: Dict[int, Tuple[CellId, ...]] = {}
+        for district in self.districts:
+            member = set(district.cells)
+            boundary: List[CellId] = []
+            rim_set = set()
+            for cid in district.cells:
+                outside = [n for n in grid.neighbors(cid) if n not in member]
+                if outside:
+                    boundary.append(cid)
+                    rim_set.update(outside)
+            sid = district.shard_id
+            self._boundary[sid] = tuple(boundary)
+            self._rim[sid] = tuple(sorted(rim_set, key=lambda c: (c[1], c[0])))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.districts)
+
+    def district(self, shard_id: int) -> District:
+        """The district owned by ``shard_id``."""
+        return self.districts[shard_id]
+
+    def owner(self, cid: CellId) -> int:
+        """The shard id owning ``cid``."""
+        return self._owner[cid]
+
+    def boundary(self, shard_id: int) -> Tuple[CellId, ...]:
+        """District cells with at least one neighbor in another district."""
+        return self._boundary[shard_id]
+
+    def rim(self, shard_id: int) -> Tuple[CellId, ...]:
+        """Ghost cells: out-of-district neighbors of the district."""
+        return self._rim[shard_id]
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def _validate(self) -> None:
+        if not self.districts:
+            raise ValueError("a shard plan needs at least one district")
+        for index, district in enumerate(self.districts):
+            if district.shard_id != index:
+                raise ValueError(
+                    f"district shard_ids must be consecutive from 0; "
+                    f"position {index} holds shard_id {district.shard_id}"
+                )
+            if not district.cells:
+                raise ValueError(f"district {index} is empty")
+        seen: Dict[CellId, int] = {}
+        for district in self.districts:
+            for cid in district.cells:
+                self.grid.require(cid)
+                if cid in seen:
+                    raise ValueError(
+                        f"cell {cid} assigned to both shard {seen[cid]} "
+                        f"and shard {district.shard_id}"
+                    )
+                seen[cid] = district.shard_id
+        if len(seen) != self.grid.size:
+            missing = [c for c in self.grid.cells() if c not in seen]
+            raise ValueError(
+                f"partition does not cover the grid; {len(missing)} cells "
+                f"unassigned (first: {missing[0]})"
+            )
+        for district in self.districts:
+            if not _connected(self.grid, district.cells):
+                raise ValueError(
+                    f"district {district.shard_id} is not contiguous"
+                )
+
+
+def _connected(grid: Grid, cells: Sequence[CellId]) -> bool:
+    """Is the cell set 4-connected? (BFS within the set.)"""
+    member = set(cells)
+    frontier = [cells[0]]
+    reached = {cells[0]}
+    while frontier:
+        cid = frontier.pop()
+        for nbr in grid.neighbors(cid):
+            if nbr in member and nbr not in reached:
+                reached.add(nbr)
+                frontier.append(nbr)
+    return len(reached) == len(member)
+
+
+def row_bands(grid: Grid, shards: int) -> ShardPlan:
+    """Split the grid into ``shards`` horizontal bands of whole rows.
+
+    Band heights differ by at most one row (the first ``height % shards``
+    bands take the extra row). Whole-row bands are always contiguous and
+    minimize the boundary for wide grids.
+    """
+    height = grid.height
+    assert height is not None
+    if not 1 <= shards <= height:
+        raise ValueError(
+            f"row-band partition needs 1 <= shards <= grid height "
+            f"({height}), got {shards}"
+        )
+    base, extra = divmod(height, shards)
+    districts: List[District] = []
+    row = 0
+    for sid in range(shards):
+        rows = base + (1 if sid < extra else 0)
+        cells = tuple(
+            (i, j)
+            for j in range(row, row + rows)
+            for i in range(grid.width)
+        )
+        districts.append(District(shard_id=sid, cells=cells))
+        row += rows
+    return ShardPlan(grid, districts)
+
+
+def quadrants(grid: Grid) -> ShardPlan:
+    """Split the grid into four blocks around its center (4 shards).
+
+    Quadrant districts are *not* contiguous runs of row-major order —
+    the coordinator's global sort is what restores reference report
+    ordering — which makes this partitioner the adversarial fixture for
+    the shard-count-invariance harness.
+    """
+    height = grid.height
+    assert height is not None
+    if grid.width < 2 or height < 2:
+        raise ValueError(
+            f"quadrant partition needs at least a 2x2 grid, got "
+            f"{grid.width}x{height}"
+        )
+    mid_i = grid.width // 2
+    mid_j = height // 2
+    spans = [
+        (range(0, mid_i), range(0, mid_j)),
+        (range(mid_i, grid.width), range(0, mid_j)),
+        (range(0, mid_i), range(mid_j, height)),
+        (range(mid_i, grid.width), range(mid_j, height)),
+    ]
+    districts = [
+        District(
+            shard_id=sid,
+            cells=tuple((i, j) for j in js for i in is_),
+        )
+        for sid, (is_, js) in enumerate(spans)
+    ]
+    return ShardPlan(grid, districts)
+
+
+#: Selectable partition strategies (name -> short description); the
+#: concrete entry points are :func:`row_bands` / :func:`quadrants`.
+PARTITION_STRATEGIES = {
+    "rows": "horizontal bands of whole rows (any shard count <= height)",
+    "quadrants": "four blocks around the grid center (exactly 4 shards)",
+}
+
+
+def make_plan(grid: Grid, shards: int, strategy: str = "rows") -> ShardPlan:
+    """Build a plan for ``shards`` districts using the named strategy."""
+    if strategy == "rows":
+        return row_bands(grid, shards)
+    if strategy == "quadrants":
+        if shards != 4:
+            raise ValueError(
+                f"the quadrant strategy is fixed at 4 shards, got {shards}"
+            )
+        return quadrants(grid)
+    raise ValueError(
+        f"unknown partition strategy {strategy!r}; available: "
+        f"{sorted(PARTITION_STRATEGIES)}"
+    )

@@ -76,6 +76,13 @@ class SimulationConfig:
     :mod:`repro.sim.engine`. ``None`` defers to the ``REPRO_ENGINE``
     environment variable, then the default."""
 
+    shards: Optional[int] = None
+    """District count for the ``sharded`` engine (one worker process per
+    contiguous district; see :mod:`repro.shard` and docs/sharding.md).
+    ``None`` defers to ``REPRO_SHARDS``, then the engine default.
+    Ignored by the in-process engines — results are shard-count
+    invariant anyway (the lockstep harness proves 1 == 2 == 4)."""
+
     def __post_init__(self) -> None:
         if self.rounds <= 0:
             raise ValueError(f"rounds must be positive, got {self.rounds}")
@@ -112,6 +119,15 @@ class SimulationConfig:
                     f"unknown engine {self.engine!r}; available: "
                     f"{sorted(ENGINES)} (or None to defer to REPRO_ENGINE)"
                 )
+        if self.shards is not None and self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.engine == "sharded" and self.token_policy == "random":
+            raise ValueError(
+                "engine='sharded' cannot run token_policy='random': the "
+                "random policy consumes one shared RNG stream in global "
+                "sweep order, which cannot be split across district "
+                "processes; use 'roundrobin' or 'sticky'"
+            )
 
     def to_dict(self) -> Dict:
         """Plain-dict form (JSON-serializable) for result files."""

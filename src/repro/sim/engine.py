@@ -102,12 +102,29 @@ class RoundEngine:
 
     name: str = "abstract"
 
-    def __init__(self, system: System):
+    #: Optional :class:`repro.obs.metrics.MetricsRegistry`; the simulator
+    #: wires its registry here so engines with internal machinery (the
+    #: sharded fleet's supervision/channel counters) can report into the
+    #: same catalog. Plain engines never touch it.
+    metrics = None
+
+    def __init__(self, system: System, config=None):
         self.system = system
+        #: The run's :class:`~repro.sim.config.SimulationConfig`, when the
+        #: simulator has one — engines with deployment knobs (the sharded
+        #: engine's ``shards`` field) read it; plain engines ignore it.
+        self.config = config
 
     def step(self) -> RoundReport:
         """Run one round; returns the round's report."""
         raise NotImplementedError
+
+    def close(self) -> None:
+        """Release engine-held resources (worker processes, channels).
+
+        Called by ``Simulator.summarize``; stepping again after a close
+        must be valid (engines re-acquire lazily). No-op by default.
+        """
 
 
 class ReferenceEngine(RoundEngine):
@@ -150,8 +167,8 @@ class IncrementalEngine(RoundEngine):
 
     name = "incremental"
 
-    def __init__(self, system: System):
-        super().__init__(system)
+    def __init__(self, system: System, config=None):
+        super().__init__(system, config)
         all_cells = set(system.cells)
         #: Cells whose Route function must be re-evaluated this round.
         self._route_dirty: Set[CellId] = set(all_cells)
@@ -335,10 +352,11 @@ class IncrementalEngine(RoundEngine):
             self._mark_membership_change((int(entity.x), int(entity.y)))
 
 
-# Imported here (not at the top) because the vectorized engine subclasses
-# RoundEngine: by this point every name it needs is defined, so the
-# circular module pair resolves in either import order.
+# Imported here (not at the top) because the vectorized and sharded
+# engines subclass RoundEngine: by this point every name they need is
+# defined, so the circular module pairs resolve in either import order.
 from repro.sim.vectorized import VectorizedEngine  # noqa: E402
+from repro.shard.engine import ShardedEngine  # noqa: E402
 
 #: Registry of selectable engines (name -> class). ``docs/performance.md``
 #: documents each entry; ``tests/test_docs.py`` diffs the table against
@@ -347,6 +365,7 @@ ENGINES: Dict[str, Type[RoundEngine]] = {
     ReferenceEngine.name: ReferenceEngine,
     IncrementalEngine.name: IncrementalEngine,
     VectorizedEngine.name: VectorizedEngine,
+    ShardedEngine.name: ShardedEngine,
 }
 
 
@@ -364,10 +383,15 @@ def resolve_engine_name(
     return name
 
 
-def make_engine(name: str, system: System) -> RoundEngine:
-    """Instantiate the named engine attached to ``system``."""
+def make_engine(name: str, system: System, config=None) -> RoundEngine:
+    """Instantiate the named engine attached to ``system``.
+
+    ``config`` (the run's :class:`~repro.sim.config.SimulationConfig`)
+    is passed through to the engine; engines with deployment knobs —
+    the sharded engine's ``shards`` — read it, the rest ignore it.
+    """
     if name not in ENGINES:
         raise ValueError(
             f"unknown round engine {name!r}; available: {sorted(ENGINES)}"
         )
-    return ENGINES[name](system)
+    return ENGINES[name](system, config)

@@ -84,7 +84,7 @@ class Simulator:
             engine if engine is not None
             else (config.engine if config is not None else None)
         )
-        self.engine = make_engine(engine_name, system)
+        self.engine = make_engine(engine_name, system, config)
         self._ran = False
         # Observability (repro.obs) is opt-in: REPRO_METRICS/REPRO_TRACE
         # env toggles by default, or an explicit ObservabilityConfig. When
@@ -102,6 +102,10 @@ class Simulator:
                 self.injector.metrics = self.obs.registry
                 if self.monitors is not None:
                     self.monitors.metrics = self.obs.registry
+                # Engines with internal machinery (the sharded fleet's
+                # shard.* / channel.* supervision counters) report into
+                # the same registry; plain engines ignore the attribute.
+                self.engine.metrics = self.obs.registry
 
     def step(self):
         """One loop iteration: faults, update, monitors, metrics.
@@ -145,7 +149,13 @@ class Simulator:
         return self.summarize()
 
     def summarize(self) -> SimulationResult:
-        """Summarize the instrumentation into a result record."""
+        """Summarize the instrumentation into a result record.
+
+        Also releases engine-held resources (the sharded engine's worker
+        fleet); continuing with :meth:`step` afterward remains valid —
+        engines re-acquire lazily.
+        """
+        self.engine.close()
         latencies = self.tracker.latencies()  # already sorted ascending
         mean_latency = sum(latencies) / len(latencies) if latencies else None
         # The same interpolated percentile as repro.metrics.latency, so a

@@ -264,6 +264,9 @@ class SweepSupervisor:
         supervision activity is counted into the ``sweep.*`` metrics
         (completions, errors, retries, timeouts, worker deaths,
         exhausted points — see ``docs/observability.md``).
+    sleep:
+        Clock used for backoff waits (default ``time.sleep``). Tests
+        inject a no-op so retry paths run instantly.
     """
 
     def __init__(
@@ -275,6 +278,7 @@ class SweepSupervisor:
         mp_context: Optional[str] = None,
         progress: Callable[[str], None] = lambda message: None,
         metrics=None,
+        sleep: Callable[[float], None] = time.sleep,
     ):
         if workers is None:
             workers = 1
@@ -289,6 +293,10 @@ class SweepSupervisor:
         self.mp_context = mp_context
         self.progress = progress
         self.metrics = metrics
+        #: Injectable clock for backoff waits (tests pass a fake so
+        #: retry/backoff paths run at full speed instead of sleeping
+        #: real wall-clock). Production leaves the default.
+        self.sleep = sleep
 
     def _count(self, name: str) -> None:
         """Increment a supervision counter when a registry is bound."""
@@ -343,7 +351,7 @@ class SweepSupervisor:
                     )
                     if attempt < self.retry.max_attempts:
                         self._count("sweep.retries")
-                        time.sleep(self.retry.backoff(attempt))
+                        self.sleep(self.retry.backoff(attempt))
             if outcome is not None:
                 self._count("sweep.points_completed")
                 yield outcome
@@ -387,7 +395,7 @@ class SweepSupervisor:
                 if not busy:
                     # Everything in flight is actually waiting on backoff.
                     wake = min(state.eligible_at for state in pending)
-                    time.sleep(min(max(0.0, wake - now), 1.0))
+                    self.sleep(min(max(0.0, wake - now), 1.0))
                     continue
                 timeout = self._wait_timeout(workers, busy, pending, now)
                 ready = _connection_wait(

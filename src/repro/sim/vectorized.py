@@ -66,9 +66,9 @@ class VectorizedEngine(RoundEngine):
 
     name = "vectorized"
 
-    def __init__(self, system: System):
+    def __init__(self, system: System, config=None):
         require_numpy()
-        super().__init__(system)
+        super().__init__(system, config)
         self.arrays = GridArrays.from_system(system)
         #: Flat-index-aligned views of the object state (the cells dict
         #: is insertion-ordered in ``Grid.cells()`` row-major order,

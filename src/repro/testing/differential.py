@@ -171,6 +171,7 @@ def run_lockstep(
     engine_b: str = "incremental",
     observability_a: Optional[ObservabilityConfig] = None,
     observability_b: Optional[ObservabilityConfig] = None,
+    config_b: Optional[SimulationConfig] = None,
 ) -> LockstepOutcome:
     """Run ``config`` under both engines, comparing after every round.
 
@@ -179,9 +180,19 @@ def run_lockstep(
     exact protocol step where the engines disagree. Both simulators are
     built from the same config object (the engine is an override, not a
     config edit), so their result records embed identical config dicts.
+
+    ``config_b`` runs side B from a *different* config — used to prove
+    shard-count invariance, where only engine-tuning fields (``shards``)
+    may differ. The embedded config dicts then legitimately differ, so
+    the final result comparison excludes them; everything else (state,
+    reports, verdicts, metrics) must still match exactly.
     """
     sim_a = build_simulation(config, observability=observability_a, engine=engine_a)
-    sim_b = build_simulation(config, observability=observability_b, engine=engine_b)
+    sim_b = build_simulation(
+        config_b if config_b is not None else config,
+        observability=observability_b,
+        engine=engine_b,
+    )
     digests: List[str] = []
     for round_index in range(config.rounds):
         report_a = sim_a.step()
@@ -215,6 +226,9 @@ def run_lockstep(
     result_b = sim_b.summarize()
     outputs_a = result_a.simulation_outputs()
     outputs_b = result_b.simulation_outputs()
+    if config_b is not None:
+        outputs_a.pop("config", None)
+        outputs_b.pop("config", None)
     if outputs_a != outputs_b:
         fields = sorted(
             key

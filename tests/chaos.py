@@ -102,3 +102,88 @@ def serial_outputs(points):
         _execute_point((index, label, config, extras))[1].simulation_outputs()
         for index, (label, config, extras) in enumerate(points)
     ]
+
+
+# ---------------------------------------------------------------------------
+# Shard chaos (ISSUE 7): fault helpers for the district fleet
+# ---------------------------------------------------------------------------
+#
+# Shard chaos specs ride the worker init payload (`engine.chaos`, keyed by
+# shard id) and fire inside the worker's serve loop: `kill`/`hang` before
+# the phase computes (mid-round death), `drop`/`tear` after (reply
+# suppressed/garbled; the retransmit cache must absorb it).
+
+
+def shard_config(seed: int = 0, rounds: int = 30, **overrides) -> SimulationConfig:
+    """Fault-free free-form 6x6 workload, 2 row-band districts.
+
+    Band 0 (rows 0-2) holds the target (0,0) and source (5,0); band 1
+    (rows 3-5) holds source (5,5) — so killing either shard takes out
+    live protocol state, not idle cells. Fault-free because the chaos
+    injection *is* the fault under test (a quiescent Route phase then
+    cleanly marks re-stabilization).
+    """
+    base = dict(
+        grid_width=6,
+        params=PARAMS,
+        rounds=rounds,
+        tid=(0, 0),
+        sources=((5, 0), (5, 5)),
+        seed=seed,
+        engine="sharded",
+        shards=2,
+    )
+    base.update(overrides)
+    return SimulationConfig(**base)
+
+
+def build_sharded_sim(
+    config: SimulationConfig = None,
+    *,
+    chaos: Dict = None,
+    heal_delay: int = 1,
+    respawn_budget: int = 2,
+    timeout: float = 10.0,
+    retries: int = 1,
+    observability=None,
+):
+    """A sharded simulator tuned for fast chaos tests (instant backoff)."""
+    from repro.sim.simulator import build_simulation
+    from repro.sim.supervisor import RetryPolicy
+
+    sim = build_simulation(config or shard_config(), observability=observability)
+    engine = sim.engine
+    engine.retry = RetryPolicy(max_retries=retries, backoff_base=0.0)
+    engine.round_timeout = timeout
+    engine.heal_delay = heal_delay
+    engine.respawn_budget = respawn_budget
+    if chaos:
+        engine.chaos = chaos
+    return sim
+
+
+def shard_kill(round_index: int, phase: str = "route", shard: int = 1, repeat: bool = False):
+    """SIGKILL the shard's worker when the phase request for the round arrives."""
+    return {shard: {"phase": phase, "round": round_index, "action": "kill", "repeat": repeat}}
+
+
+def shard_hang(round_index: int, seconds: float, phase: str = "route", shard: int = 1):
+    """Hang the worker mid-phase (exercised against the channel timeout)."""
+    return {
+        shard: {
+            "phase": phase,
+            "round": round_index,
+            "action": "hang",
+            "hang_seconds": seconds,
+        }
+    }
+
+
+def shard_drop(round_index: int, phase: str = "route", shard: int = 1):
+    """Compute but never send the reply (forces a retransmit round trip)."""
+    return {shard: {"phase": phase, "round": round_index, "action": "drop"}}
+
+
+def shard_tear(round_index: int, phase: str = "route", shard: int = 1):
+    """Send a garbled frame instead of the reply (torn boundary message)."""
+    return {shard: {"phase": phase, "round": round_index, "action": "tear"}}

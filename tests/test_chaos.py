@@ -308,3 +308,107 @@ class TestFailureSerialization:
             RetryPolicy(max_retries=-1)
         with pytest.raises(ValueError):
             RetryPolicy(backoff_factor=0.5)
+
+
+class TestShardChaos:
+    """Shard-death chaos matrix (ISSUE 7): a SIGKILLed / hung / torn
+    district worker must heal — cells observed failed, shard respawned
+    from the authoritative snapshot, Route re-stabilized within the
+    Lemma 6 horizon — with zero monitor violations throughout."""
+
+    def events(self, sim, name):
+        return [e for e in sim.engine.healing_log if e["event"] == name]
+
+    def assert_healed_clean(self, sim, result, phase):
+        assert result.monitor_violations == 0
+        assert sim.engine.degraded is False
+        deaths = self.events(sim, "death")
+        assert len(deaths) == 1 and deaths[0]["phase"] == phase
+        assert deaths[0]["shard"] == 1
+        [failed] = self.events(sim, "district-failed")
+        assert failed["cells"] > 0 and failed["round"] > deaths[0]["round"]
+        [heal] = self.events(sim, "heal")
+        assert heal["round"] >= failed["round"] + 1  # heal_delay respected
+        [stabilized] = self.events(sim, "stabilized")
+        assert stabilized["within_horizon"] is True
+        assert stabilized["rounds"] <= stabilized["horizon"]
+
+    @pytest.mark.parametrize("phase", ["route", "signal", "commit"])
+    def test_sigkill_mid_round_heals_within_horizon(self, phase):
+        from tests.chaos import build_sharded_sim, shard_kill
+
+        sim = build_sharded_sim(chaos=shard_kill(5, phase=phase))
+        result = sim.run()
+        self.assert_healed_clean(sim, result, phase)
+
+    def test_hang_past_heartbeat_is_a_death_then_heals(self):
+        from tests.chaos import build_sharded_sim, shard_hang
+
+        # The worker hangs far beyond the channel timeout; the bounded
+        # retry gives up (a heartbeat timeout), the handle is reaped
+        # (killing the hung process), and healing proceeds as for a kill.
+        sim = build_sharded_sim(
+            chaos=shard_hang(4, seconds=60.0), timeout=0.2, retries=1
+        )
+        result = sim.run()
+        self.assert_healed_clean(sim, result, "route")
+        [death] = self.events(sim, "death")
+        assert death["reason"] == "ChannelTimeout"
+
+    @pytest.mark.parametrize("action", ["drop", "tear"])
+    def test_torn_boundary_message_survived_by_retransmit(self, action):
+        from repro.obs.instrument import ObservabilityConfig
+        from repro.testing.differential import state_digest
+        from tests.chaos import build_sharded_sim, shard_drop, shard_tear
+
+        chaos = (shard_drop if action == "drop" else shard_tear)(6, phase="signal")
+        sim = build_sharded_sim(
+            chaos=chaos,
+            timeout=0.2,
+            observability=ObservabilityConfig(metrics=True),
+        )
+        result = sim.run()
+        # No death: the cached reply satisfied the retransmit.
+        assert sim.engine.healing_log == []
+        assert result.monitor_violations == 0
+        assert result.metrics["counters"]["channel.retries"] >= 1
+        # And the run is bit-identical to an undisturbed sharded run.
+        clean = build_sharded_sim()
+        clean.run()
+        assert state_digest(sim.system) == state_digest(clean.system)
+
+    def test_respawn_budget_exhaustion_degrades_gracefully(self):
+        from tests.chaos import build_sharded_sim, shard_kill
+
+        sim = build_sharded_sim(
+            chaos=shard_kill(5, phase="route"), respawn_budget=0
+        )
+        result = sim.run()
+        assert result.rounds == sim.rounds  # the run still completes
+        assert result.monitor_violations == 0
+        assert sim.engine.degraded is True
+        [degraded] = [
+            e for e in sim.engine.healing_log if e["event"] == "degraded"
+        ]
+        assert degraded["shard"] == 1 and degraded["respawns_used"] == 0
+        assert not [e for e in sim.engine.healing_log if e["event"] == "heal"]
+        # The dead district stays failed; its cells never resurrect.
+        assert all(
+            sim.system.cells[(i, j)].failed for i in range(6) for j in range(3, 6)
+        )
+
+    def test_repeated_kill_consumes_budget_then_degrades(self):
+        from tests.chaos import build_sharded_sim, shard_kill
+
+        # repeat=True re-kills every respawned worker at its first
+        # route request, draining the budget death by death.
+        sim = build_sharded_sim(
+            chaos=shard_kill(5, phase="route", repeat=True),
+            respawn_budget=2,
+            config=None,
+        )
+        result = sim.run()
+        assert result.monitor_violations == 0
+        assert sim.engine.degraded is True
+        assert len(self.events(sim, "heal")) == 2  # budget fully used
+        assert len(self.events(sim, "death")) == 3

@@ -127,10 +127,13 @@ def test_lockstep_digests_are_reproducible():
 
 
 def test_registry_contents():
+    from repro.shard.engine import ShardedEngine
+
     assert ENGINES == {
         "reference": ReferenceEngine,
         "incremental": IncrementalEngine,
         "vectorized": VectorizedEngine,
+        "sharded": ShardedEngine,
     }
     assert DEFAULT_ENGINE == "reference"
 

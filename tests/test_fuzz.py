@@ -71,7 +71,18 @@ class TestGenerator:
             "reference",
             "incremental",
             "vectorized",
+            "sharded",
         }
+        sharded = [s for s in scenarios if s.config.engine == "sharded"]
+        assert sharded, "expected sharded pins in the first 200 seeds"
+        for s in sharded:
+            # Sharded pins carry an explicit, valid district count and
+            # never the (unsplittable) random token policy.
+            assert s.config.shards is not None
+            assert 1 <= s.config.shards <= (
+                s.config.grid_height or s.config.grid_width
+            )
+            assert s.config.token_policy != "random"
         assert any(s.config.path is not None for s in scenarios)
         assert any(s.config.path is None for s in scenarios)
         assert any(s.config.fault.enabled for s in scenarios)

@@ -1,0 +1,217 @@
+"""Inter-shard channel discipline: sequencing, retries, structured errors.
+
+The coordinator end is exercised against a scripted fake connection (so
+timeout/garble/stale paths run instantly with an injected sleep); the
+worker end's retransmit cache is exercised against the real ``serve``
+loop over an in-process pipe.
+"""
+
+import threading
+
+import pytest
+from multiprocessing import Pipe
+
+from repro.shard.channel import (
+    ChannelClosed,
+    ChannelTimeout,
+    SequenceError,
+    ShardChannel,
+)
+from repro.shard.worker import serve
+from repro.sim.supervisor import RetryPolicy
+
+
+class FakeConn:
+    """Scripted connection: each send consumes the next reply script.
+
+    A script entry is a callable taking the sent message and returning a
+    list of replies to queue (empty list = silence, i.e. a timeout), or
+    an exception instance to raise on the *next* recv.
+    """
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.sent = []
+        self.queue = []
+        self.closed = False
+
+    def send(self, message):
+        if self.closed:
+            raise BrokenPipeError("closed")
+        self.sent.append(message)
+        if self.script:
+            outcome = self.script.pop(0)(message)
+            self.queue.extend(outcome)
+
+    def poll(self, timeout=None):
+        return bool(self.queue)
+
+    def recv(self):
+        reply = self.queue.pop(0)
+        if isinstance(reply, Exception):
+            raise reply
+        return reply
+
+    def close(self):
+        self.closed = True
+
+
+def instant_channel(script, max_retries=2):
+    sleeps = []
+    conn = FakeConn(script)
+    channel = ShardChannel(
+        conn,
+        shard_id=7,
+        retry=RetryPolicy(max_retries=max_retries, backoff_base=0.25),
+        timeout=0.0,
+        sleep=sleeps.append,
+    )
+    return channel, conn, sleeps
+
+
+def reply_to(message, payload):
+    return [{"seq": message["seq"], "payload": payload}]
+
+
+class TestShardChannel:
+    def test_happy_path(self):
+        channel, conn, _ = instant_channel([lambda m: reply_to(m, {"x": 1})])
+        assert channel.request("route", {"round": 0}) == {"x": 1}
+        assert conn.sent[0]["kind"] == "route"
+        assert conn.sent[0]["seq"] == 1
+
+    def test_seq_increments_per_request(self):
+        channel, conn, _ = instant_channel(
+            [lambda m: reply_to(m, {}), lambda m: reply_to(m, {})]
+        )
+        channel.request("route", {})
+        channel.request("signal", {})
+        assert [m["seq"] for m in conn.sent] == [1, 2]
+
+    def test_timeout_then_retry_succeeds(self):
+        channel, conn, sleeps = instant_channel(
+            [lambda m: [], lambda m: reply_to(m, {"ok": True})]
+        )
+        assert channel.request("route", {}) == {"ok": True}
+        assert len(conn.sent) == 2  # original + one retransmit
+        assert sleeps == [0.25]  # backoff_base * factor**0
+
+    def test_timeout_exhausts_to_channel_timeout(self):
+        channel, conn, sleeps = instant_channel(
+            [lambda m: [], lambda m: [], lambda m: []], max_retries=2
+        )
+        with pytest.raises(ChannelTimeout) as excinfo:
+            channel.request("route", {})
+        assert excinfo.value.shard_id == 7
+        assert len(conn.sent) == 3  # max_attempts
+        assert sleeps == [0.25, 0.5]  # deterministic exponential backoff
+
+    def test_garbled_replies_exhaust_to_sequence_error(self):
+        garbage = lambda m: [{"torn": True}]
+        channel, conn, _ = instant_channel([garbage, garbage], max_retries=1)
+        with pytest.raises(SequenceError):
+            channel.request("route", {})
+        assert len(conn.sent) == 2
+
+    def test_future_seq_is_garbled(self):
+        channel, _, _ = instant_channel(
+            [lambda m: [{"seq": m["seq"] + 5, "payload": {}}]], max_retries=0
+        )
+        with pytest.raises(SequenceError):
+            channel.request("route", {})
+
+    def test_stale_replies_drained_without_consuming_attempt(self):
+        def stale_then_good(message):
+            return [
+                {"seq": message["seq"] - 1, "payload": {"stale": True}},
+                {"seq": message["seq"], "payload": {"fresh": True}},
+            ]
+
+        channel, conn, sleeps = instant_channel([stale_then_good], max_retries=0)
+        assert channel.request("route", {}) == {"fresh": True}
+        assert len(conn.sent) == 1 and sleeps == []
+
+    def test_eof_raises_channel_closed(self):
+        channel, _, _ = instant_channel([lambda m: [EOFError()]])
+        with pytest.raises(ChannelClosed):
+            channel.request("route", {})
+
+    def test_send_failure_raises_channel_closed(self):
+        channel, conn, _ = instant_channel([])
+        conn.closed = True
+        with pytest.raises(ChannelClosed):
+            channel.post("route", {})
+
+    def test_collect_without_post_raises(self):
+        channel, _, _ = instant_channel([])
+        with pytest.raises(RuntimeError, match="without a posted request"):
+            channel.collect()
+
+    def test_retry_metrics_counted(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        conn = FakeConn([lambda m: [], lambda m: reply_to(m, {})])
+        channel = ShardChannel(
+            conn,
+            retry=RetryPolicy(max_retries=2, backoff_base=0.0),
+            timeout=0.0,
+            sleep=lambda s: None,
+            metrics=registry,
+        )
+        channel.request("route", {})
+        assert registry.counter("channel.timeouts").value == 1
+        assert registry.counter("channel.retries").value == 1
+
+    def test_clean_exchange_creates_no_metrics(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        conn = FakeConn([lambda m: reply_to(m, {})])
+        channel = ShardChannel(conn, timeout=0.0, metrics=registry)
+        channel.request("route", {})
+        assert registry.to_dict()["counters"] == {}
+
+
+class TestServeLoop:
+    """The worker end against the real request loop (in-process pipe)."""
+
+    def run_serve(self, requests):
+        """Feed scripted requests through serve(); return its replies."""
+        parent, child = Pipe()
+        thread = threading.Thread(target=serve, args=(child,), daemon=True)
+        thread.start()
+        replies = []
+        try:
+            for message in requests:
+                parent.send(message)
+                replies.append(parent.recv())
+        finally:
+            parent.send({"seq": 10_000, "kind": "shutdown", "payload": {}})
+            thread.join(timeout=5)
+            parent.close()
+            child.close()
+        return replies
+
+    def test_uninitialized_worker_reports_error(self):
+        [reply] = self.run_serve(
+            [{"seq": 1, "kind": "audit", "payload": {}}]
+        )
+        assert reply == {"seq": 1, "payload": {"error": "not initialized"}}
+
+    def test_retransmit_answered_from_cache(self):
+        message = {"seq": 3, "kind": "audit", "payload": {}}
+        first, second = self.run_serve([message, dict(message)])
+        assert first == second  # cached reply, not a recompute
+
+    def test_non_dict_frames_ignored(self):
+        parent, child = Pipe()
+        thread = threading.Thread(target=serve, args=(child,), daemon=True)
+        thread.start()
+        parent.send("noise")
+        parent.send({"no_seq": True})
+        parent.send({"seq": 1, "kind": "shutdown", "payload": {}})
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        parent.close()
+        child.close()

@@ -1,0 +1,161 @@
+"""District partitioning: plan validation, partitioners, adjacency."""
+
+import pytest
+
+from repro.grid.topology import Grid
+from repro.shard.partition import (
+    PARTITION_STRATEGIES,
+    District,
+    ShardPlan,
+    make_plan,
+    quadrants,
+    row_bands,
+)
+
+
+class TestShardPlanValidation:
+    def test_rejects_empty_plan(self):
+        with pytest.raises(ValueError, match="at least one district"):
+            ShardPlan(Grid(2, 2), [])
+
+    def test_rejects_nonconsecutive_shard_ids(self):
+        grid = Grid(2, 1)
+        with pytest.raises(ValueError, match="consecutive from 0"):
+            ShardPlan(
+                grid,
+                [
+                    District(shard_id=0, cells=((0, 0),)),
+                    District(shard_id=2, cells=((1, 0),)),
+                ],
+            )
+
+    def test_rejects_empty_district(self):
+        grid = Grid(2, 1)
+        with pytest.raises(ValueError, match="district 1 is empty"):
+            ShardPlan(
+                grid,
+                [
+                    District(shard_id=0, cells=((0, 0), (1, 0))),
+                    District(shard_id=1, cells=()),
+                ],
+            )
+
+    def test_rejects_double_assignment(self):
+        grid = Grid(2, 1)
+        with pytest.raises(ValueError, match="assigned to both"):
+            ShardPlan(
+                grid,
+                [
+                    District(shard_id=0, cells=((0, 0), (1, 0))),
+                    District(shard_id=1, cells=((1, 0),)),
+                ],
+            )
+
+    def test_rejects_incomplete_cover(self):
+        grid = Grid(2, 2)
+        with pytest.raises(ValueError, match="does not cover"):
+            ShardPlan(grid, [District(shard_id=0, cells=((0, 0), (1, 0)))])
+
+    def test_rejects_noncontiguous_district(self):
+        grid = Grid(3, 1)
+        with pytest.raises(ValueError, match="not contiguous"):
+            ShardPlan(
+                grid,
+                [
+                    District(shard_id=0, cells=((0, 0), (2, 0))),
+                    District(shard_id=1, cells=((1, 0),)),
+                ],
+            )
+
+    def test_rejects_off_grid_cell(self):
+        grid = Grid(2, 1)
+        with pytest.raises(Exception):
+            ShardPlan(grid, [District(shard_id=0, cells=((0, 0), (5, 5)))])
+
+
+class TestRowBands:
+    def test_even_split(self):
+        plan = row_bands(Grid(4, 4), 2)
+        assert plan.shard_count == 2
+        assert plan.district(0).cells == tuple(
+            (i, j) for j in range(2) for i in range(4)
+        )
+        assert plan.district(1).cells == tuple(
+            (i, j) for j in range(2, 4) for i in range(4)
+        )
+
+    def test_uneven_split_gives_extra_rows_to_first_bands(self):
+        plan = row_bands(Grid(3, 5), 2)
+        # 5 rows over 2 bands: 3 + 2.
+        assert len(plan.district(0).cells) == 9
+        assert len(plan.district(1).cells) == 6
+
+    def test_single_shard_owns_everything(self):
+        grid = Grid(3, 3)
+        plan = row_bands(grid, 1)
+        assert plan.district(0).cells == tuple(grid.cells())
+        assert plan.boundary(0) == ()
+        assert plan.rim(0) == ()
+
+    def test_shard_count_bounds(self):
+        with pytest.raises(ValueError, match="1 <= shards"):
+            row_bands(Grid(3, 3), 4)
+        with pytest.raises(ValueError, match="1 <= shards"):
+            row_bands(Grid(3, 3), 0)
+
+    def test_boundary_and_rim(self):
+        plan = row_bands(Grid(3, 4), 2)
+        # Band 0 owns rows 0-1; its boundary is row 1, its rim row 2.
+        assert plan.boundary(0) == ((0, 1), (1, 1), (2, 1))
+        assert plan.rim(0) == ((0, 2), (1, 2), (2, 2))
+        assert plan.boundary(1) == ((0, 2), (1, 2), (2, 2))
+        assert plan.rim(1) == ((0, 1), (1, 1), (2, 1))
+
+    def test_owner(self):
+        plan = row_bands(Grid(2, 4), 4)
+        for j in range(4):
+            assert plan.owner((0, j)) == j
+            assert plan.owner((1, j)) == j
+
+
+class TestQuadrants:
+    def test_partitions_into_four_blocks(self):
+        plan = quadrants(Grid(4, 4))
+        assert plan.shard_count == 4
+        assert plan.owner((0, 0)) == 0
+        assert plan.owner((3, 0)) == 1
+        assert plan.owner((0, 3)) == 2
+        assert plan.owner((3, 3)) == 3
+        assert sum(len(d.cells) for d in plan.districts) == 16
+
+    def test_odd_grid_still_covers(self):
+        plan = quadrants(Grid(5, 5))
+        assert sum(len(d.cells) for d in plan.districts) == 25
+
+    def test_needs_2x2(self):
+        with pytest.raises(ValueError, match="2x2"):
+            quadrants(Grid(1, 4))
+
+    def test_rim_is_row_major_sorted(self):
+        plan = quadrants(Grid(4, 4))
+        for sid in range(4):
+            rim = plan.rim(sid)
+            assert list(rim) == sorted(rim, key=lambda c: (c[1], c[0]))
+
+
+class TestMakePlan:
+    def test_strategies_registry(self):
+        assert set(PARTITION_STRATEGIES) == {"rows", "quadrants"}
+
+    def test_rows_default(self):
+        plan = make_plan(Grid(4, 4), 2)
+        assert plan.shard_count == 2
+
+    def test_quadrants_requires_four(self):
+        with pytest.raises(ValueError, match="fixed at 4"):
+            make_plan(Grid(4, 4), 2, strategy="quadrants")
+        assert make_plan(Grid(4, 4), 4, strategy="quadrants").shard_count == 4
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError, match="unknown partition strategy"):
+            make_plan(Grid(4, 4), 2, strategy="diagonal")
