@@ -34,6 +34,8 @@ from repro.core.params import Parameters
 from repro.experiments.registry import EXPERIMENTS, get_experiment
 from repro.grid.paths import straight_path, turns_path
 from repro.grid.topology import Direction
+from repro.multiflow.commodities import default_commodities
+from repro.multiflow.workload import WORKLOAD_PROFILES
 from repro.sim.config import FaultSpec, SimulationConfig
 from repro.sim.simulator import build_simulation
 from repro.viz.render import render_grid, render_routes
@@ -68,9 +70,40 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
         help="district count for --engine sharded (default: REPRO_SHARDS, "
         "then 2); ignored by the in-process engines",
     )
+    parser.add_argument(
+        "--commodities",
+        type=int,
+        default=0,
+        metavar="N",
+        help="multi-commodity mode: run N concurrent crossing commodities "
+        "(repro.multiflow) instead of the single corridor; supports "
+        "--engine reference/incremental only (see docs/multiflow.md)",
+    )
+    parser.add_argument(
+        "--workload",
+        choices=sorted(WORKLOAD_PROFILES),
+        default=None,
+        help="demand schedule for --commodities (default: steady)",
+    )
 
 
 def _build_config(args: argparse.Namespace) -> SimulationConfig:
+    commodities = getattr(args, "commodities", 0)
+    if commodities:
+        return SimulationConfig(
+            grid_width=args.grid,
+            params=Parameters(l=args.l, rs=args.rs, v=args.v),
+            rounds=args.rounds,
+            commodities=default_commodities(args.grid, commodities),
+            workload=args.workload,
+            fault=FaultSpec(pf=args.pf, pr=args.pr, protect_target=True),
+            seed=args.seed,
+            monitors=not args.no_monitors,
+            engine=args.engine,
+            shards=args.shards,
+        )
+    if args.workload is not None:
+        raise SystemExit("--workload requires --commodities")
     if args.turns > 0:
         path = turns_path((0, 0), args.length, args.turns)
     else:
@@ -104,6 +137,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"mean blocked cells: {result.mean_blocked_cells:.2f}")
     print(f"failures/recovs:    {result.total_failures}/{result.total_recoveries}")
     print(f"monitor violations: {result.monitor_violations}")
+    system = simulator.system
+    if getattr(system, "is_multiflow", False):
+        in_flight = system.in_flight_by_commodity()
+        print("commodities (produced/consumed/in-flight):")
+        for name in system.table.names():
+            print(
+                f"  {name}: {system.produced_by_commodity[name]}"
+                f"/{system.consumed_by_commodity[name]}"
+                f"/{in_flight[name]}"
+            )
     if result.metrics is not None:
         counters = result.metrics.get("counters", {})
         print("metrics (REPRO_METRICS):")

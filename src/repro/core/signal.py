@@ -48,6 +48,15 @@ class SignalPhaseReport:
     rotation — the fairness steps of Lemma 9, recorded so the
     observability layer (:mod:`repro.obs`) can count and trace them."""
 
+    block_reasons: Dict[CellId, str] = field(default_factory=dict)
+    """Optional block-reason annotations keyed by blocked cell.
+
+    The core Signal rule only blocks for one reason — the occupied
+    depth-``d`` strip — so it leaves this empty and consumers default a
+    missing entry to ``"gap"``. Systems with additional admission
+    conjuncts (the multi-commodity residency rule) record the reason
+    here; values must come from ``repro.obs.events.BLOCK_REASONS``."""
+
 
 def gap_clear(
     state: CellState, toward: Direction, params: Parameters

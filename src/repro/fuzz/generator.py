@@ -30,6 +30,8 @@ from typing import Dict
 from repro.core.params import Parameters
 from repro.grid.paths import straight_path, turns_path
 from repro.grid.topology import Direction
+from repro.multiflow.commodities import Commodity
+from repro.multiflow.workload import WORKLOAD_PROFILES
 from repro.sim.config import FaultSpec, SimulationConfig
 
 #: Scenario-space version: bump when the sampling distribution changes,
@@ -40,7 +42,13 @@ from repro.sim.config import FaultSpec, SimulationConfig
 #: ``"sharded"`` with a pinned district count (and forces the
 #: round-robin token policy for sharded pins — the random policy's
 #: shared RNG stream cannot be split across district processes).
-GENERATOR_VERSION = 3
+#: Version 4 reserves the *first* draw for a multi-commodity branch
+#: (~25% of seeds): those scenarios carry ``commodities=`` + a workload
+#: profile instead of a corridor/free-form layout, pin only the engines
+#: that support multi-commodity systems (reference/incremental), and
+#: disable the network legs (the netsim oracle models the single-flow
+#: advert protocol). The leading draw remaps the whole seed space.
+GENERATOR_VERSION = 4
 
 #: Mixed into the seed so the generator's stream is independent of the
 #: simulation streams derived from ``config.seed`` (which equals the
@@ -155,9 +163,72 @@ def _sample_token_policy(rng: random.Random) -> str:
     return rng.choice(["roundrobin", "roundrobin", "random", "sticky"])
 
 
+def _sample_commodities(rng: random.Random, n: int) -> tuple:
+    """2-3 commodities with pairwise-distinct targets and 1-2 sources each.
+
+    Sources are drawn from the non-target cells, so every commodity is
+    valid by construction (``target not in sources``); sources *may*
+    overlap between commodities — the residency rule arbitrates those
+    contended injection points at runtime.
+    """
+    cells = [(i, j) for i in range(n) for j in range(n)]
+    count = rng.randint(2, 3)
+    targets = rng.sample(cells, count)
+    others = [cell for cell in cells if cell not in targets]
+    return tuple(
+        Commodity(
+            name=f"c{index}",
+            target=target,
+            sources=tuple(rng.sample(others, rng.randint(1, 2))),
+        )
+        for index, target in enumerate(targets)
+    )
+
+
+def _generate_multiflow_scenario(seed: int, rng: random.Random) -> Scenario:
+    """The multi-commodity arm of the v4 scenario space.
+
+    Samples a :class:`~repro.multiflow.commodities.Commodity` table plus
+    a workload profile, pins the engines that support multi-commodity
+    systems (``None``/reference/incremental), and leaves the network
+    legs disabled — the netsim oracle models single-flow adverts.
+    """
+    n = rng.randint(4, 6)
+    params = _sample_params(rng)
+    rounds = rng.randint(40, 100)
+    commodities = _sample_commodities(rng, n)
+    workload = rng.choice(sorted(WORKLOAD_PROFILES))
+    token_policy = _sample_token_policy(rng)
+    engine = rng.choice([None, "reference", "incremental"])
+    faulting = rng.random() < 0.45
+    fault = (
+        FaultSpec(
+            pf=round(rng.uniform(0.01, 0.08), 4),
+            pr=round(rng.uniform(0.05, 0.4), 4),
+            protect_target=rng.random() < 0.7,
+        )
+        if faulting
+        else FaultSpec()
+    )
+    config = SimulationConfig(
+        grid_width=n,
+        params=params,
+        rounds=rounds,
+        commodities=commodities,
+        workload=workload,
+        token_policy=token_policy,
+        fault=fault,
+        seed=seed,
+        engine=engine,
+    )
+    return Scenario(seed=seed, config=config, net=NetSpec())
+
+
 def generate_scenario(seed: int) -> Scenario:
     """The deterministic seed → scenario map (total: every seed is valid)."""
     rng = random.Random((seed & 0xFFFFFFFF) ^ _SALT)
+    if rng.random() < 0.25:  # v4: the multi-commodity arm
+        return _generate_multiflow_scenario(seed, rng)
     n = rng.randint(3, 6)
     params = _sample_params(rng)
     rounds = rng.randint(20, 80)

@@ -137,10 +137,12 @@ class DifferentialOracle(Oracle):
 
     #: The non-reference engines checked against the reference. The
     #: vectorized leg needs numpy (a soft dependency); without it the
-    #: oracle still proves the incremental leg.
-    def _legs(self) -> List[str]:
+    #: oracle still proves the incremental leg. Multi-commodity
+    #: scenarios only pin the engines that support them, so their
+    #: lockstep matrix is reference vs incremental.
+    def _legs(self, scenario: Scenario) -> List[str]:
         legs = ["incremental"]
-        if HAVE_NUMPY:
+        if HAVE_NUMPY and not scenario.config.commodities:
             legs.append("vectorized")
         return legs
 
@@ -150,7 +152,7 @@ class DifferentialOracle(Oracle):
         # monitors oracle's finding; strict monitors would abort the
         # lockstep before the comparison that is this oracle's job.
         config = replace(scenario.config, monitors=False)
-        for engine_b in self._legs():
+        for engine_b in self._legs(scenario):
             try:
                 run_lockstep(config, engine_b=engine_b)
             except DifferentialMismatch as mismatch:
@@ -224,7 +226,13 @@ class ConservationOracle(Oracle):
     )
 
     def check(self, scenario: Scenario) -> List[Violation]:
-        """Audit produced == consumed + in-flight after every round."""
+        """Audit produced == consumed + in-flight after every round.
+
+        Multi-commodity runs are additionally audited per commodity:
+        each commodity's ledger must balance on its own — a cross-tagged
+        transfer would keep the totals intact while corrupting two
+        per-commodity ledgers at once.
+        """
         config = replace(scenario.config, monitors=False)
         sim = build_simulation(config)
         violations: List[Violation] = []
@@ -243,6 +251,21 @@ class ConservationOracle(Oracle):
                         round_index,
                     )
                 )
+            if getattr(system, "is_multiflow", False):
+                in_flight = system.in_flight_by_commodity()
+                for name in system.table.names():
+                    produced = system.produced_by_commodity[name]
+                    consumed = system.consumed_by_commodity[name]
+                    if produced != consumed + in_flight[name]:
+                        violations.append(
+                            Violation(
+                                self.name,
+                                "commodity conservation",
+                                f"{name}: produced {produced} != consumed "
+                                f"{consumed} + in-flight {in_flight[name]}",
+                                round_index,
+                            )
+                        )
         return violations
 
 
@@ -257,6 +280,11 @@ class ReplayOracle(Oracle):
 
     def check(self, scenario: Scenario) -> List[Violation]:
         """Record a trace, verify it offline, replay the throughput."""
+        if scenario.config.commodities:
+            # The trace format records the single-flow per-cell routing
+            # scalars; multi-commodity runs are covered by the
+            # differential and conservation oracles instead.
+            return []
         config = replace(scenario.config, monitors=False)
         sim = build_simulation(config)
         recorder = TraceRecorder.for_system(sim.system)
@@ -296,7 +324,11 @@ class NetworkOracle(Oracle):
 
     def check(self, scenario: Scenario) -> List[Violation]:
         """Drive the lossy and jittery network legs the net spec enables."""
-        if not scenario.net.enabled:
+        if not scenario.net.enabled or scenario.config.commodities:
+            # The generator never enables the network legs for
+            # multi-commodity scenarios (the message-passing runtime
+            # models the single-flow advert protocol); the guard also
+            # covers hand-built corpus entries.
             return []
         violations: List[Violation] = []
         if scenario.net.drop > 0.0:
@@ -421,6 +453,10 @@ class ShardInvarianceOracle(Oracle):
     def check(self, scenario: Scenario) -> List[Violation]:
         """Lockstep 1-shard vs 4-shard; report the first divergence."""
         config = scenario.config
+        if config.commodities:
+            # The sharded engine does not support multi-commodity
+            # systems (config validation rejects the combination).
+            return []
         if config.token_policy == "random":
             # Invalid for sharded runs by construction (the random
             # policy's shared RNG stream cannot be split across district

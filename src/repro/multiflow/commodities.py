@@ -1,0 +1,190 @@
+"""Commodities: concurrent (source, target) flow pairs.
+
+A *commodity* is one named demand stream — entities produced at its
+source cells and consumed at its target cell. The journal extension
+(arXiv:1209.2058) runs many commodities concurrently over one grid,
+each with its own routing table; the ``CommodityTable`` is the
+validated, ordered collection the multi-commodity system and the
+simulation config share.
+
+>>> east = Commodity("east", target=(3, 1), sources=((0, 1),))
+>>> north = Commodity("north", target=(1, 3), sources=((1, 0),))
+>>> table = CommodityTable((east, north))
+>>> len(table)
+2
+>>> table.index_of("north")
+1
+>>> table.by_name("east").target
+(3, 1)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Sequence, Tuple
+
+from repro.grid.topology import CellId, Grid
+
+
+@dataclass(frozen=True)
+class Commodity:
+    """One named (source, target) demand pair.
+
+    ``name`` labels the commodity everywhere — routing tables, entity
+    tags, metrics labels, conservation ledgers. ``target`` is the cell
+    that consumes the commodity's entities; ``sources`` are the cells
+    that produce them.
+
+    >>> c = Commodity("east", target=(3, 1), sources=((0, 1),))
+    >>> c.name, c.target
+    ('east', (3, 1))
+    >>> Commodity("bad", target=(0, 0), sources=((0, 0),))
+    Traceback (most recent call last):
+        ...
+    ValueError: commodity 'bad': target (0, 0) cannot also be a source
+    """
+
+    name: str
+    target: CellId
+    sources: Tuple[CellId, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("commodity name must be non-empty")
+        object.__setattr__(self, "target", tuple(self.target))
+        object.__setattr__(
+            self, "sources", tuple(tuple(s) for s in self.sources)
+        )
+        if not self.sources:
+            raise ValueError(
+                f"commodity {self.name!r} needs at least one source"
+            )
+        if len(set(self.sources)) != len(self.sources):
+            raise ValueError(f"commodity {self.name!r}: duplicate sources")
+        if self.target in self.sources:
+            raise ValueError(
+                f"commodity {self.name!r}: target {self.target} "
+                "cannot also be a source"
+            )
+
+
+class CommodityTable:
+    """The ordered, name-unique collection of a system's commodities.
+
+    Order is significant: it fixes the commodity index used by the
+    ECMP tie-splitting rule and the iteration order of the Route and
+    produce phases, so two systems built from the same table are
+    deterministic replicas.
+
+    >>> table = CommodityTable(
+    ...     [
+    ...         Commodity("a", target=(2, 0), sources=((0, 0),)),
+    ...         Commodity("b", target=(0, 2), sources=((2, 2),)),
+    ...     ]
+    ... )
+    >>> table.names()
+    ('a', 'b')
+    >>> [commodity.name for commodity in table]
+    ['a', 'b']
+    >>> table[1].target
+    (0, 2)
+    """
+
+    def __init__(self, commodities: Sequence[Commodity]):
+        self._commodities: Tuple[Commodity, ...] = tuple(commodities)
+        if not self._commodities:
+            raise ValueError("a commodity table needs at least one commodity")
+        names = [c.name for c in self._commodities]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate commodity names: {names}")
+        self._index: Dict[str, int] = {
+            name: k for k, name in enumerate(names)
+        }
+
+    def __len__(self) -> int:
+        return len(self._commodities)
+
+    def __iter__(self) -> Iterator[Commodity]:
+        return iter(self._commodities)
+
+    def __getitem__(self, index: int) -> Commodity:
+        """The commodity at position ``index`` (table order)."""
+        return self._commodities[index]
+
+    def names(self) -> Tuple[str, ...]:
+        """All commodity names, in table order."""
+        return tuple(c.name for c in self._commodities)
+
+    def index_of(self, name: str) -> int:
+        """The table position of the commodity called ``name``."""
+        return self._index[name]
+
+    def by_name(self, name: str) -> Commodity:
+        """The commodity called ``name`` (raises ``KeyError`` if absent)."""
+        return self._commodities[self._index[name]]
+
+    def targets(self) -> Tuple[CellId, ...]:
+        """All target cells, in table order."""
+        return tuple(c.target for c in self._commodities)
+
+    def validate(self, grid: Grid) -> "CommodityTable":
+        """Check every referenced cell is on ``grid``; return self.
+
+        Targets must additionally be pairwise distinct — each target
+        consumes exactly one commodity.
+        """
+        for commodity in self._commodities:
+            grid.require(commodity.target)
+            for source in commodity.sources:
+                grid.require(source)
+        targets = [c.target for c in self._commodities]
+        if len(set(targets)) != len(targets):
+            raise ValueError(f"commodity targets must be distinct: {targets}")
+        return self
+
+
+def default_commodities(
+    grid_width: int, count: int, grid_height: int = None
+) -> Tuple[Commodity, ...]:
+    """A deterministic crossing layout of ``count`` commodities.
+
+    Even-indexed commodities flow west-to-east along interior rows,
+    odd-indexed ones south-to-north along interior columns, so any two
+    perpendicular commodities contend for the crossing cell — the
+    contention pattern the fairness experiments measure. Used by the
+    CLI's ``run --commodities N``.
+
+    >>> for c in default_commodities(5, 3):
+    ...     print(c.name, c.sources[0], "->", c.target)
+    c0 (0, 1) -> (4, 1)
+    c1 (1, 0) -> (1, 4)
+    c2 (0, 2) -> (4, 2)
+    """
+    height = grid_height if grid_height is not None else grid_width
+    if count < 1:
+        raise ValueError("commodity count must be >= 1")
+    lanes_h = max(0, height - 2)
+    lanes_v = max(0, grid_width - 2)
+    if (count + 1) // 2 > lanes_h or count // 2 > lanes_v:
+        raise ValueError(
+            f"grid {grid_width}x{height} too small for {count} "
+            "crossing commodities"
+        )
+    commodities = []
+    for k in range(count):
+        lane = 1 + k // 2
+        if k % 2 == 0:
+            commodities.append(
+                Commodity(
+                    f"c{k}",
+                    target=(grid_width - 1, lane),
+                    sources=((0, lane),),
+                )
+            )
+        else:
+            commodities.append(
+                Commodity(
+                    f"c{k}", target=(lane, height - 1), sources=((lane, 0),)
+                )
+            )
+    return tuple(commodities)

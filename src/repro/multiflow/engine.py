@@ -1,0 +1,194 @@
+"""Round engines over the multi-commodity automaton.
+
+Two engines, mirroring the single-flow pair and proven observationally
+identical by the lockstep harness (``tests/test_multiflow_differential.py``):
+
+* ``MultiflowReferenceEngine`` delegates each round to
+  ``MultiCommoditySystem.update()`` — the executable spec.
+* ``MultiflowIncrementalEngine`` keeps one Route dirty set *per
+  commodity* and relaxes only dirty cells with deferred writes,
+  exactly like the single-flow incremental engine's Route rule. The
+  Signal, Move, and production phases run as full sweeps: Signal
+  depends on residency (membership), which every transfer can change,
+  so a pending-set over it buys little on the small multi-commodity
+  grids while risking RNG divergence; Route is where the quiescence
+  win lives.
+
+Dispatch: ``repro.sim.engine.make_engine`` routes a system with
+``is_multiflow`` set here, keyed by the same public engine names
+(``reference`` / ``incremental``); the vectorized and sharded engines
+do not support multi-commodity state and are rejected at config
+validation (and again here, defensively).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.core.cell import INFINITY
+from repro.core.route import RoutePhaseReport
+from repro.core.system import RoundReport
+from repro.grid.topology import CellId
+from repro.multiflow.system import MultiCommoditySystem, _row_major
+
+
+class MultiflowRoundEngine:
+    """Interface: a pluggable multi-commodity round executor."""
+
+    name = "abstract"
+
+    def __init__(self, system: MultiCommoditySystem, config=None):
+        self.system = system
+        self.config = config
+        #: Bound by the simulator when metrics are enabled.
+        self.metrics = None
+
+    def step(self) -> RoundReport:
+        """Advance the system one round and return its report."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release engine resources (no-op for in-process engines)."""
+
+
+class MultiflowReferenceEngine(MultiflowRoundEngine):
+    """The trusted baseline: full-sweep ``update()`` every round."""
+
+    name = "reference"
+
+    def step(self) -> RoundReport:
+        """One full-sweep round."""
+        return self.system.update()
+
+
+class MultiflowIncrementalEngine(MultiflowRoundEngine):
+    """Per-commodity dirty-set Route, full-sweep Signal/Move/produce.
+
+    Dirty-set rule: commodity ``k``'s relaxation at cell ``c`` reads
+    its neighbors' ``dists[k]``, so ``c`` re-relaxes for ``k`` when a
+    neighbor's ``dists[k]`` changed last round or a fault event
+    touched ``c``'s neighborhood (fault events dirty every commodity).
+    Writes are deferred within a commodity's sweep so dirty cells read
+    the same pre-round snapshot the reference's Jacobi step reads.
+    """
+
+    name = "incremental"
+
+    def __init__(self, system: MultiCommoditySystem, config=None):
+        super().__init__(system, config)
+        all_cells = set(system.cells)
+        self._route_dirty: Dict[str, Set[CellId]] = {
+            name: set(all_cells) for name in system.table.names()
+        }
+        self._chained_observer = system.cell_observer
+        system.cell_observer = self._on_cell_event
+
+    def _on_cell_event(self, event: str, cid: CellId) -> None:
+        if event in ("fail", "recover"):
+            self._invalidate_around(cid)
+        if self._chained_observer is not None:
+            self._chained_observer(event, cid)
+
+    def _invalidate_around(self, cid: CellId) -> None:
+        region = [cid] + self.system.grid.neighbors(cid)
+        for dirty in self._route_dirty.values():
+            dirty.update(region)
+
+    def step(self) -> RoundReport:
+        """One round, observationally identical to the reference."""
+        system = self.system
+        route_report = self._route_phase()
+        system._notify_phase("route")
+        signal_report = system._signal_phase()
+        system._notify_phase("signal")
+        move_report = system._move_phase()
+        system._notify_phase("move")
+        system.total_consumed += len(move_report.consumed)
+        produced = system._produce()
+        system._notify_phase("produce")
+        report = RoundReport(
+            round_index=system.round_index,
+            route=route_report,
+            signal=signal_report,
+            move=move_report,
+            produced=produced,
+        )
+        system.round_index += 1
+        return report
+
+    def _route_phase(self) -> RoutePhaseReport:
+        system = self.system
+        changed_dist: Set[CellId] = set()
+        changed_next: Set[CellId] = set()
+        for index, commodity in enumerate(system.table):
+            name = commodity.name
+            dirty = self._route_dirty[name]
+            self._route_dirty[name] = set()
+            if not dirty:
+                continue
+            updates: List[Tuple[CellId, float, Optional[CellId], bool]] = []
+            live = _live_dist(system, name)
+            for cid in sorted(dirty, key=_row_major):
+                cell = system.cells[cid]
+                if cell.failed or cid == commodity.target:
+                    continue
+                new_dist, new_next = system._route_step(index, cid, live)
+                dist_changed = new_dist != cell.dists[name]
+                next_changed = new_next != cell.nexts[name]
+                if dist_changed or next_changed:
+                    updates.append((cid, new_dist, new_next, dist_changed))
+            for cid, new_dist, new_next, dist_changed in updates:
+                cell = system.cells[cid]
+                if dist_changed:
+                    cell.dists[name] = new_dist
+                    changed_dist.add(cid)
+                    next_dirty = self._route_dirty[name]
+                    next_dirty.add(cid)
+                    next_dirty.update(system.grid.neighbors(cid))
+                if new_next != cell.nexts[name]:
+                    cell.nexts[name] = new_next
+                    changed_next.add(cid)
+        return RoutePhaseReport(
+            changed_dist=sorted(changed_dist, key=_row_major),
+            changed_next=sorted(changed_next, key=_row_major),
+        )
+
+
+def _live_dist(
+    system: MultiCommoditySystem, name: str
+) -> Callable[[CellId], float]:
+    """A fault-masked reader of the current ``dists[name]`` values.
+
+    Safe to read live (rather than snapshotting) because the
+    incremental sweep defers all writes until after the reads.
+    """
+
+    def read(cid: CellId) -> float:
+        cell = system.cells[cid]
+        return INFINITY if cell.failed else cell.dists[name]
+
+    return read
+
+
+MULTIFLOW_ENGINES = {
+    MultiflowReferenceEngine.name: MultiflowReferenceEngine,
+    MultiflowIncrementalEngine.name: MultiflowIncrementalEngine,
+}
+"""Engine names supported for multi-commodity systems."""
+
+
+def make_multiflow_engine(
+    name: str, system: MultiCommoditySystem, config=None
+) -> MultiflowRoundEngine:
+    """Instantiate the multi-commodity engine called ``name``.
+
+    Raises ``ValueError`` for engines without multi-commodity support
+    (``vectorized``, ``sharded``).
+    """
+    try:
+        return MULTIFLOW_ENGINES[name](system, config)
+    except KeyError:
+        raise ValueError(
+            f"engine {name!r} does not support multi-commodity systems; "
+            f"choose from {sorted(MULTIFLOW_ENGINES)}"
+        ) from None

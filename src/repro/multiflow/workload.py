@@ -1,0 +1,162 @@
+"""Workload profiles: demand as a deterministic schedule.
+
+The single-flow system expresses demand through *source policies*
+(eager, bernoulli, ...), which decide per cell. Multi-commodity
+workloads need the orthogonal knob: *when is each commodity offering
+load at all?* A ``WorkloadProfile`` answers exactly that — a pure,
+deterministic function of ``(commodity_index, round_index)`` — so two
+builds of the same config replay the same demand without consuming
+any randomness.
+
+The registry ``WORKLOAD_PROFILES`` is the single source of truth for
+the profile names accepted by ``SimulationConfig(workload=...)`` and
+the CLI's ``--workload``; the table in ``docs/multiflow.md`` is
+diffed against it by ``tests/test_docs.py``.
+
+>>> sorted(WORKLOAD_PROFILES)
+['bursty', 'diurnal', 'flash-crowd', 'steady']
+>>> WORKLOAD_PROFILES["steady"].active(0, 12345)
+True
+>>> resolve_workload(None).name
+'steady'
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+
+class WorkloadProfile:
+    """A deterministic demand schedule over (commodity, round).
+
+    ``active(commodity_index, round_index)`` gates production: a
+    commodity's sources only attempt insertion on rounds where its
+    profile is active. Implementations must be pure functions of the
+    two arguments — no randomness, no state — so that demand is part
+    of the reproducible scenario, not of the execution.
+
+    >>> profile = WORKLOAD_PROFILES["diurnal"]
+    >>> profile.active(0, 0), profile.active(0, 25)
+    (True, False)
+    """
+
+    name: str = ""
+    description: str = ""
+
+    def active(self, commodity_index: int, round_index: int) -> bool:
+        """True when the commodity's sources should offer load."""
+        raise NotImplementedError
+
+
+class SteadyProfile(WorkloadProfile):
+    """Constant demand: every commodity offers load every round."""
+
+    name = "steady"
+    description = "every commodity offers load on every round"
+
+    def active(self, commodity_index: int, round_index: int) -> bool:
+        """Always true.
+
+        >>> SteadyProfile().active(3, 999)
+        True
+        """
+        return True
+
+
+class DiurnalProfile(WorkloadProfile):
+    """A day/night duty cycle, phase-shifted per commodity."""
+
+    name = "diurnal"
+    description = (
+        "on for the first 20 rounds of each 40-round day, "
+        "phase-shifted 7 rounds per commodity"
+    )
+
+    def active(self, commodity_index: int, round_index: int) -> bool:
+        """True during the commodity's 20-round daytime window.
+
+        >>> p = DiurnalProfile()
+        >>> [p.active(0, r) for r in (0, 19, 20, 39, 40)]
+        [True, True, False, False, True]
+        >>> p.active(1, 19)  # commodity 1 is shifted by 7 rounds
+        False
+        """
+        return (round_index + 7 * commodity_index) % 40 < 20
+
+
+class BurstyProfile(WorkloadProfile):
+    """Short demand bursts separated by idle gaps."""
+
+    name = "bursty"
+    description = (
+        "4-round bursts every 17 rounds, offset 11 rounds per commodity"
+    )
+
+    def active(self, commodity_index: int, round_index: int) -> bool:
+        """True during the commodity's 4-round burst window.
+
+        >>> p = BurstyProfile()
+        >>> [p.active(0, r) for r in (0, 3, 4, 16, 17)]
+        [True, True, False, False, True]
+        """
+        return (round_index + 11 * commodity_index) % 17 < 4
+
+
+class FlashCrowdProfile(WorkloadProfile):
+    """A steady baseline commodity plus periodic all-on surges."""
+
+    name = "flash-crowd"
+    description = (
+        "commodity 0 is steady; every other commodity joins only "
+        "during the final 20 rounds of each 60-round period"
+    )
+
+    def active(self, commodity_index: int, round_index: int) -> bool:
+        """True for commodity 0 always, for the crowd during surges.
+
+        >>> p = FlashCrowdProfile()
+        >>> p.active(0, 10), p.active(1, 10), p.active(1, 45)
+        (True, False, True)
+        """
+        if commodity_index == 0:
+            return True
+        return round_index % 60 >= 40
+
+
+WORKLOAD_PROFILES: Dict[str, WorkloadProfile] = {
+    profile.name: profile
+    for profile in (
+        SteadyProfile(),
+        DiurnalProfile(),
+        BurstyProfile(),
+        FlashCrowdProfile(),
+    )
+}
+"""Registry of the demand profiles accepted by ``workload=``.
+
+Keys are the profile names; ``docs/multiflow.md``'s workload table is
+CI-diffed against this mapping.
+"""
+
+
+def resolve_workload(
+    workload: Union[str, WorkloadProfile, None]
+) -> WorkloadProfile:
+    """Map a profile name (or None, or a profile) to a profile.
+
+    >>> resolve_workload("bursty").name
+    'bursty'
+    >>> resolve_workload(None).name
+    'steady'
+    """
+    if workload is None:
+        return WORKLOAD_PROFILES["steady"]
+    if isinstance(workload, WorkloadProfile):
+        return workload
+    try:
+        return WORKLOAD_PROFILES[workload]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload profile {workload!r}; "
+            f"choose from {sorted(WORKLOAD_PROFILES)}"
+        ) from None

@@ -41,6 +41,10 @@ class EventType:
 #: type exclusion, lossy adverts) can add theirs without a schema bump.
 BLOCK_REASONS: Dict[str, str] = {
     "gap": "the depth-d strip on the edge facing the token holder is occupied",
+    "residency": (
+        "the holder's commodity may not enter: the cell is resident to a "
+        "different commodity (multi-commodity type exclusion)"
+    ),
 }
 
 #: The complete event taxonomy, keyed by event-type name. Field order

@@ -165,6 +165,21 @@ METRIC_NAMES: Dict[str, Dict[str, str]] = {
         "description": "inter-shard request timeouts (before retry "
         "accounting; a death needs retries to exhaust too)",
     },
+    "commodity.produced": {
+        "kind": "counter",
+        "description": "entities produced, labeled by commodity "
+        "(multi-commodity runs only)",
+    },
+    "commodity.consumed": {
+        "kind": "counter",
+        "description": "entities delivered to their commodity's target, "
+        "labeled by commodity (multi-commodity runs only)",
+    },
+    "commodity.in_flight": {
+        "kind": "gauge",
+        "description": "entities currently in flight, labeled by "
+        "commodity (multi-commodity runs only)",
+    },
 }
 
 
@@ -269,8 +284,23 @@ class SimulationInstrumentation:
                 registry.counter("source.produced").inc(len(report.produced))
             registry.gauge("entities.in_flight").set(system.entity_count())
             registry.gauge("cells.failed").set(len(system.failed_cells()))
+            if getattr(system, "is_multiflow", False):
+                self._observe_commodities(system, report, registry)
         if self.tracer is not None:
             self.tracer.flush()
+
+    def _observe_commodities(self, system, report, registry) -> None:
+        """Per-commodity ledger metrics (multi-commodity systems only)."""
+        for entity in report.produced:
+            registry.counter(
+                "commodity.produced", commodity=entity.commodity_name
+            ).inc()
+        for entity in report.move.consumed:
+            registry.counter(
+                "commodity.consumed", commodity=entity.commodity_name
+            ).inc()
+        for name, count in system.in_flight_by_commodity().items():
+            registry.gauge("commodity.in_flight", commodity=name).set(count)
 
     def _observe_faults(self, rnd: int, decision) -> None:
         if decision is None or self.tracer is None:
@@ -336,6 +366,7 @@ class SimulationInstrumentation:
                     rnd,
                     {"cell": list(cell), "to": list(signal.granted[cell])},
                 )
+            reasons = getattr(signal, "block_reasons", {})
             for cell in sorted(signal.blocked):
                 holder = system.cells[cell].token
                 self.tracer.emit(
@@ -344,7 +375,9 @@ class SimulationInstrumentation:
                     {
                         "cell": list(cell),
                         "holder": list(holder) if holder else None,
-                        "reason": "gap",
+                        # The core rule leaves block_reasons empty (its
+                        # only cause is the gap); richer systems annotate.
+                        "reason": reasons.get(cell, "gap"),
                     },
                 )
 

@@ -16,6 +16,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.core.params import Parameters
 from repro.grid.topology import CellId
+from repro.multiflow.commodities import Commodity
 
 
 @dataclass(frozen=True)
@@ -83,6 +84,18 @@ class SimulationConfig:
     Ignored by the in-process engines — results are shard-count
     invariant anyway (the lockstep harness proves 1 == 2 == 4)."""
 
+    commodities: Tuple[Commodity, ...] = ()
+    """Multi-commodity mode: concurrent (source, target) demand pairs
+    run by :mod:`repro.multiflow` instead of the single-flow system.
+    Mutually exclusive with ``path``/``tid``/``sources``; restricted to
+    the ``reference``/``incremental`` engines. See docs/multiflow.md."""
+
+    workload: Optional[str] = None
+    """Demand schedule for multi-commodity mode: a name from
+    ``repro.multiflow.workload.WORKLOAD_PROFILES`` (``steady``,
+    ``diurnal``, ``bursty``, ``flash-crowd``). ``None`` means steady.
+    Requires ``commodities``."""
+
     def __post_init__(self) -> None:
         if self.rounds <= 0:
             raise ValueError(f"rounds must be positive, got {self.rounds}")
@@ -90,6 +103,11 @@ class SimulationConfig:
             raise ValueError(
                 f"warmup must be in [0, rounds), got {self.warmup} of {self.rounds}"
             )
+        if self.commodities:
+            self._validate_multiflow()
+            return
+        if self.workload is not None:
+            raise ValueError("workload requires commodities")
         if self.path is None and self.tid is None:
             raise ValueError("either a corridor path or an explicit tid is required")
         if self.path is not None and self.tid is not None:
@@ -129,6 +147,39 @@ class SimulationConfig:
                 "processes; use 'roundrobin' or 'sticky'"
             )
 
+    def _validate_multiflow(self) -> None:
+        """Validation for multi-commodity mode (``commodities`` set)."""
+        if self.path is not None or self.tid is not None or self.sources:
+            raise ValueError(
+                "commodities are mutually exclusive with path/tid/sources"
+            )
+        # Constructing the table validates name uniqueness, distinct
+        # targets, and per-commodity shape; grid membership is checked
+        # again at build time against the actual Grid.
+        from repro.multiflow.commodities import CommodityTable
+
+        CommodityTable(self.commodities)
+        if self.workload is not None:
+            from repro.multiflow.workload import WORKLOAD_PROFILES
+
+            if self.workload not in WORKLOAD_PROFILES:
+                raise ValueError(
+                    f"unknown workload profile {self.workload!r}; "
+                    f"available: {sorted(WORKLOAD_PROFILES)}"
+                )
+        if self.token_policy not in TOKEN_POLICIES:
+            raise ValueError(
+                f"unknown token policy {self.token_policy!r}; available: "
+                f"{sorted(TOKEN_POLICIES)}"
+            )
+        if self.engine not in (None, "reference", "incremental"):
+            raise ValueError(
+                f"engine {self.engine!r} does not support multi-commodity "
+                "systems; use 'reference', 'incremental', or None"
+            )
+        if self.shards is not None:
+            raise ValueError("multi-commodity mode does not support shards")
+
     def to_dict(self) -> Dict:
         """Plain-dict form (JSON-serializable) for result files."""
         data = asdict(self)
@@ -160,6 +211,16 @@ class SimulationConfig:
         fault = payload.get("fault")
         if isinstance(fault, dict):
             payload["fault"] = FaultSpec(**fault)
+        payload["commodities"] = tuple(
+            Commodity(
+                name=c["name"],
+                target=tuple(c["target"]),
+                sources=tuple(tuple(s) for s in c["sources"]),
+            )
+            if isinstance(c, dict)
+            else c
+            for c in payload.get("commodities", ())
+        )
         return cls(**payload)
 
 

@@ -394,4 +394,10 @@ def make_engine(name: str, system: System, config=None) -> RoundEngine:
         raise ValueError(
             f"unknown round engine {name!r}; available: {sorted(ENGINES)}"
         )
+    if getattr(system, "is_multiflow", False):
+        # Multi-commodity systems have their own engine pair under the
+        # same public names; vectorized/sharded raise there.
+        from repro.multiflow.engine import make_multiflow_engine
+
+        return make_multiflow_engine(name, system, config)
     return ENGINES[name](system, config)

@@ -232,6 +232,47 @@ def build_simulation(
     source_rng = derive_rng(config.seed, "sources")
     token_policy = _make_token_policy(config.token_policy, config.seed)
 
+    if config.commodities:
+        from repro.multiflow.monitors import MultiflowMonitorSuite
+        from repro.multiflow.system import MultiCommoditySystem
+
+        system = MultiCommoditySystem(
+            grid=grid,
+            params=params,
+            commodities=config.commodities,
+            workload=config.workload,
+            token_policy=token_policy,
+            rng=source_rng,
+        )
+        fault_model: FaultModel
+        if config.fault.enabled:
+            # Multi-commodity target protection shields every
+            # commodity's target, not a single tid.
+            immune = (
+                frozenset(system.table.targets())
+                if config.fault.protect_target
+                else frozenset()
+            )
+            fault_model = BernoulliFaultModel(
+                pf=config.fault.pf, pr=config.fault.pr, immune=immune
+            )
+        else:
+            fault_model = NoFaults()
+        injector = FaultInjector(
+            fault_model, rng=derive_rng(config.seed, "faults")
+        )
+        monitors = MultiflowMonitorSuite() if config.monitors else None
+        return Simulator(
+            system=system,
+            rounds=config.rounds,
+            injector=injector,
+            monitors=monitors,
+            warmup=config.warmup,
+            observability=observability,
+            engine=engine,
+            config=config,
+        )
+
     if config.path is not None:
         system = build_corridor_system(
             grid,

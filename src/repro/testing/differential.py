@@ -63,7 +63,16 @@ class DifferentialMismatch(AssertionError):
 
 
 def _canonical_entity(entity) -> Tuple:
-    return (entity.uid, entity.x, entity.y, entity.birth_round, entity.side)
+    # The commodity tag is None for single-flow entities, so the tuple
+    # shape stays comparable across both system kinds.
+    return (
+        entity.uid,
+        entity.x,
+        entity.y,
+        entity.birth_round,
+        entity.side,
+        getattr(entity, "commodity_name", None),
+    )
 
 
 def canonical_state(system) -> Tuple:
@@ -79,20 +88,33 @@ def canonical_state(system) -> Tuple:
     cells = []
     for cid in sorted(system.cells):
         state = system.cells[cid]
-        cells.append(
-            (
-                cid,
-                tuple(
-                    _canonical_entity(state.members[uid])
-                    for uid in sorted(state.members)
-                ),
-                state.next_id,
-                tuple(sorted(state.ne_prev)),
-                state.dist,
-                state.token,
-                state.signal,
-                state.failed,
+        entry = (
+            cid,
+            tuple(
+                _canonical_entity(state.members[uid])
+                for uid in sorted(state.members)
+            ),
+            state.next_id,
+            tuple(sorted(state.ne_prev)),
+            state.dist,
+            state.token,
+            state.signal,
+            state.failed,
+        )
+        # Multi-commodity cells extend the tuple with their per-commodity
+        # routing tables; single-flow cells have neither attribute.
+        dists = getattr(state, "dists", None)
+        if dists is not None:
+            entry = entry + (
+                tuple(sorted(dists.items())),
+                tuple(sorted(state.nexts.items())),
             )
+        cells.append(entry)
+    extras: Tuple = ()
+    if getattr(system, "is_multiflow", False):
+        extras = (
+            tuple(sorted(system.produced_by_commodity.items())),
+            tuple(sorted(system.consumed_by_commodity.items())),
         )
     return (
         tuple(cells),
@@ -101,7 +123,7 @@ def canonical_state(system) -> Tuple:
         system.total_produced,
         system.total_consumed,
         system.rng.getstate(),
-    )
+    ) + extras
 
 
 def state_digest(system) -> str:
@@ -127,6 +149,9 @@ def canonical_report(report) -> dict:
         "route.changed_next": tuple(report.route.changed_next),
         "signal.granted": tuple(sorted(report.signal.granted.items())),
         "signal.blocked": tuple(report.signal.blocked),
+        "signal.block_reasons": tuple(
+            sorted(getattr(report.signal, "block_reasons", {}).items())
+        ),
         "signal.rotated": tuple(report.signal.rotated),
         "move.moved_cells": tuple(report.move.moved_cells),
         "move.transfers": tuple(report.move.transfers),
@@ -320,6 +345,60 @@ def random_config(seed: int, faulting: bool = True) -> SimulationConfig:
         tid=tid,
         sources=sources,
         source_policy=source_policy,
+        fault=fault,
+        seed=seed,
+    )
+
+
+def random_multiflow_config(
+    seed: int, faulting: bool = True
+) -> SimulationConfig:
+    """A seeded, randomized multi-commodity configuration.
+
+    The multi-commodity leg of the lockstep matrix: 2-3 commodities
+    with randomly placed distinct targets and 1-2 sources each, a
+    sampled workload profile, every token policy, and (by default)
+    Bernoulli fault churn with protected targets — recovery of a
+    commodity target resets its own dist-0 row, which is exactly the
+    bookkeeping the per-commodity dirty sets must get right.
+    """
+    from repro.multiflow.commodities import Commodity
+    from repro.multiflow.workload import WORKLOAD_PROFILES
+
+    rng = random.Random(seed ^ 0x310F)
+    n = rng.randint(4, 6)
+    params = Parameters(
+        l=0.25,
+        rs=rng.choice([0.03, 0.05, 0.08]),
+        v=rng.choice([0.1, 0.15, 0.2]),
+    )
+    rounds = rng.randint(40, 80)
+    cells = [(i, j) for i in range(n) for j in range(n)]
+    count = rng.randint(2, 3)
+    targets = rng.sample(cells, count)
+    commodities = []
+    for k, target in enumerate(targets):
+        others = [cell for cell in cells if cell != target]
+        sources = tuple(rng.sample(others, rng.randint(1, 2)))
+        commodities.append(
+            Commodity(name=f"c{k}", target=target, sources=sources)
+        )
+    fault = (
+        FaultSpec(
+            pf=rng.uniform(0.01, 0.06),
+            pr=rng.uniform(0.08, 0.3),
+            protect_target=True,
+        )
+        if faulting
+        else FaultSpec()
+    )
+    return SimulationConfig(
+        grid_width=n,
+        params=params,
+        rounds=rounds,
+        commodities=tuple(commodities),
+        workload=rng.choice(sorted(WORKLOAD_PROFILES)),
+        token_policy=rng.choice(["roundrobin", "roundrobin", "random", "sticky"]),
         fault=fault,
         seed=seed,
     )

@@ -22,6 +22,7 @@ from pathlib import Path
 import pytest
 
 from repro.fuzz.oracles import ORACLES
+from repro.multiflow.workload import WORKLOAD_PROFILES
 from repro.obs.events import BLOCK_REASONS, EVENT_TYPES
 from repro.obs.instrument import METRIC_NAMES
 from repro.sim.engine import DEFAULT_ENGINE, ENGINES
@@ -102,6 +103,7 @@ def test_no_dead_links(doc):
 OBSERVABILITY_DOC = REPO_ROOT / "docs" / "observability.md"
 PERFORMANCE_DOC = REPO_ROOT / "docs" / "performance.md"
 FUZZING_DOC = REPO_ROOT / "docs" / "fuzzing.md"
+MULTIFLOW_DOC = REPO_ROOT / "docs" / "multiflow.md"
 
 #: First-column labels that mark a table's header row.
 HEADER_LABELS = (
@@ -233,6 +235,54 @@ def test_oracle_table_matches_registry():
         assert documented[name] == oracle.description, (
             f"{name}: documented description {documented[name]!r} != "
             f"code description {oracle.description!r}"
+        )
+
+
+def test_workload_table_matches_registry():
+    """docs/multiflow.md's workload table lists every registered demand
+    profile with the registry's own one-line description — diffed
+    against ``repro.multiflow.workload.WORKLOAD_PROFILES``."""
+    documented = {}
+    for cells in table_rows("## Workload profiles", doc=MULTIFLOW_DOC):
+        names = backticked(cells[0])
+        if len(cells) != 2 or len(names) != 1:
+            continue
+        documented[names[0]] = cells[1]
+    assert set(documented) == set(WORKLOAD_PROFILES), (
+        f"workload table out of sync: only in docs "
+        f"{sorted(set(documented) - set(WORKLOAD_PROFILES))}, only in code "
+        f"{sorted(set(WORKLOAD_PROFILES) - set(documented))}"
+    )
+    for name, profile in WORKLOAD_PROFILES.items():
+        assert documented[name] == profile.description, (
+            f"{name}: documented description {documented[name]!r} != "
+            f"code description {profile.description!r}"
+        )
+
+
+def test_commodity_metric_table_matches_catalog():
+    """docs/multiflow.md's commodity-metric table mirrors the
+    ``commodity.*`` rows of ``METRIC_NAMES`` — names and kinds."""
+    expected = {
+        name: spec
+        for name, spec in METRIC_NAMES.items()
+        if name.startswith("commodity.")
+    }
+    assert expected, "METRIC_NAMES lost its commodity.* family"
+    documented = {}
+    for cells in table_rows("## Commodity metrics", doc=MULTIFLOW_DOC):
+        names = backticked(cells[0])
+        if len(cells) < 3 or len(names) != 1:
+            continue
+        documented[names[0]] = cells[1]
+    assert set(documented) == set(expected), (
+        f"commodity metric table out of sync: documented "
+        f"{sorted(documented)}, code has {sorted(expected)}"
+    )
+    for name, spec in expected.items():
+        assert documented[name] == spec["kind"], (
+            f"{name}: documented kind {documented[name]!r} != "
+            f"code kind {spec['kind']!r}"
         )
 
 

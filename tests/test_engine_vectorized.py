@@ -110,6 +110,8 @@ def test_corpus_replays_identically_under_vectorized(path):
 
     record = json.loads(path.read_text())
     scenario = Scenario.from_dict(record["scenario"])
+    if scenario.config.commodities:
+        pytest.skip("vectorized engine has no multi-commodity support")
     config = replace(scenario.config, monitors=False)
     run_lockstep(config, engine_b="vectorized")
 

@@ -21,6 +21,7 @@ from repro.fuzz.campaign import run_campaign
 from repro.fuzz.generator import NetSpec, Scenario, generate_scenario
 from repro.fuzz.oracles import ORACLES, Violation, check_scenario, resolve_oracles
 from repro.fuzz.shrink import load_repro, shrink_scenario
+from repro.multiflow.workload import WORKLOAD_PROFILES
 
 CORPUS_DIR = Path(__file__).parent / "corpus"
 CORPUS_FILES = sorted(CORPUS_DIR.glob("seed-*.json"))
@@ -88,8 +89,21 @@ class TestGenerator:
         assert any(s.config.fault.enabled for s in scenarios)
         assert any(s.net.drop > 0 for s in scenarios)
         assert any(s.net.jitter > 0 for s in scenarios)
-        kinds = {s.config.source_policy.split(":")[0] for s in scenarios}
+        single = [s for s in scenarios if not s.config.commodities]
+        kinds = {s.config.source_policy.split(":")[0] for s in single}
         assert kinds == {"eager", "silent", "bernoulli", "capped"}
+        multiflow = [s for s in scenarios if s.config.commodities]
+        assert multiflow, "expected multi-commodity scenarios (v4 arm)"
+        # The multi-commodity arm covers every workload profile, both
+        # commodity counts, faulting and fault-free runs, pins only the
+        # multiflow-capable engines, and keeps the network legs off.
+        assert {s.config.workload for s in multiflow} == set(WORKLOAD_PROFILES)
+        assert {len(s.config.commodities) for s in multiflow} == {2, 3}
+        assert any(s.config.fault.enabled for s in multiflow)
+        assert any(not s.config.fault.enabled for s in multiflow)
+        for s in multiflow:
+            assert s.config.engine in (None, "reference", "incremental")
+            assert not s.net.enabled
 
     def test_netspec_validation(self):
         with pytest.raises(ValueError):
