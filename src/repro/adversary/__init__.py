@@ -1,0 +1,31 @@
+"""Structured adversary scripts: the campaigns the paper's proofs are about.
+
+The fuzzer's i.i.d. Bernoulli fault schedules explore *unstructured*
+churn. This package provides the structured counterpart — named,
+deterministic, seedable adversary classes (correlated regional
+failures, healing partitions, moving targets, oscillation at the
+stabilization frequency, token-spacing pressure, asynchronous timing
+jitter) that compile into the existing fault-schedule / target-
+relocation / timed-round machinery, each paired with an oracle in
+:mod:`repro.fuzz.oracles` that checks the claim the class attacks.
+"""
+
+from repro.adversary.scripts import (
+    ADVERSARIES,
+    AdversaryScript,
+    CompiledAdversary,
+    compile_adversary,
+    format_adversary_spec,
+    parse_adversary_spec,
+    validate_adversary_spec,
+)
+
+__all__ = [
+    "ADVERSARIES",
+    "AdversaryScript",
+    "CompiledAdversary",
+    "compile_adversary",
+    "format_adversary_spec",
+    "parse_adversary_spec",
+    "validate_adversary_spec",
+]

@@ -1,0 +1,80 @@
+"""Stabilization-time measurement across the adversary classes.
+
+:func:`stabilization_sweep` drives forced scenarios for each adversary
+class and measures how many rounds routing needs to re-converge to the
+BFS ground truth after the class's last scripted perturbation, against
+the Lemma 6 ``grid.size + 2`` horizon that the ``stabilization-bound``
+fuzz oracle enforces. The EXPERIMENTS.md stabilization-time-vs-adversary
+sweep is this helper; the numbers double as a tuning aid when adding a
+class — a class whose measured tail hugs the bound needs a gentler
+schedule, not a looser oracle.
+
+Kept out of ``repro.adversary.__init__`` on purpose: this module imports
+the fuzz generator, which imports :mod:`repro.adversary.scripts`, so
+re-exporting it from the package would make the package unimportable
+mid-generator-import.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.adversary.scripts import ADVERSARIES, compile_adversary
+from repro.fuzz.generator import Scenario, generate_scenario
+from repro.grid.topology import Grid
+from repro.monitors.progress import routing_matches_ground_truth
+from repro.sim.simulator import build_simulation
+
+
+def measure_stabilization(scenario: Scenario) -> Dict:
+    """One measurement: rounds to re-stabilize after the last blow.
+
+    Steps the scenario's run to one round past the compiled schedule's
+    last perturbation, then counts rounds until routing matches the
+    ground truth of the surviving topology. ``stabilized_after`` is
+    None when convergence did not happen within ``bound`` extra rounds
+    (which the stabilization-bound oracle reports as a violation).
+    """
+    config = replace(scenario.config, monitors=False)
+    compiled = compile_adversary(config)
+    settle_from = compiled.last_perturbation_round + 1
+    bound = Grid(config.grid_width, config.grid_height).size + 2
+    sim = build_simulation(config)
+    stabilized_after: Optional[int] = None
+    try:
+        for _ in range(settle_from):
+            sim.step()
+        for offset in range(bound + 1):
+            if routing_matches_ground_truth(sim.system):
+                stabilized_after = offset
+                break
+            sim.step()
+    finally:
+        sim.engine.close()
+    return {
+        "seed": scenario.seed,
+        "adversary": config.adversary,
+        "engine": config.engine,
+        "last_perturbation_round": compiled.last_perturbation_round,
+        "stabilized_after": stabilized_after,
+        "bound": bound,
+        "within_bound": stabilized_after is not None,
+    }
+
+
+def stabilization_sweep(
+    classes: Optional[Sequence[str]] = None,
+    seeds: Iterable[int] = range(5),
+) -> List[Dict]:
+    """One measurement row per (class, seed); classes in sorted order.
+
+    ``classes`` defaults to the full registry. Rows come back grouped by
+    class then seed, so tabulating per-class min/max re-stabilization
+    times is a single pass.
+    """
+    rows: List[Dict] = []
+    for name in sorted(classes if classes is not None else ADVERSARIES):
+        for seed in seeds:
+            rows.append(measure_stabilization(generate_scenario(seed, adversary=name)))
+    return rows

@@ -36,6 +36,7 @@ from repro.asyncnet.delay import DelayModel, FixedDelay
 from repro.asyncnet.eventsim import EventScheduler
 from repro.core.cell import CellState
 from repro.core.entity import Entity
+from repro.core.move import Transfer
 from repro.core.params import Parameters
 from repro.core.policies import RoundRobinTokenPolicy, TokenPolicy
 from repro.core.sources import SourcePolicy
@@ -56,6 +57,9 @@ class AsyncRoundReport:
     consumed: List[Entity] = field(default_factory=list)
     produced: List[Entity] = field(default_factory=list)
     moved_cells: List[CellId] = field(default_factory=list)
+    transfers: List[Transfer] = field(default_factory=list)
+    """Boundary crossings that landed this round (same record type the
+    synchronous Move phase emits, so drivers can treat reports uniformly)."""
     late_adverts: int = 0
 
     @property
@@ -234,7 +238,18 @@ class TimedRoundSystem:
         # then sources produce — the paper round is now complete.
         self.scheduler.run_until(base + 4 * self.period)
         for cid, process in self.processes.items():
-            consumed = process.on_transfers(self._consume(cid, (r, "transfer")))
+            inbox = self._consume(cid, (r, "transfer"))
+            for message in inbox:
+                if isinstance(message, EntityTransferMessage):
+                    report.transfers.append(
+                        Transfer(
+                            uid=message.uid,
+                            src=message.src,
+                            dst=cid,
+                            consumed=process.is_target,
+                        )
+                    )
+            consumed = process.on_transfers(inbox)
             report.consumed.extend(consumed)
         self.total_consumed += len(report.consumed)
         report.produced = self._produce()

@@ -57,10 +57,11 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--engine",
-        choices=["reference", "incremental", "vectorized", "sharded"],
+        choices=["reference", "incremental", "vectorized", "timed", "sharded"],
         default=None,
         help="round engine: full-sweep reference, dirty-set incremental, "
-        "array-native vectorized, or multi-process sharded districts "
+        "array-native vectorized, timed asynchronous rounds, "
+        "or multi-process sharded districts "
         "(byte-identical results; default: REPRO_ENGINE, then reference)",
     )
     parser.add_argument(
@@ -389,6 +390,13 @@ def _parse_oracles(spec: Optional[str]) -> Optional[List[str]]:
     return [name.strip() for name in spec.split(",") if name.strip()]
 
 
+def _adversary_names() -> List[str]:
+    """Registered adversary classes (lazy: parser building stays cheap)."""
+    from repro.adversary.scripts import ADVERSARIES
+
+    return sorted(ADVERSARIES)
+
+
 def _cmd_fuzz_run(args: argparse.Namespace) -> int:
     from repro.fuzz.campaign import run_campaign
     from repro.fuzz.generator import generate_scenario
@@ -405,6 +413,7 @@ def _cmd_fuzz_run(args: argparse.Namespace) -> int:
         point_timeout=args.point_timeout,
         max_retries=args.max_retries,
         progress=progress,
+        adversary=args.adversary,
     )
     summary = result.summary_json()
     if args.out:
@@ -414,7 +423,7 @@ def _cmd_fuzz_run(args: argparse.Namespace) -> int:
     for outcome in result.failures:
         if args.shrink and args.repro_dir:
             shrunk = shrink_scenario(
-                generate_scenario(outcome.seed),
+                generate_scenario(outcome.seed, adversary=args.adversary),
                 oracle_names=_parse_oracles(args.oracles),
             )
             path = write_repro(shrunk, args.repro_dir)
@@ -431,7 +440,7 @@ def _cmd_fuzz_shrink(args: argparse.Namespace) -> int:
     from repro.fuzz.shrink import load_repro, shrink_scenario, write_repro
 
     if args.seed is not None:
-        scenario = generate_scenario(args.seed)
+        scenario = generate_scenario(args.seed, adversary=args.adversary)
     else:
         # Exit 2 on an unreadable/wrong-kind artifact, matching `report`.
         try:
@@ -642,6 +651,12 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_run.add_argument(
         "--verbose", action="store_true", help="per-seed progress on stderr"
     )
+    fuzz_run.add_argument(
+        "--adversary",
+        default=None,
+        choices=_adversary_names(),
+        help="force every seed through one adversary class",
+    )
     fuzz_run.set_defaults(handler=_cmd_fuzz_run)
 
     fuzz_shrink = fuzz_subparsers.add_parser(
@@ -655,6 +670,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fuzz_shrink.add_argument(
         "--out", default="fuzz-repros", help="artifact directory (default fuzz-repros/)"
+    )
+    fuzz_shrink.add_argument(
+        "--adversary",
+        default=None,
+        choices=_adversary_names(),
+        help="generate --seed through one adversary class (ignored with --repro)",
     )
     fuzz_shrink.set_defaults(handler=_cmd_fuzz_shrink)
 

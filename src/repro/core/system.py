@@ -106,7 +106,9 @@ class System:
         #: Optional callback ``(event, cell_id) -> None`` fired on the
         #: out-of-round environment transitions that change what a cell's
         #: neighbors observe: ``"fail"`` / ``"recover"`` (only on actual
-        #: transitions — the idempotent no-op cases stay silent) and
+        #: transitions — the idempotent no-op cases stay silent),
+        #: ``"relocate"`` (target relocation, fired for both the old and
+        #: the new target cell), and
         #: ``"members"`` (direct entity seeding). The incremental round
         #: engine (:mod:`repro.sim.engine`) uses it to seed its dirty
         #: sets; everything else leaves it None.
@@ -140,6 +142,36 @@ class System:
         if state.failed:
             state.mark_recovered(is_target=(cid == self.tid))
             self._notify_cell_event("recover", cid)
+
+    def relocate_target(self, new_tid: CellId) -> None:
+        """Move the routing destination to another cell mid-run.
+
+        Models a mobile target (the ``rotating_target`` adversary; cf.
+        self-stabilization with mobile destinations, arXiv:0708.0909).
+        The old target reverts to an ordinary unconverged cell
+        (``dist = INFINITY``) and Route re-stabilizes onto the new one
+        within the Lemma 6 horizon. Entities already inside the new
+        target cell simply stay: routing consumes on *transfer into* the
+        target, and stationary residents never violate safety.
+        """
+        self.grid.require(new_tid)
+        if new_tid == self.tid:
+            return
+        if new_tid in self.sources:
+            raise ValueError(f"cannot relocate the target onto source {new_tid}")
+        if self.cells[new_tid].failed:
+            raise ValueError(f"cannot relocate the target onto failed cell {new_tid}")
+        old_tid = self.tid
+        self.tid = new_tid
+        old_state = self.cells[old_tid]
+        if not old_state.failed:
+            old_state.dist = INFINITY
+            old_state.next_id = None
+        new_state = self.cells[new_tid]
+        new_state.dist = 0.0
+        new_state.next_id = None
+        self._notify_cell_event("relocate", old_tid)
+        self._notify_cell_event("relocate", new_tid)
 
     def failed_cells(self) -> Set[CellId]:
         """``F(x)``: identifiers of currently failed cells."""

@@ -16,10 +16,11 @@ from __future__ import annotations
 
 import random
 from collections import deque
-from typing import Deque, Optional
+from typing import Deque, Optional, Sequence, Tuple
 
 from repro.core.system import System
 from repro.faults.model import FaultDecision, FaultModel, NoFaults
+from repro.grid.topology import CellId
 
 #: Default cap on retained per-round decisions. Mirrored by
 #: :class:`repro.netsim.network.NetworkStats` for its per-delivery
@@ -40,6 +41,7 @@ class FaultInjector:
         rng: Optional[random.Random] = None,
         history_limit: Optional[int] = DEFAULT_HISTORY_LIMIT,
         metrics=None,
+        relocations: Sequence[Tuple[int, CellId]] = (),
     ):
         if history_limit is not None and history_limit <= 0:
             raise ValueError(
@@ -52,6 +54,15 @@ class FaultInjector:
         #: applied transition. Assignable after construction (the
         #: simulator binds it when observability is enabled).
         self.metrics = metrics
+        #: Scheduled target relocations ``(round_index, new_target)``,
+        #: applied (in round order) before the fault decision of the
+        #: matching round. Compiled from adversary scripts such as
+        #: ``rotating_target``; counts as a disruption for
+        #: ``last_disruption_round``.
+        self.relocations: Tuple[Tuple[int, CellId], ...] = tuple(
+            sorted((int(rnd), tuple(cell)) for rnd, cell in relocations)
+        )
+        self._relocation_pos = 0
         self.history: Deque[FaultDecision] = deque(maxlen=history_limit)
         self.total_failures = 0
         self.total_recoveries = 0
@@ -60,6 +71,14 @@ class FaultInjector:
 
     def apply(self, system: System) -> FaultDecision:
         """Decide and apply this round's fault events (before ``update``)."""
+        while (
+            self._relocation_pos < len(self.relocations)
+            and self.relocations[self._relocation_pos][0] == system.round_index
+        ):
+            _, new_tid = self.relocations[self._relocation_pos]
+            system.relocate_target(new_tid)
+            self._relocation_pos += 1
+            self._last_disruption = self.rounds_applied
         alive = sorted(system.non_faulty_cells())
         failed = sorted(system.failed_cells())
         decision = self.model.decide(system.round_index, alive, failed, self.rng)

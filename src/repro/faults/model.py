@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import FrozenSet, Iterable, List, Optional, Set
+from typing import FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.grid.topology import CellId
 
@@ -104,6 +104,37 @@ class BernoulliFaultModel(FaultModel):
             cid for cid in sorted(failed) if rng.random() < self.pr
         }
         return FaultDecision(fail=frozenset(to_fail), recover=frozenset(to_recover))
+
+
+@dataclass
+class ComposedFaultModel(FaultModel):
+    """The union of several models' decisions in one environment.
+
+    Lets a scripted adversary campaign play *on top of* background
+    Bernoulli churn. Decisions are consulted in tuple order (so the rng
+    stream stays deterministic) and unioned; a cell both failed and
+    recovered by different models fails (the adversary wins ties — the
+    conservative reading for safety properties).
+    """
+
+    models: Tuple[FaultModel, ...]
+
+    def decide(
+        self,
+        round_index: int,
+        alive: Iterable[CellId],
+        failed: Iterable[CellId],
+        rng: random.Random,
+    ) -> FaultDecision:
+        fail: Set[CellId] = set()
+        recover: Set[CellId] = set()
+        for model in self.models:
+            decision = model.decide(round_index, alive, failed, rng)
+            fail |= decision.fail
+            recover |= decision.recover
+        return FaultDecision(
+            fail=frozenset(fail), recover=frozenset(recover - fail)
+        )
 
 
 @dataclass

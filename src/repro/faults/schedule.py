@@ -30,6 +30,27 @@ class FaultEvent:
             raise ValueError(f"round_index must be nonnegative, got {self.round_index}")
 
 
+def partition_events(
+    wall: Iterable[CellId], down_round: int, heal_round: int
+) -> List[FaultEvent]:
+    """The event list of a healing partition: a wall of cells (typically a
+    full grid row or column) fails simultaneously at ``down_round`` and
+    recovers simultaneously at ``heal_round``.
+
+    Used by the ``partition_heal`` adversary class; exposed standalone so
+    tests and experiments can script exact partitions.
+    """
+    if heal_round <= down_round:
+        raise ValueError(
+            f"heal_round must follow down_round, got {down_round} -> {heal_round}"
+        )
+    events: List[FaultEvent] = []
+    for cell in sorted(set(wall)):
+        events.append(FaultEvent(down_round, cell, "fail"))
+        events.append(FaultEvent(heal_round, cell, "recover"))
+    return events
+
+
 class ScriptedFaultModel(FaultModel):
     """Replay an explicit event list, ignoring the rng entirely."""
 
@@ -44,6 +65,14 @@ class ScriptedFaultModel(FaultModel):
     ) -> "ScriptedFaultModel":
         """Shorthand for fail-only scripts: ``[(round, cell), ...]``."""
         return cls([FaultEvent(rnd, cell, "fail") for rnd, cell in schedule])
+
+    @classmethod
+    def partition(
+        cls, wall: Iterable[CellId], down_round: int, heal_round: int
+    ) -> "ScriptedFaultModel":
+        """A partition mask: fail every ``wall`` cell at ``down_round``,
+        heal them all at ``heal_round``."""
+        return cls(partition_events(wall, down_round, heal_round))
 
     @property
     def last_round(self) -> int:

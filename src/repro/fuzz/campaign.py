@@ -61,6 +61,8 @@ class CampaignResult:
 
     oracle_names: List[str]
     outcomes: List[SeedOutcome] = field(default_factory=list)
+    adversary: Optional[str] = None
+    """Forced adversary class (``--adversary``), or None for the open mix."""
 
     @property
     def failures(self) -> List[SeedOutcome]:
@@ -80,6 +82,7 @@ class CampaignResult:
         return {
             "generator_version": GENERATOR_VERSION,
             "oracles": list(self.oracle_names),
+            "adversary": self.adversary,
             "seeds": [outcome.seed for outcome in self.outcomes],
             "checked": len(self.outcomes),
             "violations": self.total_violations,
@@ -105,7 +108,7 @@ def _fuzz_point(payload: PointPayload) -> Tuple[int, Dict]:
     """
     index, _label, _config, extras = payload
     seed = extras["seed"]
-    scenario = generate_scenario(seed)
+    scenario = generate_scenario(seed, adversary=extras.get("adversary"))
     violations = check_scenario(scenario, extras["oracles"])
     return index, {
         "seed": seed,
@@ -122,6 +125,7 @@ def run_campaign(
     max_retries: int = 1,
     mp_context: Optional[str] = None,
     progress: Callable[[str], None] = lambda message: None,
+    adversary: Optional[str] = None,
 ) -> CampaignResult:
     """Check every seed; never raises on violations (they are the data).
 
@@ -131,13 +135,20 @@ def run_campaign(
     semantics; a seed that exhausts its budget surfaces as a
     :class:`SeedOutcome` with ``error`` set (and is counted separately
     from violations).
+
+    ``adversary`` forces every seed through the named adversary class
+    (the generator's forced arm); None keeps the open v5 mix.
     """
     names = [oracle.name for oracle in resolve_oracles(oracle_names)]
     points = []
     for seed in seeds:
-        scenario = generate_scenario(seed)
+        scenario = generate_scenario(seed, adversary=adversary)
         points.append(
-            (f"seed-{seed}", scenario.config, {"seed": seed, "oracles": names})
+            (
+                f"seed-{seed}",
+                scenario.config,
+                {"seed": seed, "oracles": names, "adversary": adversary},
+            )
         )
     runner = ParallelSweepRunner(
         workers=workers,
@@ -147,13 +158,15 @@ def run_campaign(
         progress=progress,
         work=_fuzz_point,
     )
-    result = CampaignResult(oracle_names=names)
+    result = CampaignResult(oracle_names=names, adversary=adversary)
     for seed, outcome in zip(seeds, runner.run_points("fuzz", points)):
         if isinstance(outcome, PointFailure):
             result.outcomes.append(
                 SeedOutcome(
                     seed=seed,
-                    fingerprint=generate_scenario(seed).fingerprint(),
+                    fingerprint=generate_scenario(
+                        seed, adversary=adversary
+                    ).fingerprint(),
                     error=f"{outcome.kind}: {outcome.error_type}: {outcome.message}",
                 )
             )

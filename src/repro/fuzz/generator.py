@@ -48,7 +48,16 @@ from repro.sim.config import FaultSpec, SimulationConfig
 #: that support multi-commodity systems (reference/incremental), and
 #: disable the network legs (the netsim oracle models the single-flow
 #: advert protocol). The leading draw remaps the whole seed space.
-GENERATOR_VERSION = 4
+#: Version 5 splits the first draw three ways: < 0.25 stays the
+#: multi-commodity arm, [0.25, 0.55) is the *adversary* arm (~30% of
+#: seeds draw a named campaign class from
+#: ``repro.adversary.scripts.ADVERSARIES`` — regional failure waves,
+#: healing partitions, rotating targets, stabilization-frequency
+#: oscillators, token-spacing pressure, asynchronous timed-round
+#: jitter), and the rest is the unchanged standard arm. The new
+#: ``adversary``/``jitter`` config fields also change every config
+#: serialization, so all corpus fingerprints migrate.
+GENERATOR_VERSION = 5
 
 #: Mixed into the seed so the generator's stream is independent of the
 #: simulation streams derived from ``config.seed`` (which equals the
@@ -224,11 +233,73 @@ def _generate_multiflow_scenario(seed: int, rng: random.Random) -> Scenario:
     return Scenario(seed=seed, config=config, net=NetSpec())
 
 
-def generate_scenario(seed: int) -> Scenario:
-    """The deterministic seed → scenario map (total: every seed is valid)."""
+def _generate_adversary_scenario(
+    seed: int, rng: random.Random, forced: str = None
+) -> Scenario:
+    """The adversary arm of the v5 scenario space.
+
+    Draws a named campaign class (or uses ``forced``, the
+    ``fuzz run --adversary`` path), asks the class for a canonical
+    parameter spec, and lets it shape the workload (``token_starvation``
+    rings the merge cell with eager sources), pin config fields
+    (``async_jitter`` pins ``engine="timed"`` + a jitter bound), and
+    restrict the engine choice (``rotating_target`` excludes the
+    array/sharded engines, whose target is baked into their layouts).
+    Background Bernoulli churn stays off — the ``stabilization-bound``
+    oracle needs the *scripted* perturbation to be the last one — and
+    the network legs stay disabled, as in the multi-commodity arm.
+    """
+    from repro.adversary.scripts import ADVERSARIES, parse_adversary_spec
+
+    name = forced if forced is not None else rng.choice(sorted(ADVERSARIES))
+    script = ADVERSARIES[name]
+    spec = script.sample_spec(rng)
+    _, spec_params = parse_adversary_spec(spec)
+    n = rng.randint(4, 6)
+    params = _sample_params(rng)
+    rounds = rng.randint(40, 90)
+    source_policy = _sample_source_policy(rng)
+    token_policy = _sample_token_policy(rng)
+    engine = script.engine_pins(rng)
+    overrides = script.config_overrides(rng)
+    workload = script.shape_workload(rng, n, n, spec_params)
+    if workload is None:
+        cells = [(i, j) for i in range(n) for j in range(n)]
+        tid = rng.choice(cells)
+        others = [cell for cell in cells if cell != tid]
+        workload = {"tid": tid, "sources": tuple(rng.sample(others, rng.randint(1, 3)))}
+    fields = dict(
+        grid_width=n,
+        params=params,
+        rounds=rounds,
+        tid=workload["tid"],
+        sources=workload["sources"],
+        source_policy=source_policy,
+        token_policy=token_policy,
+        fault=FaultSpec(),
+        seed=seed,
+        engine=engine,
+        adversary=spec,
+    )
+    fields.update(overrides)
+    return Scenario(seed=seed, config=SimulationConfig(**fields), net=NetSpec())
+
+
+def generate_scenario(seed: int, adversary: str = None) -> Scenario:
+    """The deterministic seed → scenario map (total: every seed is valid).
+
+    ``adversary`` forces the adversary arm with the given class name
+    (the ``fuzz run --adversary <class>`` campaign mode); the default
+    ``None`` samples the full v5 space.
+    """
     rng = random.Random((seed & 0xFFFFFFFF) ^ _SALT)
-    if rng.random() < 0.25:  # v4: the multi-commodity arm
+    roll = rng.random()
+    if adversary is not None:
+        return _generate_adversary_scenario(seed, rng, adversary)
+    if roll < 0.25:  # v4: the multi-commodity arm
         return _generate_multiflow_scenario(seed, rng)
+    if roll < 0.55:  # v5: the adversary arm
+        return _generate_adversary_scenario(seed, rng)
     n = rng.randint(3, 6)
     params = _sample_params(rng)
     rounds = rng.randint(20, 80)

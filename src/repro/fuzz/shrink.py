@@ -2,10 +2,12 @@
 
 Given a scenario some oracle rejects, :func:`shrink_scenario` greedily
 applies reduction passes — truncate the horizon to the first violating
-round, drop the fault schedule and network adversary, shorten the
-corridor / drop sources, pull the source next to the target, remap the
-workload onto its bounding box (smaller grid), canonicalize parameters
-and policies — re-checking the oracles after every candidate and
+round, drop the adversary script / fault schedule / network adversary,
+weaken a surviving adversary (fewer waves, smaller region, lower
+frequency, halved jitter), shorten the corridor / drop sources, pull
+the source next to the target, remap the workload onto its bounding box
+(smaller grid), canonicalize parameters, policies, and net knobs —
+re-checking the oracles after every candidate and
 keeping a reduction only when the violation *persists* (at least one of
 the originally firing oracles still fires). The loop runs to a fixed point, so
 the result is locally minimal: no single pass can shrink it further.
@@ -73,6 +75,21 @@ def _with_config(scenario: Scenario, **changes) -> Scenario:
     return replace(scenario, config=replace(scenario.config, **changes))
 
 
+def _try_config(scenario: Scenario, **changes) -> Optional[Scenario]:
+    """Like :func:`_with_config`, but None when validation rejects it.
+
+    Reduction passes run *outside* the shrink loop's oracle try/except,
+    so a candidate that ``SimulationConfig.__post_init__`` rejects (e.g.
+    un-pinning the engine while ``jitter > 0`` requires the timed one,
+    or swapping the token policy out from under ``token_starvation``)
+    must be skipped at construction, not raised.
+    """
+    try:
+        return _with_config(scenario, **changes)
+    except ValueError:
+        return None
+
+
 def _truncate_to_violation(
     scenario: Scenario, violations: Sequence[Violation]
 ) -> Iterator[Tuple[Scenario, str]]:
@@ -106,11 +123,44 @@ def _truncate_to_violation(
 def _drop_adversaries(
     scenario: Scenario, violations: Sequence[Violation]
 ) -> Iterator[Tuple[Scenario, str]]:
-    """Remove the fault schedule and the network adversary."""
+    """Remove the adversary script, fault schedule, network adversary."""
+    if scenario.config.adversary is not None:
+        candidate = _try_config(scenario, adversary=None)
+        if candidate is not None:
+            yield candidate, f"drop adversary {scenario.config.adversary}"
     if scenario.config.fault.enabled:
         yield _with_config(scenario, fault=FaultSpec()), "drop fault schedule"
     if scenario.net.enabled:
         yield replace(scenario, net=NetSpec()), "drop network adversary"
+
+
+def _shrink_adversary(
+    scenario: Scenario, violations: Sequence[Violation]
+) -> Iterator[Tuple[Scenario, str]]:
+    """Weaken a surviving adversary: fewer waves / smaller region /
+    fewer relocations / lower oscillation frequency / less pressure, and
+    halve timed-engine jitter (floor 0.25 periods)."""
+    config = scenario.config
+    if config.adversary is not None:
+        from repro.adversary.scripts import (
+            ADVERSARIES,
+            format_adversary_spec,
+            parse_adversary_spec,
+        )
+
+        name, params = parse_adversary_spec(config.adversary)
+        for reduced, description in ADVERSARIES[name].shrink_specs(params):
+            candidate = _try_config(
+                scenario, adversary=format_adversary_spec(name, reduced)
+            )
+            if candidate is not None:
+                yield candidate, f"adversary {name}: {description}"
+    if config.jitter > 0.25:
+        halved = round(config.jitter / 2, 4)
+        yield (
+            _with_config(scenario, jitter=halved),
+            f"halve jitter {config.jitter} -> {halved}",
+        )
 
 
 def _shrink_workload(
@@ -199,30 +249,72 @@ _CANONICAL_PARAMS = (
 def _canonicalize(
     scenario: Scenario, violations: Sequence[Violation]
 ) -> Iterator[Tuple[Scenario, str]]:
-    """Swap sampled params/policies/engine for canonical fast defaults."""
+    """Swap sampled params/policies/engine/net knobs for fast defaults.
+
+    Candidates that config validation rejects for the scenario at hand
+    (an adversary class pinning its engine or token policy, ``jitter >
+    0`` requiring the timed engine) are skipped, not raised.
+    """
     config = scenario.config
-    for params in _CANONICAL_PARAMS:
+    candidates: List[Tuple[Optional[Scenario], str]] = []
+    # Progress through the canonical points monotonically: once the
+    # scenario sits on point k, only points after k are candidates —
+    # otherwise a violation insensitive to the parameters makes the
+    # loop oscillate between the points until max_checks runs out.
+    try:
+        start = _CANONICAL_PARAMS.index(config.params) + 1
+    except ValueError:
+        start = 0
+    for params in _CANONICAL_PARAMS[start:]:
         if config.params != params:
-            yield (
-                _with_config(scenario, params=params),
-                f"canonicalize params -> l={params.l}, rs={params.rs}, v={params.v}",
+            candidates.append(
+                (
+                    _try_config(scenario, params=params),
+                    f"canonicalize params -> l={params.l}, rs={params.rs}, "
+                    f"v={params.v}",
+                )
             )
     if config.source_policy != "eager":
-        yield (
-            _with_config(scenario, source_policy="eager"),
-            f"source policy {config.source_policy} -> eager",
+        candidates.append(
+            (
+                _try_config(scenario, source_policy="eager"),
+                f"source policy {config.source_policy} -> eager",
+            )
         )
     if config.token_policy != "roundrobin":
-        yield (
-            _with_config(scenario, token_policy="roundrobin"),
-            f"token policy {config.token_policy} -> roundrobin",
+        candidates.append(
+            (
+                _try_config(scenario, token_policy="roundrobin"),
+                f"token policy {config.token_policy} -> roundrobin",
+            )
         )
     if config.engine is not None:
-        yield _with_config(scenario, engine=None), "engine pin -> default"
+        candidates.append(
+            (_try_config(scenario, engine=None), "engine pin -> default")
+        )
     if config.shards is not None:
-        yield _with_config(scenario, shards=None), "shards pin -> default"
+        candidates.append(
+            (_try_config(scenario, shards=None), "shards pin -> default")
+        )
     if config.warmup:
-        yield _with_config(scenario, warmup=0), "warmup -> 0"
+        candidates.append((_try_config(scenario, warmup=0), "warmup -> 0"))
+    for candidate, description in candidates:
+        if candidate is not None:
+            yield candidate, description
+    # Netsim knobs are part of the scenario too: a violation that
+    # survives with the jitter or drop knob zeroed is a smaller repro
+    # (and a drop-only repro replays faster than a jittery one).
+    net = scenario.net
+    if net.enabled and net.jitter > 0.0:
+        yield (
+            replace(scenario, net=replace(net, jitter=0.0)),
+            f"net jitter {net.jitter} -> 0",
+        )
+    if net.enabled and net.drop > 0.0:
+        yield (
+            replace(scenario, net=replace(net, drop=0.0)),
+            f"net drop {net.drop} -> 0",
+        )
 
 
 def _shrink_rounds(
@@ -245,6 +337,7 @@ def _shrink_rounds(
 _PASSES = (
     _truncate_to_violation,
     _drop_adversaries,
+    _shrink_adversary,
     _shrink_workload,
     _move_source_to_target,
     _shrink_grid,

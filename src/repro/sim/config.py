@@ -96,6 +96,22 @@ class SimulationConfig:
     ``diurnal``, ``bursty``, ``flash-crowd``). ``None`` means steady.
     Requires ``commodities``."""
 
+    adversary: Optional[str] = None
+    """A named adversary campaign from
+    ``repro.adversary.scripts.ADVERSARIES``, optionally parameterized
+    (``"regional_failure:waves=2,size=3"``). Compiles deterministically
+    (from ``seed``) to scripted fault events and/or target relocations
+    layered on top of ``fault``. Single-flow mode only; see
+    docs/fuzzing.md."""
+
+    jitter: float = 0.0
+    """Per-message delay bound for the asynchronous ``timed`` engine, in
+    round periods: each advert/occupancy/transfer message is delayed by
+    ``Uniform(0, jitter)`` periods. ``0`` means a fixed half-period
+    latency. Requires ``engine="timed"``; the paper's timed-rounds
+    theorem says executions with jitter <= 1 period are identical to the
+    synchronous model."""
+
     def __post_init__(self) -> None:
         if self.rounds <= 0:
             raise ValueError(f"rounds must be positive, got {self.rounds}")
@@ -146,6 +162,19 @@ class SimulationConfig:
                 "sweep order, which cannot be split across district "
                 "processes; use 'roundrobin' or 'sticky'"
             )
+        if self.jitter < 0.0:
+            raise ValueError(f"jitter must be nonnegative, got {self.jitter}")
+        if self.jitter > 0.0 and self.engine != "timed":
+            raise ValueError(
+                "jitter models asynchronous message delay and requires "
+                f"engine='timed', got engine={self.engine!r}"
+            )
+        if self.adversary is not None:
+            # Like engines: validate lazily against the registry so
+            # config.py stays import-light for worker unpickling.
+            from repro.adversary.scripts import validate_adversary_spec
+
+            validate_adversary_spec(self.adversary, self)
 
     def _validate_multiflow(self) -> None:
         """Validation for multi-commodity mode (``commodities`` set)."""
@@ -179,6 +208,16 @@ class SimulationConfig:
             )
         if self.shards is not None:
             raise ValueError("multi-commodity mode does not support shards")
+        if self.adversary is not None:
+            raise ValueError(
+                "adversary campaigns are single-flow only (the relocation "
+                "and schedule compiler targets the single-target System)"
+            )
+        if self.jitter:
+            raise ValueError(
+                "multi-commodity mode does not support the timed engine "
+                "(jitter must be 0)"
+            )
 
     def to_dict(self) -> Dict:
         """Plain-dict form (JSON-serializable) for result files."""

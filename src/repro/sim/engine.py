@@ -182,11 +182,16 @@ class IncrementalEngine(RoundEngine):
     # ------------------------------------------------------------------
 
     def _on_cell_event(self, event: str, cid: CellId) -> None:
-        """Environment transition (fail/recover/seeding) touched ``cid``."""
-        if event in ("fail", "recover"):
-            self._mark_fault_event(cid)
-        else:  # "members": direct entity seeding between rounds
+        """Environment transition (fail/recover/relocate/seeding) touched
+        ``cid``. Only ``"members"`` (direct entity seeding) is the narrow
+        membership-only case; every other event — including ones added
+        later, like ``"relocate"`` — conservatively invalidates the full
+        neighborhood, so new environment transitions are correct by
+        default instead of silently under-invalidated."""
+        if event == "members":
             self._mark_membership_change(cid)
+        else:
+            self._mark_fault_event(cid)
         if self._chained_cell_observer is not None:
             self._chained_cell_observer(event, cid)
 
@@ -356,6 +361,7 @@ class IncrementalEngine(RoundEngine):
 # engines subclass RoundEngine: by this point every name they need is
 # defined, so the circular module pairs resolve in either import order.
 from repro.sim.vectorized import VectorizedEngine  # noqa: E402
+from repro.sim.timed_engine import TimedEngine  # noqa: E402
 from repro.shard.engine import ShardedEngine  # noqa: E402
 
 #: Registry of selectable engines (name -> class). ``docs/performance.md``
@@ -365,6 +371,7 @@ ENGINES: Dict[str, Type[RoundEngine]] = {
     ReferenceEngine.name: ReferenceEngine,
     IncrementalEngine.name: IncrementalEngine,
     VectorizedEngine.name: VectorizedEngine,
+    TimedEngine.name: TimedEngine,
     ShardedEngine.name: ShardedEngine,
 }
 

@@ -306,7 +306,31 @@ def build_simulation(
         )
     else:
         fault_model = NoFaults()
-    injector = FaultInjector(fault_model, rng=derive_rng(config.seed, "faults"))
+
+    relocations = ()
+    if config.adversary is not None:
+        # Compile the named campaign into scripted events + relocations.
+        # Scripted events layer on top of any Bernoulli churn (the
+        # scripted model is consulted first so the Bernoulli rng stream
+        # is unperturbed by the composition).
+        from repro.adversary.scripts import compile_adversary
+        from repro.faults.model import ComposedFaultModel
+        from repro.faults.schedule import ScriptedFaultModel
+
+        compiled = compile_adversary(config)
+        relocations = compiled.relocations
+        if compiled.events:
+            scripted = ScriptedFaultModel(compiled.events)
+            if isinstance(fault_model, NoFaults):
+                fault_model = scripted
+            else:
+                fault_model = ComposedFaultModel((scripted, fault_model))
+
+    injector = FaultInjector(
+        fault_model,
+        rng=derive_rng(config.seed, "faults"),
+        relocations=relocations,
+    )
 
     monitors = MonitorSuite() if config.monitors else None
     return Simulator(

@@ -221,6 +221,65 @@ class TestBoundedDelayEquivalence:
             ), f"diverged at round {round_index}"
 
 
+class TestPeriodBoundary:
+    """The bisimulation premise at its exact edge: ``latency == period``
+    keeps the timed execution state-identical to the synchronous model;
+    one tick past the period, every advert is stale and is discarded
+    (read conservatively) rather than applied late."""
+
+    def test_latency_exactly_one_period_is_bisimilar(self):
+        """``FixedDelay(period)``: adverts land exactly on the round
+        boundary and still count — equality is inside the bound."""
+        asynchronous = build_async(FixedDelay(1.0))
+        synchronous = build_sync()
+        for round_index in range(250):
+            asynchronous.run_round()
+            synchronous.update()
+            assert fingerprint(asynchronous.cells) == fingerprint(
+                synchronous.cells
+            ), f"diverged at round {round_index}"
+        assert asynchronous.late_adverts == 0
+
+    def test_one_tick_past_the_period_discards_adverts(self):
+        """``FixedDelay(period + epsilon)``: every advert misses its round
+        and is dropped as stale — counted, never applied."""
+        asynchronous = build_async(FixedDelay(1.0 + 1e-6))
+        for _ in range(100):
+            asynchronous.run_round()
+            assert check_safe(asynchronous) == []
+            assert (
+                asynchronous.total_produced
+                == asynchronous.total_consumed + asynchronous.entity_count()
+            )
+        assert asynchronous.late_adverts > 0
+
+    def test_jitter_hugging_the_boundary_is_bisimilar(self):
+        """``Uniform(0.9, 1.0)``: jittery but bounded by the period —
+        still state-identical, still zero stale adverts."""
+        asynchronous = build_async(UniformDelay(0.9, 1.0))
+        synchronous = build_sync()
+        for round_index in range(250):
+            asynchronous.run_round()
+            synchronous.update()
+            assert fingerprint(asynchronous.cells) == fingerprint(
+                synchronous.cells
+            ), f"diverged at round {round_index}"
+        assert asynchronous.late_adverts == 0
+
+    def test_jitter_straddling_the_boundary_degrades_safely(self):
+        """``Uniform(0.5, 1.5)``: samples beyond the period are stale and
+        discarded — safety and conservation hold, late adverts count up."""
+        asynchronous = build_async(UniformDelay(0.5, 1.5))
+        for _ in range(200):
+            asynchronous.run_round()
+            assert check_safe(asynchronous) == []
+            assert (
+                asynchronous.total_produced
+                == asynchronous.total_consumed + asynchronous.entity_count()
+            )
+        assert asynchronous.late_adverts > 0
+
+
 class TestDelayBoundViolations:
     def test_late_adverts_detected_and_dropped(self):
         model = HeavyTailDelay(0.2, 0.9, tail_p=0.1, tail_factor=4)

@@ -9,8 +9,9 @@ Two guarantees, both CI-enforced (the docs job runs this module):
   ``docs/observability.md`` are diffed against the code registries
   (``repro.obs.events.EVENT_TYPES``, ``repro.obs.instrument.METRIC_NAMES``),
   the engine-registry table of ``docs/performance.md`` against
-  ``repro.sim.engine.ENGINES``, and the oracle table of
-  ``docs/fuzzing.md`` against ``repro.fuzz.oracles.ORACLES`` — names,
+  ``repro.sim.engine.ENGINES``, and the oracle and adversary-class
+  tables of ``docs/fuzzing.md`` against ``repro.fuzz.oracles.ORACLES``
+  and ``repro.adversary.scripts.ADVERSARIES`` — names,
   field sets, metric kinds, engine class names, and oracle descriptions
   must match exactly, so the documentation cannot fall behind the
   implementation.
@@ -115,6 +116,7 @@ HEADER_LABELS = (
     "Phase",
     "Workload",
     "Oracle",
+    "Class",
 )
 
 
@@ -235,6 +237,35 @@ def test_oracle_table_matches_registry():
         assert documented[name] == oracle.description, (
             f"{name}: documented description {documented[name]!r} != "
             f"code description {oracle.description!r}"
+        )
+
+
+def test_adversary_table_matches_registry():
+    """docs/fuzzing.md's adversary-class table lists every registered
+    adversary, in registry order, with the registry's own one-line
+    description — diffed against ``repro.adversary.scripts.ADVERSARIES``."""
+    from repro.adversary.scripts import ADVERSARIES
+
+    documented = {}
+    order = []
+    for cells in table_rows("## Adversary classes", doc=FUZZING_DOC):
+        names = backticked(cells[0])
+        if len(cells) != 2 or len(names) != 1:
+            continue
+        documented[names[0]] = cells[1]
+        order.append(names[0])
+    assert set(documented) == set(ADVERSARIES), (
+        f"adversary table out of sync: only in docs "
+        f"{sorted(set(documented) - set(ADVERSARIES))}, only in code "
+        f"{sorted(set(ADVERSARIES) - set(documented))}"
+    )
+    assert order == list(ADVERSARIES), (
+        f"adversary table order {order} != registry order {list(ADVERSARIES)}"
+    )
+    for name, script in ADVERSARIES.items():
+        assert documented[name] == script.description, (
+            f"{name}: documented description {documented[name]!r} != "
+            f"code description {script.description!r}"
         )
 
 

@@ -128,11 +128,13 @@ def test_lockstep_digests_are_reproducible():
 
 def test_registry_contents():
     from repro.shard.engine import ShardedEngine
+    from repro.sim.timed_engine import TimedEngine
 
     assert ENGINES == {
         "reference": ReferenceEngine,
         "incremental": IncrementalEngine,
         "vectorized": VectorizedEngine,
+        "timed": TimedEngine,
         "sharded": ShardedEngine,
     }
     assert DEFAULT_ENGINE == "reference"

@@ -73,6 +73,7 @@ class TestGenerator:
             "incremental",
             "vectorized",
             "sharded",
+            "timed",
         }
         sharded = [s for s in scenarios if s.config.engine == "sharded"]
         assert sharded, "expected sharded pins in the first 200 seeds"
@@ -104,6 +105,39 @@ class TestGenerator:
         for s in multiflow:
             assert s.config.engine in (None, "reference", "incremental")
             assert not s.net.enabled
+        # The adversary arm (v5): every registered class appears, each
+        # spec parses back to its class, runs stay single-flow with the
+        # Bernoulli faults and the network legs off (the scripted
+        # schedule must be the only perturbation), and only the timed
+        # engine carries jitter.
+        from repro.adversary.scripts import ADVERSARIES, parse_adversary_spec
+
+        adversarial = [s for s in scenarios if s.config.adversary is not None]
+        assert adversarial, "expected adversarial scenarios (v5 arm)"
+        classes = {
+            parse_adversary_spec(s.config.adversary)[0] for s in adversarial
+        }
+        assert classes == set(ADVERSARIES)
+        for s in adversarial:
+            assert not s.config.commodities
+            assert not s.config.fault.enabled
+            assert not s.net.enabled
+            if s.config.jitter > 0:
+                assert s.config.engine == "timed"
+        timed = [s for s in adversarial if s.config.engine == "timed"]
+        assert timed, "expected timed-engine pins (async_jitter class)"
+        assert all(0 < s.config.jitter <= 1.0 for s in timed)
+
+    def test_forced_adversary_is_deterministic(self):
+        """``generate_scenario(seed, adversary=...)`` pins the class and
+        stays a pure function of its arguments."""
+        from repro.adversary.scripts import ADVERSARIES, parse_adversary_spec
+
+        for name in sorted(ADVERSARIES):
+            first = generate_scenario(5, adversary=name)
+            second = generate_scenario(5, adversary=name)
+            assert first.fingerprint() == second.fingerprint()
+            assert parse_adversary_spec(first.config.adversary)[0] == name
 
     def test_netspec_validation(self):
         with pytest.raises(ValueError):
@@ -160,6 +194,20 @@ class TestCampaign:
         assert summary["errors"] == []
         assert summary["seeds"] == [0, 1, 2]
         assert summary["oracles"] == list(ORACLES)
+        assert summary["adversary"] is None
+
+    def test_forced_adversary_campaign(self):
+        """``adversary=`` forces every seed through the class and the
+        summary records the forcing (byte-stable across reruns)."""
+        first = run_campaign(
+            range(0, 3), workers=1, adversary="oscillator"
+        )
+        assert first.summary()["adversary"] == "oscillator"
+        assert not first.failures and not first.errors
+        second = run_campaign(
+            range(0, 3), workers=1, adversary="oscillator"
+        )
+        assert first.summary_json() == second.summary_json()
 
     def test_oracle_subset(self):
         result = run_campaign(range(0, 2), oracle_names=["monitors"], workers=1)
@@ -261,6 +309,25 @@ class TestCorpus:
         assert any(s.config.path is not None for s in scenarios)
         assert any(s.config.path is None for s in scenarios)
         assert any(s.net.enabled for s in scenarios)
+
+    def test_corpus_covers_every_adversary_class(self):
+        """The seed-91NN entries pin one scenario per adversary class,
+        including a timed-engine run with jitter."""
+        from repro.adversary.scripts import ADVERSARIES, parse_adversary_spec
+
+        scenarios = [
+            Scenario.from_dict(json.loads(path.read_text())["scenario"])
+            for path in CORPUS_FILES
+        ]
+        adversarial = [s for s in scenarios if s.config.adversary is not None]
+        classes = {
+            parse_adversary_spec(s.config.adversary)[0] for s in adversarial
+        }
+        assert classes == set(ADVERSARIES)
+        assert any(
+            s.config.engine == "timed" and s.config.jitter > 0
+            for s in adversarial
+        )
 
     def test_repro_loader_rejects_corpus_files(self):
         """Corpus scenarios and shrink repros are different file kinds;

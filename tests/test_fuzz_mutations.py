@@ -182,6 +182,114 @@ def test_campaign_detects_and_shrinks_mutant(monkeypatch, name, tmp_path):
     assert cli_main(["fuzz", "replay", str(path)]) == 0
 
 
+class _RecoverySkipEngine(IncrementalEngine):
+    """PLANTED (PR 9): recovery events never re-wake Route relaxation.
+
+    A recovered cell rejoins the grid but the incremental engine's dirty
+    sets are never told, so routing around the healed region stays on
+    its detour (or stays partitioned) indefinitely — exactly the failure
+    mode the ``stabilization-bound`` oracle exists to catch: the run
+    never re-converges to the BFS ground truth within the Lemma 6
+    horizon after the adversary's last scripted recovery.
+    """
+
+    def _on_cell_event(self, event, cid):
+        if event == "recover":
+            return  # MUTANT: the healed cell stays invisible to Route
+        super()._on_cell_event(event, cid)
+
+
+def test_adversarial_campaign_detects_and_shrinks_recovery_skip(
+    monkeypatch, tmp_path
+):
+    """Forced regional-failure campaign + stabilization-bound oracle:
+    detect the planted recovery bug, shrink keeping the adversary, and
+    replay the artifact byte-identically through the CLI."""
+    monkeypatch.setitem(engine_module.ENGINES, "incremental", _RecoverySkipEngine)
+    result = run_campaign(
+        CAMPAIGN_SEEDS,
+        oracle_names=["stabilization-bound"],
+        workers=1,
+        adversary="regional_failure",
+    )
+    assert result.failures, "campaign missed the planted recovery-skip bug"
+    assert not result.errors
+    assert all(
+        v.oracle == "stabilization-bound"
+        for outcome in result.failures
+        for v in outcome.violations
+    )
+
+    first = result.failures[0]
+    shrunk = shrink_scenario(
+        generate_scenario(first.seed, adversary="regional_failure"),
+        oracle_names=["stabilization-bound"],
+    )
+    # The oracle is gated on the adversary: dropping it would lose the
+    # violation, so the shrinker must have kept (possibly weakened) it.
+    assert shrunk.scenario.config.adversary is not None
+    assert shrunk.scenario.config.adversary.startswith("regional_failure")
+    assert shrunk.violations
+
+    path = write_repro(shrunk, tmp_path)
+    artifact, recomputed = replay_repro(path, oracle_names=["stabilization-bound"])
+    assert [v.to_dict() for v in recomputed] == artifact["violations"]
+    assert (
+        cli_main(
+            ["fuzz", "replay", str(path), "--oracles", "stabilization-bound"]
+        )
+        == 0
+    )
+
+
+def test_starvation_campaign_detects_and_shrinks_sticky_rotation(
+    monkeypatch, tmp_path
+):
+    """Forced token-starvation campaign + token-fairness oracle: a
+    rotation that parks on the served member (the Lemma 9 fairness step
+    deleted) is detected, shrunk with the adversary intact, and the
+    artifact replays identically through the CLI."""
+    from repro.core.policies import RoundRobinTokenPolicy
+
+    monkeypatch.setattr(
+        RoundRobinTokenPolicy,
+        "rotate",
+        lambda self, ne_prev, current: current,  # MUTANT: never rotates
+    )
+    result = run_campaign(
+        CAMPAIGN_SEEDS,
+        oracle_names=["token-fairness"],
+        workers=1,
+        adversary="token_starvation",
+    )
+    assert result.failures, "campaign missed the planted sticky-token bug"
+    assert not result.errors
+    assert all(
+        v.oracle == "token-fairness"
+        for outcome in result.failures
+        for v in outcome.violations
+    )
+
+    first = result.failures[0]
+    shrunk = shrink_scenario(
+        generate_scenario(first.seed, adversary="token_starvation"),
+        oracle_names=["token-fairness"],
+    )
+    # The fairness oracle is gated on the policy, not the adversary:
+    # once rotation itself is broken, the minimal repro no longer needs
+    # the starvation workload — but it must still be a roundrobin run.
+    assert shrunk.scenario.config.token_policy == "roundrobin"
+    assert shrunk.violations
+
+    path = write_repro(shrunk, tmp_path)
+    artifact, recomputed = replay_repro(path, oracle_names=["token-fairness"])
+    assert [v.to_dict() for v in recomputed] == artifact["violations"]
+    assert (
+        cli_main(["fuzz", "replay", str(path), "--oracles", "token-fairness"])
+        == 0
+    )
+
+
 def test_clean_tree_campaign_is_quiet():
     """The same seed range on the unmutated engine finds nothing — the
     mutation detections above are signal, not noise."""
