@@ -14,6 +14,9 @@ Subcommands
 ``fuzz``        deterministic scenario fuzzing: ``run`` a seed range
                 against the oracle registry, ``shrink`` a violating
                 scenario to a minimal repro, ``replay`` a repro artifact
+``serve``       run the simulation as a long-lived service: commands in
+                (``--command-file`` JSONL), batched events out
+                (``--sink stdout|jsonl|sqlite``); see docs/serving.md
 ``list``        list registered experiments
 
 Observability toggles (see ``docs/observability.md``): set
@@ -372,6 +375,60 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 EXIT_FUZZ_VIOLATIONS = 4
 
+#: Exit code when `serve` rejected any command (bad JSON, unknown
+#: version/command, wrong fields) — distinct from 1, which means the
+#: service ran clean but streamed live monitor violations.
+EXIT_BAD_COMMAND = 5
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import FileCommandSource, ServeService, make_sink
+
+    config = _build_config(args)
+    if args.sink != "stdout" and not args.sink_path:
+        print(
+            f"serve: --sink {args.sink} requires --sink-path "
+            f"(a directory for jsonl, a database file for sqlite)",
+            file=sys.stderr,
+        )
+        return EXIT_BAD_COMMAND
+    sink = make_sink(args.sink, path=args.sink_path)
+    source = (
+        FileCommandSource(args.command_file) if args.command_file else None
+    )
+    service = ServeService(
+        config,
+        sink,
+        source=source,
+        batch_size=args.batch_size,
+        buffer_capacity=args.buffer_capacity,
+        backpressure=args.backpressure,
+        snapshot_every=args.snapshot_every,
+        max_rounds=args.max_rounds,
+    )
+    try:
+        service.run()
+    except KeyboardInterrupt:
+        # Operator stop is a normal shutdown: drain and close cleanly.
+        service.finish()
+    stats = service.stats()
+    buffer = stats["buffer"]
+    print(
+        f"serve: {stats['rounds_served']} rounds, "
+        f"{stats['commands_applied']} commands "
+        f"({stats['command_errors']} rejected), "
+        f"{buffer['delivered']} events delivered in {buffer['batches']} "
+        f"batches ({buffer['dropped']} dropped), "
+        f"{stats['violations']} violations "
+        f"[stop: {stats['stop_reason']}]",
+        file=sys.stderr,
+    )
+    if stats["command_errors"]:
+        return EXIT_BAD_COMMAND
+    if stats["violations"]:
+        return 1
+    return 0
+
 
 def _parse_seed_range(spec: str) -> List[int]:
     """``START:COUNT`` (or a single seed) -> the explicit seed list."""
@@ -687,6 +744,65 @@ def build_parser() -> argparse.ArgumentParser:
         "--oracles", default=None, help="comma-separated oracle names"
     )
     fuzz_replay.set_defaults(handler=_cmd_fuzz_replay)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the simulation as a long-lived event-streaming service",
+    )
+    _add_run_arguments(serve_parser)
+    serve_parser.add_argument(
+        "--sink",
+        choices=["stdout", "jsonl", "sqlite"],
+        default="stdout",
+        help="where the event stream goes (see docs/serving.md; "
+        "default stdout)",
+    )
+    serve_parser.add_argument(
+        "--sink-path",
+        default=None,
+        help="sink destination: a directory of rotated segments for "
+        "--sink jsonl, a database file for --sink sqlite",
+    )
+    serve_parser.add_argument(
+        "--max-rounds",
+        type=int,
+        default=None,
+        help="stop after N rounds (default: serve until a shutdown "
+        "command arrives)",
+    )
+    serve_parser.add_argument(
+        "--command-file",
+        default=None,
+        help="JSONL command file to tail (one {\"v\":1,\"cmd\":...} object "
+        "per line; appended lines are picked up between rounds)",
+    )
+    serve_parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=64,
+        help="events per sink commit (default 64)",
+    )
+    serve_parser.add_argument(
+        "--buffer-capacity",
+        type=int,
+        default=4096,
+        help="pending-event bound before backpressure engages (default 4096)",
+    )
+    serve_parser.add_argument(
+        "--backpressure",
+        choices=["block", "drop-oldest"],
+        default="block",
+        help="full-buffer policy: block the producer on the sink, or "
+        "drop the oldest pending event and count sink.dropped "
+        "(default block)",
+    )
+    serve_parser.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=50,
+        help="rounds between service.snapshot events (default 50)",
+    )
+    serve_parser.set_defaults(handler=_cmd_serve)
 
     list_parser = subparsers.add_parser("list", help="list experiments")
     list_parser.set_defaults(handler=_cmd_list)

@@ -1,0 +1,208 @@
+"""O(1)-memory variants of the per-round instrumentation.
+
+The batch meters (:class:`~repro.metrics.throughput.ThroughputMeter`,
+:class:`~repro.metrics.occupancy.OccupancyProbe`,
+:class:`~repro.monitors.progress.EntityTracker`) keep one list entry per
+round (or one record per entity) because experiments want the full
+series for plots. A long-running ``repro serve`` process cannot afford
+that: over a 10k-round soak those lists are the dominant steady-state
+growth. The streaming variants here keep exact running aggregates
+instead — every summary statistic the simulator's ``summarize()`` reads
+(rounds, totals, means, latency mean/percentiles) is bit-identical to
+what the unbounded versions would report, but memory stays flat:
+
+- ``StreamingThroughputMeter`` holds two counters plus the warmup
+  prefix total (the warmup horizon is fixed at construction).
+- ``StreamingOccupancyProbe`` holds running sums for each mean.
+- ``StreamingEntityTracker`` holds only in-flight records (bounded by
+  the live population) plus a latency-value histogram, which stays
+  small because transit latencies concentrate on a narrow integer range
+  in steady state.
+
+Series-reconstructing methods (``cumulative_series``, per-entity
+``consumed()`` records, ...) are deliberately absent or raise: if a
+caller needs history, it should use the batch classes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.system import MovePhaseReport, RoundReport, System
+from repro.metrics.occupancy import blocked_cell_count
+from repro.monitors.progress import EntityRecord
+
+
+@dataclass
+class StreamingThroughputMeter:
+    """Drop-in for ``ThroughputMeter`` keeping totals, not the series.
+
+    ``warmup`` must match the warmup the simulator will pass to
+    :meth:`average_throughput` — it is the one slice of history the
+    batch meter supports that cannot be recovered from running totals,
+    so it is fixed up front.
+    """
+
+    warmup: int = 0
+    _rounds: int = 0
+    _total: int = 0
+    _warmup_total: int = 0
+
+    def observe(self, consumed_count: int) -> None:
+        """Record the entities consumed in one round."""
+        if consumed_count < 0:
+            raise ValueError(f"consumed count cannot be negative: {consumed_count}")
+        if self._rounds < self.warmup:
+            self._warmup_total += consumed_count
+        self._rounds += 1
+        self._total += consumed_count
+
+    @property
+    def rounds(self) -> int:
+        return self._rounds
+
+    @property
+    def total_consumed(self) -> int:
+        return self._total
+
+    def average_throughput(self, warmup: int = 0) -> float:
+        """Exact post-warmup throughput for the construction-time warmup."""
+        if warmup != self.warmup:
+            raise ValueError(
+                f"streaming meter was built for warmup={self.warmup}; "
+                f"asked for warmup={warmup} (use ThroughputMeter for "
+                "arbitrary slices)"
+            )
+        effective_rounds = self._rounds - min(self.warmup, self._rounds)
+        if effective_rounds <= 0:
+            return 0.0
+        return (self._total - self._warmup_total) / effective_rounds
+
+
+@dataclass
+class StreamingOccupancyProbe:
+    """Drop-in for ``OccupancyProbe`` keeping running sums, not series."""
+
+    _rounds: int = 0
+    _entities_sum: int = 0
+    _blocked_sum: int = 0
+    _moved_sum: int = 0
+    _occupied_sum: int = 0
+    _ratio_sum: float = 0.0
+    _ratio_rounds: int = 0
+
+    def observe(self, system: System, report: RoundReport) -> None:
+        """Record one round's occupancy/blocking sample."""
+        entities = system.entity_count()
+        occupied = sum(1 for state in system.cells.values() if state.members)
+        self._rounds += 1
+        self._entities_sum += entities
+        self._blocked_sum += blocked_cell_count(report)
+        self._moved_sum += len(report.move.moved_cells)
+        self._occupied_sum += occupied
+        if occupied > 0:
+            self._ratio_sum += entities / occupied
+            self._ratio_rounds += 1
+
+    def mean_entities(self) -> float:
+        """Mean in-flight population over the observed rounds."""
+        if self._rounds == 0:
+            return 0.0
+        return self._entities_sum / self._rounds
+
+    def mean_blocked(self) -> float:
+        """Mean number of blocked (token-held, no-gap) cells per round."""
+        if self._rounds == 0:
+            return 0.0
+        return self._blocked_sum / self._rounds
+
+    def mean_entities_per_occupied_cell(self) -> float:
+        """The paper's saturation indicator (~1 at the saturation plateau)."""
+        if self._ratio_rounds == 0:
+            return 0.0
+        return self._ratio_sum / self._ratio_rounds
+
+
+@dataclass
+class StreamingEntityTracker:
+    """Drop-in for ``EntityTracker`` that retires consumed records.
+
+    Only in-flight entities keep a live :class:`EntityRecord`; when an
+    entity is consumed, its transit latency is folded into a
+    value-count histogram and the record is dropped. ``latencies()``
+    re-expands the histogram (sorted, exact) — cheap because it is only
+    called once, at summarize time.
+    """
+
+    records: Dict[int, EntityRecord] = field(default_factory=dict)
+    latency_counts: Counter = field(default_factory=Counter)
+    consumed_count: int = 0
+
+    def observe(self, report: RoundReport, system: System) -> None:
+        """Ingest one round's report (births, hops, consumptions)."""
+        for entity in report.produced:
+            cid = next(
+                cid
+                for cid, state in system.cells.items()
+                if entity.uid in state.members
+            )
+            self.records[entity.uid] = EntityRecord(
+                uid=entity.uid, birth_round=entity.birth_round, source=cid
+            )
+        self._observe_moves(report.move, report.round_index)
+
+    def _observe_moves(self, move: MovePhaseReport, round_index: int) -> None:
+        for transfer in move.transfers:
+            record = self.records.get(transfer.uid)
+            if record is None:
+                record = EntityRecord(
+                    uid=transfer.uid, birth_round=round_index, source=transfer.src
+                )
+                self.records[transfer.uid] = record
+            record.hops += 1
+            if transfer.consumed:
+                self.latency_counts[round_index - record.birth_round] += 1
+                self.consumed_count += 1
+                del self.records[transfer.uid]
+
+    def consumed(self) -> List[EntityRecord]:
+        """Unsupported here: consumed records are retired, not kept."""
+        raise NotImplementedError(
+            "StreamingEntityTracker retires consumed records to keep "
+            "memory bounded; use EntityTracker when per-entity records "
+            "are needed"
+        )
+
+    def in_flight(self) -> List[EntityRecord]:
+        """Records of entities still in the system."""
+        return list(self.records.values())
+
+    def latencies(self) -> List[int]:
+        """Transit latencies of all consumed entities (sorted, exact)."""
+        out: List[int] = []
+        for value in sorted(self.latency_counts):
+            out.extend([value] * self.latency_counts[value])
+        return out
+
+    def oldest_in_flight_age(self, current_round: int) -> Optional[int]:
+        """Age (rounds) of the oldest in-flight entity, or None."""
+        ages = [current_round - r.birth_round for r in self.records.values()]
+        return max(ages) if ages else None
+
+
+def install_streaming_meters(simulator) -> None:
+    """Swap a simulator's per-round accumulators for streaming ones.
+
+    Must run before the first ``step()`` — the streaming meters start
+    empty and cannot adopt history from the batch ones.
+    """
+    if simulator.meter.rounds != 0:
+        raise RuntimeError(
+            "install_streaming_meters must run before the first step; "
+            f"{simulator.meter.rounds} round(s) already recorded"
+        )
+    simulator.meter = StreamingThroughputMeter(warmup=simulator.warmup)
+    simulator.occupancy = StreamingOccupancyProbe()
+    simulator.tracker = StreamingEntityTracker()

@@ -66,6 +66,13 @@ class MonitorSuite:
     every recorded violation also increments ``monitors.violations``
     (counted *before* a strict-mode raise, so the tally survives)."""
 
+    on_violation: Optional[object] = None
+    """Optional callback ``(Violation) -> None`` invoked on every recorded
+    violation, before a strict-mode raise. The live-verdict stream:
+    ``repro serve`` wires it to emit ``service.violation`` events so a
+    long-running service reports property violations as they happen
+    instead of only in the final summary."""
+
     _signal_pairs: List[tuple] = field(default_factory=list)
 
     def attach(self, system: System) -> "MonitorSuite":
@@ -117,6 +124,8 @@ class MonitorSuite:
         self.violations.append(violation)
         if self.metrics is not None:
             self.metrics.counter("monitors.violations").inc()
+        if self.on_violation is not None:
+            self.on_violation(violation)
         if self.strict:
             raise MonitorViolation(violation)
 

@@ -116,6 +116,37 @@ METRIC_NAMES: Dict[str, Dict[str, str]] = {
         "kind": "counter",
         "description": "protocol events emitted by the tracer this run",
     },
+    "trace.evicted": {
+        "kind": "counter",
+        "description": "events overwritten by a full ring-buffer trace sink "
+        "(the bounded-history cost, counted instead of silent)",
+    },
+    "sink.dropped": {
+        "kind": "counter",
+        "description": "events evicted unsent by the serve buffer under the "
+        "drop-oldest backpressure policy",
+    },
+    "sink.delivered": {
+        "kind": "counter",
+        "description": "events delivered to the serve sink (batched)",
+    },
+    "sink.batches": {
+        "kind": "counter",
+        "description": "batches committed to the serve sink",
+    },
+    "serve.commands": {
+        "kind": "counter",
+        "description": "service commands applied by the serve loop",
+    },
+    "serve.command_errors": {
+        "kind": "counter",
+        "description": "service commands rejected with a structured error",
+    },
+    "serve.heals": {
+        "kind": "counter",
+        "description": "shard healing-log entries forwarded as service "
+        "events by the serve loop",
+    },
     "sweep.points_completed": {
         "kind": "counter",
         "description": "sweep points that returned a result",
@@ -201,6 +232,12 @@ class ObservabilityConfig:
     metrics: bool = False
     trace_path: Optional[str] = None
     trace_buffer: Optional[int] = None
+    trace_sink: Optional[object] = None
+    """An explicit, pre-built sink object (anything with
+    ``write``/``flush``/``close``) the tracer should emit into, taking
+    precedence over ``trace_path``/``trace_buffer``. In-process
+    consumers — ``repro.serve``'s batched event buffer, capture-style
+    tests — use this; it has no environment-variable form."""
 
     @classmethod
     def from_env(cls, environ: Optional[Dict[str, str]] = None) -> "ObservabilityConfig":
@@ -213,8 +250,12 @@ class ObservabilityConfig:
 
     @property
     def tracing(self) -> bool:
-        """True when event tracing is requested (path or ring buffer)."""
-        return self.trace_path is not None or self.trace_buffer is not None
+        """True when event tracing is requested (sink, path, or buffer)."""
+        return (
+            self.trace_sink is not None
+            or self.trace_path is not None
+            or self.trace_buffer is not None
+        )
 
     @property
     def enabled(self) -> bool:
@@ -252,12 +293,15 @@ class SimulationInstrumentation:
         )
         self.tracer: Optional[ProtocolTracer] = None
         if config.tracing:
-            path = config.trace_file(fingerprint)
-            sink = (
-                JsonlSink(path, fingerprint)
-                if path is not None
-                else RingBufferSink(capacity=config.trace_buffer or 10_000)
-            )
+            if config.trace_sink is not None:
+                sink = config.trace_sink
+            else:
+                path = config.trace_file(fingerprint)
+                sink = (
+                    JsonlSink(path, fingerprint)
+                    if path is not None
+                    else RingBufferSink(capacity=config.trace_buffer or 10_000)
+                )
             self.tracer = ProtocolTracer(sink, fingerprint)
         self._disrupted_round: Optional[int] = None
         self._finalized = False
@@ -419,6 +463,12 @@ class SimulationInstrumentation:
         if self.tracer is not None:
             if self.registry is not None and not self._finalized:
                 self.registry.counter("trace.events").inc(self.tracer.total_events)
+                # A ring-buffer sink overwrites old events once full; the
+                # count rides into the metrics so a soak run's bounded
+                # history is visible, not a silent loss.
+                evicted = getattr(self.tracer.sink, "evicted", 0)
+                if evicted:
+                    self.registry.counter("trace.evicted").inc(evicted)
             self.tracer.close()
         self._finalized = True
         if self.registry is None:

@@ -44,15 +44,26 @@ def trace_header(fingerprint: Optional[str] = None) -> Dict:
 
 
 class RingBufferSink:
-    """Keeps the most recent ``capacity`` events in memory."""
+    """Keeps the most recent ``capacity`` events in memory.
+
+    Overwrites are *counted*, not silent: ``evicted`` tallies every event
+    the full buffer pushed out, and the instrumentation layer surfaces it
+    as the ``trace.evicted`` metric — a long soak run can prove its
+    bounded-memory story without losing track of how much history the
+    bound cost.
+    """
 
     def __init__(self, capacity: int = DEFAULT_BUFFER_CAPACITY):
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self._buffer: Deque[Dict] = deque(maxlen=capacity)
+        #: Events overwritten because the buffer was at capacity.
+        self.evicted = 0
 
     def write(self, record: Dict) -> None:
-        """Append one event (evicting the oldest when full)."""
+        """Append one event (evicting — and counting — the oldest when full)."""
+        if len(self._buffer) == self._buffer.maxlen:
+            self.evicted += 1
         self._buffer.append(record)
 
     def events(self) -> List[Dict]:
@@ -88,6 +99,36 @@ class JsonlSink:
         """Flush and close the file (idempotent)."""
         if not self._handle.closed:
             self._handle.close()
+
+
+class CallbackSink:
+    """Hands every event record to a callable, in emission order.
+
+    The in-process integration point: ``repro.serve`` uses it to feed
+    protocol events into its batched sink buffer, and tests use it to
+    capture events without touching the filesystem. The callback
+    receives the validated record dict; mutating it is not allowed (the
+    tracer may retain references).
+    """
+
+    def __init__(self, callback, on_flush=None, on_close=None):
+        self._callback = callback
+        self._on_flush = on_flush
+        self._on_close = on_close
+
+    def write(self, record: Dict) -> None:
+        """Forward one event record to the callback."""
+        self._callback(record)
+
+    def flush(self) -> None:
+        """Invoke the optional flush hook (round-boundary call)."""
+        if self._on_flush is not None:
+            self._on_flush()
+
+    def close(self) -> None:
+        """Invoke the optional close hook (idempotent by contract)."""
+        if self._on_close is not None:
+            self._on_close()
 
 
 class ProtocolTracer:

@@ -1,0 +1,77 @@
+"""``repro.serve``: the simulation as a long-running streaming service.
+
+The serve subsystem turns a batch simulation into an operable service:
+a command protocol in (:mod:`repro.serve.commands`), a batched event
+stream out (:mod:`repro.serve.buffer` feeding the pluggable sinks of
+:mod:`repro.serve.sinks`), live monitor verdicts and shard-heal events
+in between (:mod:`repro.serve.service`), and soak oracles to judge the
+whole thing over time (:mod:`repro.serve.oracles`). The CLI front door
+is ``repro serve`` / ``cellularflows serve``.
+"""
+
+from repro.serve.buffer import BACKPRESSURE_POLICIES, EventBuffer
+from repro.serve.commands import (
+    COMMAND_SCHEMA,
+    COMMANDS,
+    Command,
+    CommandError,
+    FileCommandSource,
+    ScriptedCommandSource,
+    parse_command,
+    parse_command_line,
+)
+from repro.serve.oracles import (
+    MemoryProbe,
+    OracleVerdict,
+    check_bounded_memory,
+    check_monotone_consumed,
+    check_zero_violations,
+    soak_verdicts,
+)
+from repro.serve.service import (
+    SERVICE_EVENTS,
+    ServeService,
+    build_service,
+    serve_header,
+)
+from repro.serve.sinks import (
+    SINKS,
+    MemorySink,
+    RotatingJsonlSink,
+    ServeSink,
+    SqliteSink,
+    StdoutSink,
+    canonical_line,
+    make_sink,
+)
+
+__all__ = [
+    "BACKPRESSURE_POLICIES",
+    "COMMAND_SCHEMA",
+    "COMMANDS",
+    "Command",
+    "CommandError",
+    "EventBuffer",
+    "FileCommandSource",
+    "MemoryProbe",
+    "MemorySink",
+    "OracleVerdict",
+    "RotatingJsonlSink",
+    "SERVICE_EVENTS",
+    "SINKS",
+    "ScriptedCommandSource",
+    "ServeService",
+    "ServeSink",
+    "SqliteSink",
+    "StdoutSink",
+    "build_service",
+    "canonical_line",
+    "check_bounded_memory",
+    "check_monotone_consumed",
+    "check_zero_violations",
+    "make_sink",
+    "parse_command",
+    "parse_command_line",
+    "serve_header",
+    "soak_verdicts",
+]

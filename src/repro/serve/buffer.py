@@ -1,0 +1,162 @@
+"""The producer→consumer event buffer with explicit backpressure.
+
+The serve loop is a single deterministic thread, so the producer
+(protocol events, service events) and the consumer (batched sink
+commits) are *phases of the same round*, not racing threads — which is
+what makes two runs of the same command schedule byte-identical. The
+buffer still models the essential production shape, patterned on
+hygge's home→store flow batching: events accumulate in a bounded
+pending queue; the service *pumps* the consumer once per round, which
+drains complete batches into the sink; a sink that falls behind fills
+the queue and triggers the backpressure policy:
+
+* ``block`` — the producer stalls on the sink: publishing into a full
+  buffer synchronously commits a batch to make room. Nothing is ever
+  dropped and the queue depth stays bounded by ``capacity``; the cost
+  is producer latency (exactly what blocking means).
+* ``drop-oldest`` — the oldest pending event is evicted and counted in
+  ``dropped`` (surfaced as the ``sink.dropped`` metric). The stream
+  stays fresh and the producer never stalls; the cost is history.
+
+Conservation is the buffer's contract and the backpressure tests pin it
+exactly: ``produced == delivered + dropped + pending`` at every moment.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional
+
+from repro.serve.sinks import ServeSink
+
+#: The two backpressure policies (name -> one-line meaning); the CLI's
+#: ``--backpressure`` choices and docs/serving.md both draw on this.
+BACKPRESSURE_POLICIES: Dict[str, str] = {
+    "block": "stall the producer on the sink; never drop, bounded depth",
+    "drop-oldest": "evict the oldest pending event, counting sink.dropped",
+}
+
+
+class EventBuffer:
+    """Bounded pending queue between the event producers and one sink.
+
+    ``capacity`` bounds the pending queue; ``batch_size`` is the commit
+    unit. ``metrics`` (a :class:`repro.obs.metrics.MetricsRegistry`, or
+    None) receives ``sink.delivered`` / ``sink.batches`` /
+    ``sink.dropped`` counters.
+    """
+
+    def __init__(
+        self,
+        sink: ServeSink,
+        capacity: int = 4096,
+        batch_size: int = 64,
+        policy: str = "block",
+        metrics=None,
+    ):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if batch_size > capacity:
+            raise ValueError(
+                f"batch_size {batch_size} cannot exceed capacity {capacity}"
+            )
+        if policy not in BACKPRESSURE_POLICIES:
+            raise ValueError(
+                f"unknown backpressure policy {policy!r}; available: "
+                f"{sorted(BACKPRESSURE_POLICIES)}"
+            )
+        self.sink = sink
+        self.capacity = capacity
+        self.batch_size = batch_size
+        self.policy = policy
+        self.metrics = metrics
+        self._pending: Deque[Dict] = deque()
+        self.produced = 0
+        self.delivered = 0
+        self.dropped = 0
+        self.batches = 0
+        self.max_depth = 0
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+
+    def publish(self, record: Dict) -> None:
+        """Enqueue one event record, applying backpressure when full."""
+        self.produced += 1
+        if len(self._pending) >= self.capacity:
+            if self.policy == "block":
+                # Blocking means the producer pays the sink's latency
+                # right here: commit one batch to make room.
+                self._commit(self.batch_size)
+            else:  # drop-oldest
+                self._pending.popleft()
+                self.dropped += 1
+                if self.metrics is not None:
+                    self.metrics.counter("sink.dropped").inc()
+        self._pending.append(record)
+        if len(self._pending) > self.max_depth:
+            self.max_depth = len(self._pending)
+
+    # ------------------------------------------------------------------
+    # Consumer side
+    # ------------------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Events queued but not yet committed to the sink."""
+        return len(self._pending)
+
+    def pump(self, max_batches: Optional[int] = None) -> int:
+        """Commit complete batches (the per-round consumer turn).
+
+        Delivers up to ``max_batches`` batches of ``batch_size`` events
+        (all complete batches when None); a trailing partial batch stays
+        pending until :meth:`drain`. Returns events delivered.
+        """
+        delivered = 0
+        committed = 0
+        while len(self._pending) >= self.batch_size and (
+            max_batches is None or committed < max_batches
+        ):
+            delivered += self._commit(self.batch_size)
+            committed += 1
+        return delivered
+
+    def drain(self) -> int:
+        """Commit everything pending, including a final partial batch.
+
+        The drain/shutdown guarantee: after ``drain`` returns, every
+        published event has been delivered or (previously) counted
+        dropped — ``pending == 0``.
+        """
+        delivered = 0
+        while self._pending:
+            delivered += self._commit(min(self.batch_size, len(self._pending)))
+        self.sink.flush()
+        return delivered
+
+    def _commit(self, count: int) -> int:
+        batch = [self._pending.popleft() for _ in range(count)]
+        self.sink.write_batch(batch)
+        self.delivered += len(batch)
+        self.batches += 1
+        if self.metrics is not None:
+            self.metrics.counter("sink.delivered").inc(len(batch))
+            self.metrics.counter("sink.batches").inc()
+        return len(batch)
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """The conservation ledger: produced = delivered + dropped + pending."""
+        return {
+            "produced": self.produced,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "pending": self.pending,
+            "batches": self.batches,
+            "max_depth": self.max_depth,
+        }

@@ -1,0 +1,313 @@
+"""The versioned JSON command protocol of ``repro serve``.
+
+One command per JSON object::
+
+    {"v": 1, "cmd": "fail", "cell": [2, 3], "at": 120}
+
+``v`` is the protocol version (:data:`COMMAND_SCHEMA`); a newer version
+is rejected with a structured error instead of being misread. ``cmd``
+names an entry of the :data:`COMMANDS` registry; the remaining keys must
+match the command's field set *exactly* (unknown or missing fields are
+rejections, not warnings). ``at`` is optional everywhere: the round
+index at which to apply the command (commands without it apply as soon
+as they are read).
+
+Rejections never crash the service: every invalid command becomes one
+:class:`CommandError` carrying a machine-readable ``code``, which the
+service emits as a ``service.command_error`` event and tallies in the
+``serve.command_errors`` metric. The property tests in
+``tests/test_serve.py`` drive arbitrary valid sequences (never crash)
+and arbitrary invalid ones (always a structured rejection) through this
+module.
+
+The :data:`COMMANDS` registry is the single source of truth for the
+command table in ``docs/serving.md``, CI-diffed by ``tests/test_docs.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: Version stamp of the command protocol. Bump on any change to a
+#: command's field set or meaning; the service rejects newer versions.
+COMMAND_SCHEMA = 1
+
+#: Keys with protocol-level meaning, allowed alongside any command.
+_ENVELOPE_KEYS = frozenset({"v", "cmd", "at"})
+
+
+@dataclass(frozen=True)
+class CommandSpec:
+    """One registry entry: name, required field set, meaning."""
+
+    name: str
+    fields: Tuple[str, ...]
+    description: str
+
+
+#: The complete command registry, keyed by command name.
+COMMANDS: Dict[str, CommandSpec] = {
+    spec.name: spec
+    for spec in (
+        CommandSpec(
+            "arrive",
+            ("cell",),
+            "inject one entity arrival at the cell's entry edge (rejected "
+            "when the cell is failed or has no safe slot)",
+        ),
+        CommandSpec(
+            "fail",
+            ("cell",),
+            "crash the cell (the environment's fail transition; idempotent)",
+        ),
+        CommandSpec(
+            "recover",
+            ("cell",),
+            "recover the cell (no-op on live cells)",
+        ),
+        CommandSpec(
+            "relocate",
+            ("target",),
+            "move the routing destination to another cell mid-run",
+        ),
+        CommandSpec(
+            "adversary",
+            ("spec",),
+            "activate a named adversary campaign (repro.adversary spec "
+            "string), its schedule offset to start at the current round",
+        ),
+        CommandSpec(
+            "checkpoint",
+            (),
+            "emit a service.checkpoint event carrying a digest of the "
+            "authoritative state",
+        ),
+        CommandSpec(
+            "drain",
+            (),
+            "flush every buffered event to the sink now",
+        ),
+        CommandSpec(
+            "shutdown",
+            (),
+            "drain, emit service.stopped, and end the serve loop",
+        ),
+    )
+}
+
+
+class CommandError(ValueError):
+    """A rejected command: machine-readable ``code`` + human message."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+    def to_record(self) -> Dict[str, str]:
+        """The structured-error payload of a ``service.command_error`` event."""
+        return {"code": self.code, "error": self.message}
+
+
+@dataclass(frozen=True)
+class Command:
+    """One validated command, ready for the service loop."""
+
+    name: str
+    args: Dict = field(default_factory=dict)
+    at: Optional[int] = None
+
+    def canonical(self) -> Dict:
+        """The command as a canonical protocol object (round-trippable)."""
+        record: Dict = {"v": COMMAND_SCHEMA, "cmd": self.name}
+        record.update(self.args)
+        if self.at is not None:
+            record["at"] = self.at
+        return record
+
+
+def _require_cell(value, field_name: str) -> Tuple[int, int]:
+    if (
+        not isinstance(value, (list, tuple))
+        or len(value) != 2
+        or not all(isinstance(c, int) and not isinstance(c, bool) for c in value)
+    ):
+        raise CommandError(
+            "bad-value",
+            f"{field_name} must be a [column, row] pair of integers, "
+            f"got {value!r}",
+        )
+    return (value[0], value[1])
+
+
+def parse_command(obj) -> Command:
+    """Validate one protocol object into a :class:`Command`.
+
+    Raises :class:`CommandError` with a stable ``code`` on any defect:
+    ``bad-envelope`` (not an object / missing keys), ``bad-version``,
+    ``unknown-command``, ``bad-fields`` (field set mismatch), or
+    ``bad-value`` (a field with the wrong shape).
+    """
+    if not isinstance(obj, dict):
+        raise CommandError(
+            "bad-envelope", f"a command must be a JSON object, got {type(obj).__name__}"
+        )
+    version = obj.get("v")
+    if version != COMMAND_SCHEMA:
+        raise CommandError(
+            "bad-version",
+            f"unsupported command version {version!r} (this service speaks "
+            f"v{COMMAND_SCHEMA})",
+        )
+    name = obj.get("cmd")
+    if not isinstance(name, str) or name not in COMMANDS:
+        raise CommandError(
+            "unknown-command",
+            f"unknown command {name!r}; available: {sorted(COMMANDS)}",
+        )
+    spec = COMMANDS[name]
+    given = set(obj) - _ENVELOPE_KEYS
+    if given != set(spec.fields):
+        raise CommandError(
+            "bad-fields",
+            f"{name} takes fields {sorted(spec.fields)}, got {sorted(given)}",
+        )
+    at = obj.get("at")
+    if at is not None and (
+        not isinstance(at, int) or isinstance(at, bool) or at < 0
+    ):
+        raise CommandError(
+            "bad-value", f"at must be a nonnegative round index, got {at!r}"
+        )
+    args: Dict = {}
+    for field_name in spec.fields:
+        value = obj[field_name]
+        if field_name in ("cell", "target"):
+            args[field_name] = _require_cell(value, field_name)
+        elif field_name == "spec":
+            if not isinstance(value, str) or not value.strip():
+                raise CommandError(
+                    "bad-value", f"spec must be a nonempty string, got {value!r}"
+                )
+            args[field_name] = value
+        else:  # pragma: no cover - no other field kinds registered
+            args[field_name] = value
+    return Command(name=name, args=args, at=at)
+
+
+def parse_command_line(text: str) -> Command:
+    """Parse one JSONL command line (``bad-json`` on unparseable text)."""
+    try:
+        obj = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise CommandError("bad-json", f"unparseable command line: {error}")
+    return parse_command(obj)
+
+
+# ---------------------------------------------------------------------------
+# Command sources
+# ---------------------------------------------------------------------------
+
+#: One item a source hands the service: ``(command, None)`` for a valid
+#: command or ``(None, error)`` for a structured rejection.
+ParseResult = Tuple[Optional[Command], Optional[CommandError]]
+
+
+class ScriptedCommandSource:
+    """An in-process command schedule: ``[(round, protocol_object), ...]``.
+
+    The service-mode test harness's source. Protocol objects are parsed
+    when due, so invalid entries exercise the same structured-rejection
+    path a file source does. A :class:`Command` instance is accepted
+    directly (already validated).
+    """
+
+    def __init__(self, schedule):
+        self._schedule: List[Tuple[int, object]] = sorted(
+            ((int(rnd), obj) for rnd, obj in schedule), key=lambda item: item[0]
+        )
+        self._pos = 0
+
+    def due(self, round_index: int) -> List[ParseResult]:
+        """Commands scheduled at or before ``round_index``, in order."""
+        out: List[ParseResult] = []
+        while (
+            self._pos < len(self._schedule)
+            and self._schedule[self._pos][0] <= round_index
+        ):
+            _, obj = self._schedule[self._pos]
+            self._pos += 1
+            if isinstance(obj, Command):
+                out.append((obj, None))
+                continue
+            try:
+                out.append((parse_command(obj), None))
+            except CommandError as error:
+                out.append((None, error))
+        return out
+
+    def exhausted(self) -> bool:
+        """True once every scheduled command has been handed out."""
+        return self._pos >= len(self._schedule)
+
+
+class FileCommandSource:
+    """Tail a JSONL command file (or FIFO) incrementally.
+
+    Each :meth:`due` call reads newly appended *complete* lines (a
+    partial trailing line is left for the next call), parses them, and
+    returns what is due: commands with ``at`` in the future are held
+    until their round. The file never needs to pre-exist — a service can
+    start first and the operator ``echo`` commands in later.
+    """
+
+    def __init__(self, path):
+        self.path = path
+        self._handle = None
+        self._tail = ""
+        self._held: List[Tuple[int, Command]] = []
+
+    def _read_new_lines(self) -> List[str]:
+        if self._handle is None:
+            try:
+                self._handle = open(self.path, "r")
+            except FileNotFoundError:
+                return []
+        chunk = self._handle.read()
+        if not chunk:
+            return []
+        data = self._tail + chunk
+        lines = data.split("\n")
+        self._tail = lines.pop()  # "" when data ended in a newline
+        return [line for line in lines if line.strip()]
+
+    def due(self, round_index: int) -> List[ParseResult]:
+        """Parse newly arrived lines; release held commands now due."""
+        out: List[ParseResult] = []
+        for line in self._read_new_lines():
+            try:
+                command = parse_command_line(line)
+            except CommandError as error:
+                out.append((None, error))
+                continue
+            if command.at is not None and command.at > round_index:
+                self._held.append((command.at, command))
+            else:
+                out.append((command, None))
+        if self._held:
+            self._held.sort(key=lambda item: item[0])
+            while self._held and self._held[0][0] <= round_index:
+                out.append((self._held.pop(0)[1], None))
+        return out
+
+    def exhausted(self) -> bool:
+        """A file source never declares itself exhausted (it is a tail)."""
+        return False
+
+    def close(self) -> None:
+        """Release the tailed file handle (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None

@@ -1,0 +1,137 @@
+"""The soak oracle trio: what "healthy under indefinite load" means.
+
+A long-running service cannot be validated by a final-state assertion
+alone; it needs *trend* oracles over the run. Three of them, each a pure
+function over samples so the soak harness (``tests/soak.py``), the CI
+soak-smoke job, and unit tests all share one judgment:
+
+1. **Bounded memory** — the allocated-block count plateaus: after a
+   warmup prefix, the late-window mean may exceed the early-window mean
+   by at most a tolerance. Sampling uses ``gc.collect()`` +
+   ``sys.getallocatedblocks()`` (exact CPython allocator counts, no
+   third-party dependency), which catches the classic soak killers —
+   unbounded histories, event buffers that never drain, caches keyed by
+   round index.
+2. **Monotone consumed counter** — the throughput ledger only ever
+   moves forward; a decrease means double-counting or state corruption.
+3. **Zero live-monitor violations** — the paper-faithful protocol is
+   proved safe, so a soak of it must stream zero ``service.violation``
+   events no matter what the command schedule injected.
+"""
+
+from __future__ import annotations
+
+import gc
+import sys
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class OracleVerdict:
+    """One oracle's judgment: name, pass/fail, human-readable detail."""
+
+    name: str
+    ok: bool
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{'PASS' if self.ok else 'FAIL'}] {self.name}: {self.detail}"
+
+
+class MemoryProbe:
+    """Collect allocated-block samples at caller-chosen moments.
+
+    ``gc.collect()`` before each reading removes cyclic garbage noise,
+    so the series tracks *live* objects — exactly what must plateau.
+    """
+
+    def __init__(self):
+        self.samples: List[int] = []
+
+    def sample(self) -> int:
+        """Collect garbage, record and return the live-block count."""
+        gc.collect()
+        count = sys.getallocatedblocks()
+        self.samples.append(count)
+        return count
+
+
+def check_bounded_memory(
+    samples: Sequence[int],
+    warmup_fraction: float = 0.5,
+    growth_tolerance: float = 0.05,
+    min_samples: int = 6,
+) -> OracleVerdict:
+    """Plateau check over an allocated-block series.
+
+    The first ``warmup_fraction`` of samples is discarded (engines warm
+    caches, sinks open files); the remainder is split in half and the
+    late half's mean may exceed the early half's by at most
+    ``growth_tolerance`` (relative). A linear leak — one retained object
+    per round — fails this for any tolerance once the run is long
+    enough, which is the point of soaking.
+    """
+    if len(samples) < min_samples:
+        return OracleVerdict(
+            "bounded-memory",
+            False,
+            f"need at least {min_samples} samples, got {len(samples)}",
+        )
+    steady = list(samples[int(len(samples) * warmup_fraction) :])
+    half = len(steady) // 2
+    early = steady[:half]
+    late = steady[half:]
+    early_mean = sum(early) / len(early)
+    late_mean = sum(late) / len(late)
+    growth = (late_mean - early_mean) / early_mean
+    ok = growth <= growth_tolerance
+    return OracleVerdict(
+        "bounded-memory",
+        ok,
+        f"steady-state growth {growth * 100:+.2f}% "
+        f"(early mean {early_mean:.0f} blocks, late mean {late_mean:.0f}, "
+        f"tolerance {growth_tolerance * 100:.0f}%)",
+    )
+
+
+def check_monotone_consumed(samples: Sequence[int]) -> OracleVerdict:
+    """The consumed counter must be nondecreasing across samples."""
+    if not samples:
+        return OracleVerdict("monotone-consumed", False, "no samples collected")
+    for i in range(1, len(samples)):
+        if samples[i] < samples[i - 1]:
+            return OracleVerdict(
+                "monotone-consumed",
+                False,
+                f"consumed went backwards at sample {i}: "
+                f"{samples[i - 1]} -> {samples[i]}",
+            )
+    return OracleVerdict(
+        "monotone-consumed",
+        True,
+        f"{len(samples)} samples, {samples[0]} -> {samples[-1]}",
+    )
+
+
+def check_zero_violations(violations: int) -> OracleVerdict:
+    """The paper-faithful protocol streams zero live violations."""
+    return OracleVerdict(
+        "zero-violations",
+        violations == 0,
+        f"{violations} live monitor violation(s) streamed",
+    )
+
+
+def soak_verdicts(
+    memory_samples: Sequence[int],
+    consumed_samples: Sequence[int],
+    violations: int,
+    growth_tolerance: float = 0.05,
+) -> List[OracleVerdict]:
+    """The full trio over one soak run's collected samples."""
+    return [
+        check_bounded_memory(memory_samples, growth_tolerance=growth_tolerance),
+        check_monotone_consumed(consumed_samples),
+        check_zero_violations(violations),
+    ]

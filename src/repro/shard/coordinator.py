@@ -167,6 +167,26 @@ class ShardCoordinator:
     # ------------------------------------------------------------------
 
     def _on_cell_event(self, event: str, cid: CellId) -> None:
+        if event == "relocate":
+            # Target relocation changes every worker's routing anchor
+            # (tid is part of the init payload, not a per-round message).
+            # Redeploy the fleet: reap all workers now and respawn them
+            # lazily from the authoritative post-relocation state at the
+            # next step — the same snapshot path a heal uses. Fired twice
+            # per relocation (old cell, then new cell); close() is
+            # idempotent so the fleet restarts exactly once.
+            if self._started:
+                self.close()
+                self._log(
+                    {
+                        "event": "relocated",
+                        "round": self.system.round_index,
+                        "cell": list(cid),
+                    }
+                )
+            if self._chained_cell_observer is not None:
+                self._chained_cell_observer(event, cid)
+            return
         handle = self._handles[self.plan.owner(cid)]
         if handle.status == "live":
             if event == "members":

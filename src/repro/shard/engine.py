@@ -121,6 +121,18 @@ class ShardedEngine(RoundEngine):
         """The coordinator's structured death/heal/stabilize history."""
         return self._coordinator.healing_log if self._coordinator else []
 
+    def healing_events_since(self, cursor: int):
+        """Healing-log entries appended at or after ``cursor``.
+
+        Returns ``(entries, new_cursor)``. The incremental read a
+        long-running consumer needs: ``repro serve`` keeps the cursor and
+        forwards each new death/heal/stabilize entry as a
+        ``service.heal`` event the round it appears, instead of
+        re-scanning (or copying) an ever-growing log.
+        """
+        log = self.healing_log
+        return log[cursor:], len(log)
+
     def __del__(self):  # best-effort: never leak worker processes
         try:
             self.close()

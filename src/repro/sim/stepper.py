@@ -1,0 +1,139 @@
+"""A resumable stepper: the round loop inverted.
+
+:class:`ResumableStepper` wraps a :class:`~repro.sim.simulator.Simulator`
+but does **not** own the loop. :meth:`Simulator.run` executes a fixed
+horizon and summarizes; callers that need to interleave work *between*
+rounds — the ``repro serve`` service loop applying queued commands,
+pumping event batches to a sink, and sampling soak probes — drive the
+stepper one round at a time instead, for as long as they like. The
+config's ``rounds`` field becomes a nominal horizon (it still seeds
+warmup validation and adversary compilation); the stepper itself is
+unbounded.
+
+The stepper is also where *mid-run environment transitions* enter a
+running simulation in a way every engine observes: :meth:`arrive`,
+:meth:`fail`, :meth:`recover`, and :meth:`relocate_target` go through
+the ``System`` transition methods, whose ``cell_observer`` notifications
+feed the incremental engine's dirty sets and the sharded coordinator's
+worker syncs. Mutating ``system`` state behind those methods' backs
+would silently desynchronize the non-reference engines.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.core.sources import EagerSource
+from repro.grid.topology import CellId
+from repro.obs.instrument import ObservabilityConfig
+from repro.sim.config import SimulationConfig
+from repro.sim.results import SimulationResult
+from repro.sim.simulator import Simulator, build_simulation
+
+
+class ResumableStepper:
+    """Drive a simulation round-by-round, yielding control between rounds.
+
+    Built from a declarative config exactly like :func:`build_simulation`
+    (which it calls); the wrapped simulator is exposed as ``simulator``
+    for instrumentation access (``obs``, ``monitors``, ``engine``).
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        observability: Optional[ObservabilityConfig] = None,
+        engine: Optional[str] = None,
+        simulator: Optional[Simulator] = None,
+    ):
+        self.config = config
+        self.simulator = (
+            simulator
+            if simulator is not None
+            else build_simulation(config, observability=observability, engine=engine)
+        )
+        self.rounds_stepped = 0
+
+    # ------------------------------------------------------------------
+    # The loop, inverted
+    # ------------------------------------------------------------------
+
+    @property
+    def system(self):
+        return self.simulator.system
+
+    @property
+    def round_index(self) -> int:
+        """The index of the *next* round to execute."""
+        return self.simulator.system.round_index
+
+    def step(self):
+        """Execute one round (faults, update, monitors, metrics).
+
+        Returns the round's :class:`~repro.core.system.RoundReport`.
+        Unbounded: the config horizon does not stop it.
+        """
+        report = self.simulator.step()
+        self.rounds_stepped += 1
+        return report
+
+    def run_for(self, rounds: int) -> int:
+        """Execute ``rounds`` consecutive rounds; returns the new index."""
+        for _ in range(rounds):
+            self.step()
+        return self.round_index
+
+    def reports(self, limit: Optional[int] = None) -> Iterator:
+        """Generator of round reports — ``limit=None`` streams forever."""
+        produced = 0
+        while limit is None or produced < limit:
+            yield self.step()
+            produced += 1
+
+    def summarize(self) -> SimulationResult:
+        """Summarize everything stepped so far (closes engine resources).
+
+        Stepping afterward remains valid — engines re-acquire lazily —
+        but :meth:`summarize` finalizes observability, so summarize once,
+        at the end.
+        """
+        return self.simulator.summarize()
+
+    # ------------------------------------------------------------------
+    # Mid-run environment transitions (the command surface)
+    # ------------------------------------------------------------------
+
+    def arrive(self, cid: CellId) -> Optional[int]:
+        """Attempt one safe entity arrival in ``cid``; returns the uid.
+
+        Placement reuses the eager source rule — the entity lands on the
+        cell's entry edge only if the spot is safely clear — so a
+        commanded arrival can never violate the separation invariants.
+        Returns ``None`` (arrival rejected) when the cell is failed or
+        has no safe slot; rejecting is the correct service behavior, the
+        paper's sources do the same by construction.
+        """
+        system = self.system
+        system.grid.require(cid)
+        state = system.cells[cid]
+        if state.failed:
+            return None
+        candidate = EagerSource().place(
+            state, system.params, system.round_index, system.rng
+        )
+        if candidate is None:
+            return None
+        entity = system.seed_entity(cid, candidate.x, candidate.y)
+        return entity.uid
+
+    def fail(self, cid: CellId) -> None:
+        """Crash a cell now (idempotent, observer-notifying)."""
+        self.system.fail(cid)
+
+    def recover(self, cid: CellId) -> None:
+        """Recover a cell now (no-op on live cells, observer-notifying)."""
+        self.system.recover(cid)
+
+    def relocate_target(self, cid: CellId) -> None:
+        """Move the routing destination mid-run (see ``System.relocate_target``)."""
+        self.system.relocate_target(cid)

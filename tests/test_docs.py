@@ -9,9 +9,11 @@ Two guarantees, both CI-enforced (the docs job runs this module):
   ``docs/observability.md`` are diffed against the code registries
   (``repro.obs.events.EVENT_TYPES``, ``repro.obs.instrument.METRIC_NAMES``),
   the engine-registry table of ``docs/performance.md`` against
-  ``repro.sim.engine.ENGINES``, and the oracle and adversary-class
+  ``repro.sim.engine.ENGINES``, the oracle and adversary-class
   tables of ``docs/fuzzing.md`` against ``repro.fuzz.oracles.ORACLES``
-  and ``repro.adversary.scripts.ADVERSARIES`` — names,
+  and ``repro.adversary.scripts.ADVERSARIES``, and the command, sink,
+  and backpressure tables of ``docs/serving.md`` against the
+  ``repro.serve`` registries — names,
   field sets, metric kinds, engine class names, and oracle descriptions
   must match exactly, so the documentation cannot fall behind the
   implementation.
@@ -105,6 +107,7 @@ OBSERVABILITY_DOC = REPO_ROOT / "docs" / "observability.md"
 PERFORMANCE_DOC = REPO_ROOT / "docs" / "performance.md"
 FUZZING_DOC = REPO_ROOT / "docs" / "fuzzing.md"
 MULTIFLOW_DOC = REPO_ROOT / "docs" / "multiflow.md"
+SERVING_DOC = REPO_ROOT / "docs" / "serving.md"
 
 #: First-column labels that mark a table's header row.
 HEADER_LABELS = (
@@ -117,6 +120,9 @@ HEADER_LABELS = (
     "Workload",
     "Oracle",
     "Class",
+    "Command",
+    "Sink",
+    "Policy",
 )
 
 
@@ -315,6 +321,85 @@ def test_commodity_metric_table_matches_catalog():
             f"{name}: documented kind {documented[name]!r} != "
             f"code kind {spec['kind']!r}"
         )
+
+
+def test_command_table_matches_registry():
+    """docs/serving.md's command table lists every registered service
+    command, in registry order, with the registry's own field list and
+    one-line description — diffed against ``repro.serve.commands.COMMANDS``."""
+    from repro.serve.commands import COMMANDS
+
+    documented = {}
+    order = []
+    for cells in table_rows("## Command protocol", doc=SERVING_DOC):
+        names = backticked(cells[0])
+        if len(cells) != 3 or len(names) != 1:
+            continue
+        documented[names[0]] = (tuple(backticked(cells[1])), cells[2])
+        order.append(names[0])
+    assert set(documented) == set(COMMANDS), (
+        f"command table out of sync: only in docs "
+        f"{sorted(set(documented) - set(COMMANDS))}, only in code "
+        f"{sorted(set(COMMANDS) - set(documented))}"
+    )
+    assert order == list(COMMANDS), (
+        f"command table order {order} != registry order {list(COMMANDS)}"
+    )
+    for name, spec in COMMANDS.items():
+        fields, description = documented[name]
+        assert fields == spec.fields, (
+            f"{name}: documented fields {fields} != code fields {spec.fields}"
+        )
+        assert description == spec.description, (
+            f"{name}: documented description {description!r} != "
+            f"code description {spec.description!r}"
+        )
+
+
+def test_sink_table_matches_registry():
+    """docs/serving.md's sink table lists every registered sink, in
+    registry order, with the registry's own one-line description —
+    diffed against ``repro.serve.sinks.SINKS``."""
+    from repro.serve.sinks import SINKS
+
+    documented = {}
+    order = []
+    for cells in table_rows("## Sinks", doc=SERVING_DOC):
+        names = backticked(cells[0])
+        if len(cells) != 2 or len(names) != 1:
+            continue
+        documented[names[0]] = cells[1]
+        order.append(names[0])
+    assert set(documented) == set(SINKS), (
+        f"sink table out of sync: only in docs "
+        f"{sorted(set(documented) - set(SINKS))}, only in code "
+        f"{sorted(set(SINKS) - set(documented))}"
+    )
+    assert order == list(SINKS), (
+        f"sink table order {order} != registry order {list(SINKS)}"
+    )
+    for name, spec in SINKS.items():
+        assert documented[name] == spec.description, (
+            f"{name}: documented description {documented[name]!r} != "
+            f"code description {spec.description!r}"
+        )
+
+
+def test_backpressure_table_matches_registry():
+    """docs/serving.md's backpressure table mirrors
+    ``repro.serve.buffer.BACKPRESSURE_POLICIES`` exactly."""
+    from repro.serve.buffer import BACKPRESSURE_POLICIES
+
+    documented = {}
+    for cells in table_rows("## Backpressure", doc=SERVING_DOC):
+        names = backticked(cells[0])
+        if len(cells) != 2 or len(names) != 1:
+            continue
+        documented[names[0]] = cells[1]
+    assert documented == dict(BACKPRESSURE_POLICIES), (
+        f"backpressure table out of sync: docs {documented}, "
+        f"code {dict(BACKPRESSURE_POLICIES)}"
+    )
 
 
 def test_metric_descriptions_are_nonempty():
